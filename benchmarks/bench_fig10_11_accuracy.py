@@ -1,0 +1,63 @@
+"""Figs. 10 and 11 — routing accuracy of L2R vs. the baselines.
+
+Fig. 10 reports accuracy under the Eq. 1 path similarity, Fig. 11 under the
+Eq. 4 (union) similarity, each broken down by ground-truth travel distance and
+by region category (InRegion / InOutRegion / OutRegion), on both data sets.
+
+The paper's qualitative findings: L2R ranks at or near the top, Shortest
+degrades with distance, Fastest catches up on long trips, Dom is the best
+baseline but the slowest, TRIP sits near Fastest.  The benchmark prints the
+full tables and asserts the robust parts of that ordering (L2R well above
+Shortest, and within the top group overall).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_accuracy_table
+
+
+def _print_report(report, title, use_eq4):
+    print()
+    print(format_accuracy_table(report.by_distance(), f"{title} - by distance", use_eq4=use_eq4))
+    print()
+    print(format_accuracy_table(report.by_region(), f"{title} - by region category", use_eq4=use_eq4))
+    print()
+    print(format_accuracy_table(report.overall(), f"{title} - overall", use_eq4=use_eq4))
+
+
+def test_fig10_accuracy_eq1(benchmark, d1_report, d2_report):
+    def compute():
+        return d1_report.overall(), d2_report.overall()
+
+    benchmark(compute)
+
+    _print_report(d1_report, "Fig. 10 (D1-like, Eq. 1 accuracy)", use_eq4=False)
+    _print_report(d2_report, "Fig. 10 (D2-like, Eq. 1 accuracy)", use_eq4=False)
+
+    for report in (d1_report, d2_report):
+        l2r = report.mean_accuracy("L2R")
+        shortest = report.mean_accuracy("Shortest")
+        fastest = report.mean_accuracy("Fastest")
+        assert l2r > 0.0
+        # L2R must clearly beat the weaker cost-centric baseline ...
+        assert l2r >= min(shortest, fastest) * 1.05
+        # ... and stay within the top group overall.
+        best = max(report.mean_accuracy(a) for a in report.algorithms())
+        assert l2r >= 0.70 * best
+
+
+def test_fig11_accuracy_eq4(benchmark, d1_report, d2_report):
+    def compute():
+        return d1_report.by_region(), d2_report.by_region()
+
+    benchmark(compute)
+
+    _print_report(d1_report, "Fig. 11 (D1-like, Eq. 4 accuracy)", use_eq4=True)
+    _print_report(d2_report, "Fig. 11 (D2-like, Eq. 4 accuracy)", use_eq4=True)
+
+    for report in (d1_report, d2_report):
+        for algorithm in report.algorithms():
+            eq1 = report.mean_accuracy(algorithm, use_eq4=False)
+            eq4 = report.mean_accuracy(algorithm, use_eq4=True)
+            # Eq. 4 uses the union in the denominator, so it never exceeds Eq. 1.
+            assert eq4 <= eq1 + 1e-9

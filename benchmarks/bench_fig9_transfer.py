@@ -1,0 +1,100 @@
+"""Fig. 9 — parameters of the preference transfer.
+
+Fig. 9(a): transfer accuracy as a function of the number of T-edge preference
+partitions used as training data (X, 2X, 3X, 4X out of a 5-way partition, the
+last partition being held out as ground truth).  The paper observes accuracy
+growing with the amount of training data.
+
+Fig. 9(b): accuracy, null rate (N-rate), and run time as the adjacency-matrix
+reduction threshold ``amr`` sweeps over {0.5 ... 0.9}.  The paper observes the
+accuracy to be largely insensitive, the null rate to grow, and the run time to
+shrink as ``amr`` increases.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.splits import k_fold_partitions
+from repro.evaluation import format_series
+from repro.preferences import (
+    PreferenceTransfer,
+    TransferConfig,
+    evaluate_transfer_accuracy,
+)
+
+
+def _labelled_t_edges(pipeline):
+    return [e for e in pipeline.region_graph.t_edges() if e.preference is not None]
+
+
+def _transfer_accuracy(edges, train_folds, test_fold, config):
+    train_edges = [e for fold in train_folds for e in fold]
+    test_edges = list(test_fold)
+    all_edges = train_edges + test_edges
+    labelled = [e.preference for e in train_edges] + [None] * len(test_edges)
+    result = PreferenceTransfer(config=config).transfer(all_edges, labelled)
+    transferred = result.preferences[len(train_edges):]
+    truths = [e.preference for e in test_edges]
+    accuracy = 100.0 * evaluate_transfer_accuracy(test_edges, truths, transferred)
+    null_rate = 100.0 * result.null_rate
+    return accuracy, null_rate, result.runtime_s
+
+
+def test_fig9a_transfer_accuracy_vs_t_edges(benchmark, d2):
+    _, _, pipeline = d2
+    edges = _labelled_t_edges(pipeline)[:400]
+    folds = k_fold_partitions(edges, k=5)
+    test_fold = folds[-1]
+    config = TransferConfig(amr=0.7)
+
+    def compute():
+        accuracies = []
+        for used in (1, 2, 3, 4):
+            accuracy, _, _ = _transfer_accuracy(edges, folds[:used], test_fold, config)
+            accuracies.append(accuracy)
+        return accuracies
+
+    accuracies = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 9(a): transfer accuracy vs. number of T-edge partitions (D2-like)")
+    print(format_series({"Accuracy %": accuracies}, ["X", "2X", "3X", "4X"], "Jaccard accuracy"))
+
+    # Paper shape: accuracy does not degrade as more training partitions are used.
+    assert accuracies[-1] >= accuracies[0] - 5.0
+    assert all(a > 0.0 for a in accuracies)
+
+
+def test_fig9b_amr_sweep(benchmark, d2):
+    _, _, pipeline = d2
+    edges = _labelled_t_edges(pipeline)[:400]
+    folds = k_fold_partitions(edges, k=5)
+    test_fold = folds[-1]
+    amr_values = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+    def compute():
+        accuracy_series, null_series, runtime_series = [], [], []
+        for amr in amr_values:
+            accuracy, null_rate, runtime = _transfer_accuracy(
+                edges, folds[:4], test_fold, TransferConfig(amr=amr)
+            )
+            accuracy_series.append(accuracy)
+            null_series.append(null_rate)
+            runtime_series.append(runtime * 1000.0)
+        return accuracy_series, null_series, runtime_series
+
+    accuracy_series, null_series, runtime_series = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 9(b): varying the adjacency-matrix reduction threshold amr (D2-like)")
+    print(
+        format_series(
+            {"Accuracy %": accuracy_series, "N-Rate %": null_series, "Run-time ms": runtime_series},
+            [str(v) for v in amr_values],
+            "amr sweep",
+        )
+    )
+
+    # Paper shape: the null rate is non-decreasing in amr (stricter threshold
+    # leaves more B-edges without a preference).
+    assert null_series[-1] >= null_series[0] - 1e-9
+    assert all(a >= 0.0 for a in accuracy_series)

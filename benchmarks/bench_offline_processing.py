@@ -1,0 +1,33 @@
+"""Offline processing time (Section VII-C, text).
+
+The paper reports the offline cost of (1) building the region graph, (2)
+learning T-edge preferences, (3) transferring preferences to B-edges, and (4)
+materializing B-edge paths — and notes that learning dominates.  The benchmark
+measures one full ``fit`` on the D2-like scenario and prints the breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.core import LearnToRoute
+
+
+def test_offline_processing_breakdown(benchmark, d2):
+    scenario, split, _ = d2
+
+    def fit_once():
+        return LearnToRoute().fit(scenario.network, split.train[:120])
+
+    pipeline = benchmark.pedantic(fit_once, rounds=1, iterations=1)
+    timings = pipeline.offline_timings
+
+    print()
+    print("Offline processing time (D2-like, 120 training trajectories)")
+    print(f"  Region graph construction : {timings.region_graph_s:8.2f} s")
+    print(f"  Preference learning       : {timings.preference_learning_s:8.2f} s")
+    print(f"  Preference transfer       : {timings.preference_transfer_s:8.2f} s")
+    print(f"  B-edge path materialization: {timings.path_materialization_s:7.2f} s")
+    print(f"  Total                     : {timings.total_s:8.2f} s")
+
+    assert timings.total_s > 0.0
+    # Paper shape: preference learning is the dominant offline step.
+    assert timings.preference_learning_s >= 0.3 * timings.total_s

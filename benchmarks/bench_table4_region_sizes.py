@@ -1,0 +1,43 @@
+"""Table IV — region sizes produced by the trajectory-based clustering.
+
+Reproduces the breakdown of region convex-hull areas into bands with the
+maximum diameter per band.  The paper's key observation is that the
+modularity-based clustering keeps most regions small (under 2 km^2) with only
+a few large regions; the same shape should hold here.
+"""
+
+from __future__ import annotations
+
+from repro.regions import format_region_size_table, region_size_table
+
+D1_BANDS = ((0.0, 2.0), (2.0, 10.0), (10.0, 100.0), (100.0, None))
+D2_BANDS = ((0.0, 2.0), (2.0, 5.0), (5.0, 10.0), (10.0, None))
+
+
+def test_table4_region_sizes(benchmark, d1, d2):
+    scenario_d1, _, pipeline_d1 = d1
+    scenario_d2, _, pipeline_d2 = d2
+
+    regions_d1 = list(pipeline_d1.region_graph.regions())
+    regions_d2 = list(pipeline_d2.region_graph.regions())
+
+    def compute():
+        return (
+            region_size_table(regions_d1, scenario_d1.network, D1_BANDS),
+            region_size_table(regions_d2, scenario_d2.network, D2_BANDS),
+        )
+
+    rows_d1, rows_d2 = benchmark(compute)
+
+    print()
+    print(format_region_size_table(rows_d1, title="Table IV (D1-like): region sizes"))
+    print()
+    print(format_region_size_table(rows_d2, title="Table IV (D2-like): region sizes"))
+
+    total_d1 = sum(row.count for row in rows_d1)
+    total_d2 = sum(row.count for row in rows_d2)
+    assert total_d1 == len(regions_d1)
+    assert total_d2 == len(regions_d2)
+    # Shape check: small regions dominate, as in the paper.
+    assert rows_d1[0].count >= rows_d1[-1].count
+    assert rows_d2[0].count >= rows_d2[-1].count

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on scaled-down
+synthetic counterparts of the paper's data sets (see DESIGN.md for the
+substitution rationale).  The expensive artifacts — scenarios, fitted L2R
+pipelines, evaluation reports — are session-scoped and shared across
+benchmarks; the ``benchmark`` fixture then times a representative unit of work
+while the printed tables report the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DomBaseline,
+    FastestBaseline,
+    L2RAlgorithm,
+    ShortestBaseline,
+    TripBaseline,
+)
+from repro.core import LearnToRoute
+from repro.datasets import d1_like_scenario, d2_like_scenario
+from repro.datasets.splits import split_by_id
+from repro.evaluation import EvaluationHarness
+
+D1_SCALE = 0.25
+D2_SCALE = 0.20
+MAX_QUERIES = 60
+
+
+@pytest.fixture(scope="session")
+def d1(request):
+    """The D1-like (Denmark) scenario with its split and fitted pipeline."""
+    scenario = d1_like_scenario(scale=D1_SCALE)
+    split = split_by_id(scenario.trajectories, train_fraction=0.75)
+    pipeline = LearnToRoute().fit(scenario.network, split.train)
+    return scenario, split, pipeline
+
+
+@pytest.fixture(scope="session")
+def d2(request):
+    """The D2-like (Chengdu) scenario with its split and fitted pipeline."""
+    scenario = d2_like_scenario(scale=D2_SCALE)
+    split = split_by_id(scenario.trajectories, train_fraction=0.75)
+    pipeline = LearnToRoute().fit(scenario.network, split.train)
+    return scenario, split, pipeline
+
+
+def build_report(scenario, split, pipeline, include_personalized: bool = True):
+    """Run the full comparison harness on one scenario."""
+    harness = EvaluationHarness(
+        network=scenario.network,
+        region_graph=pipeline.region_graph,
+        bands_km=scenario.bands_km,
+    )
+    harness.add_algorithm(L2RAlgorithm(pipeline))
+    harness.add_algorithm(ShortestBaseline(scenario.network))
+    harness.add_algorithm(FastestBaseline(scenario.network))
+    if include_personalized:
+        harness.add_algorithm(DomBaseline(scenario.network, split.train, max_trajectories_per_driver=4))
+        harness.add_algorithm(TripBaseline(scenario.network, split.train))
+    return harness.evaluate(split.test, max_queries=MAX_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def d1_report(d1):
+    scenario, split, pipeline = d1
+    return build_report(scenario, split, pipeline)
+
+
+@pytest.fixture(scope="session")
+def d2_report(d2):
+    scenario, split, pipeline = d2
+    return build_report(scenario, split, pipeline)

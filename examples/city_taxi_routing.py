@@ -1,0 +1,59 @@
+"""City-scale taxi routing (the paper's D2 / Chengdu setting, scaled down).
+
+Run with::
+
+    python examples/city_taxi_routing.py
+
+The script simulates a dense city grid with taxi trips concentrated around
+hotspots, fits L2R, and reproduces a miniature version of the paper's
+evaluation: accuracy of L2R / Shortest / Fastest / TRIP against the drivers'
+actual paths, broken down by travel distance and by region category, plus the
+Table II / Table IV data statistics.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import FastestBaseline, L2RAlgorithm, ShortestBaseline, TripBaseline
+from repro.core import LearnToRoute
+from repro.datasets import d2_like_scenario
+from repro.datasets.splits import split_by_id
+from repro.evaluation import EvaluationHarness, format_accuracy_table
+from repro.regions import format_region_size_table, region_size_table
+from repro.trajectories import distance_band_statistics, format_distance_table
+
+
+def main() -> None:
+    scenario = d2_like_scenario(scale=0.15)
+    network = scenario.network
+    print(f"D2-like scenario: {network.vertex_count} vertices, {len(scenario.trajectories)} taxi trips")
+
+    stats = distance_band_statistics(scenario.trajectories, network, scenario.bands_km)
+    print()
+    print(format_distance_table(stats, title="Trip distance distribution (Table II style)"))
+
+    split = split_by_id(scenario.trajectories, train_fraction=0.75)
+    pipeline = LearnToRoute().fit(network, split.train)
+
+    rows = region_size_table(list(pipeline.region_graph.regions()), network)
+    print()
+    print(format_region_size_table(rows, title="Region sizes (Table IV style)"))
+
+    harness = EvaluationHarness(
+        network=network, region_graph=pipeline.region_graph, bands_km=scenario.bands_km
+    )
+    harness.add_algorithm(L2RAlgorithm(pipeline))
+    harness.add_algorithm(ShortestBaseline(network))
+    harness.add_algorithm(FastestBaseline(network))
+    harness.add_algorithm(TripBaseline(network, split.train))
+    report = harness.evaluate(split.test, max_queries=50)
+
+    print()
+    print(format_accuracy_table(report.by_distance(), "Accuracy (Eq. 1) by distance band"))
+    print()
+    print(format_accuracy_table(report.by_region(), "Accuracy (Eq. 1) by region category"))
+    print()
+    print(format_accuracy_table(report.overall(), "Per-query run time", value="runtime"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Country-scale commuting (the paper's D1 / Denmark setting, scaled down).
+
+Run with::
+
+    python examples/country_commute.py
+
+The script builds a multi-city country network connected by motorway and trunk
+corridors, simulates commuter trips between the cities, fits L2R, and then
+compares it with the simulated commercial routing service (way-point answers
+matched with the 10 m band of Fig. 14) and with the cost-centric baselines on
+long-distance trips — the setting where the paper reports the largest gap
+between trajectory-based and cost-centric routing.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    ExternalRoutingService,
+    FastestBaseline,
+    ShortestBaseline,
+    waypoint_accuracy,
+)
+from repro.core import LearnToRoute
+from repro.datasets import d1_like_scenario
+from repro.datasets.splits import split_by_id
+from repro.preferences import path_similarity
+
+
+def main() -> None:
+    scenario = d1_like_scenario(scale=0.3)
+    network = scenario.network
+    print(
+        f"D1-like scenario: {network.vertex_count} vertices, {network.edge_count} edges, "
+        f"{len(scenario.trajectories)} trips"
+    )
+
+    split = split_by_id(scenario.trajectories, train_fraction=0.75)
+    pipeline = LearnToRoute().fit(network, split.train)
+    print(
+        f"Region graph: {pipeline.region_graph.region_count} regions, "
+        f"{len(pipeline.region_graph.t_edges())} T-edges, {len(pipeline.region_graph.b_edges())} B-edges"
+    )
+
+    service = ExternalRoutingService(network)
+    shortest = ShortestBaseline(network)
+    fastest = FastestBaseline(network)
+
+    # Focus on the longest test trips (the paper's (10,50] and above bands).
+    long_trips = sorted(split.test, key=lambda t: -t.distance_km(network))[:20]
+    sums = {"L2R": 0.0, "Shortest": 0.0, "Fastest": 0.0, "Google": 0.0}
+    for trajectory in long_trips:
+        source, destination = trajectory.source, trajectory.destination
+        sums["L2R"] += path_similarity(network, trajectory.path, pipeline.route(source, destination))
+        sums["Shortest"] += path_similarity(
+            network, trajectory.path, shortest.route(source, destination)
+        )
+        sums["Fastest"] += path_similarity(
+            network, trajectory.path, fastest.route(source, destination)
+        )
+        sums["Google"] += waypoint_accuracy(
+            network, trajectory.path, service.directions(source, destination), band_m=10.0
+        )
+
+    print(f"\nMean Eq. 1 accuracy over the {len(long_trips)} longest test trips:")
+    for name, total in sorted(sums.items(), key=lambda item: -item[1]):
+        print(f"  {name:<10} {100.0 * total / len(long_trips):6.1f} %")
+
+    trajectory = long_trips[0]
+    path, diagnostics = pipeline.route_with_diagnostics(trajectory.source, trajectory.destination)
+    print(
+        f"\nLongest trip ({trajectory.distance_km(network):.1f} km): routed as case "
+        f"'{diagnostics.case}' over {diagnostics.region_hops} region hops "
+        f"({diagnostics.used_b_edges} B-edges)"
+    )
+
+
+if __name__ == "__main__":
+    main()

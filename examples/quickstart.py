@@ -1,0 +1,74 @@
+"""Quickstart: fit learn-to-route on a small synthetic city and route with it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small synthetic road network with simulated taxi
+trajectories, fits the L2R pipeline (region graph + preference learning +
+transfer), answers a few routing requests, and compares the answers against
+the paths the simulated local drivers actually took.
+"""
+
+from __future__ import annotations
+
+from repro import LearnToRoute
+from repro.baselines import FastestBaseline, ShortestBaseline
+from repro.datasets import tiny_scenario
+from repro.datasets.splits import split_by_id
+from repro.preferences import path_similarity
+
+
+def main() -> None:
+    # 1. A synthetic scenario: a 10x10 city grid plus 120 simulated trips.
+    scenario = tiny_scenario(seed=3, n_trajectories=120)
+    network = scenario.network
+    print(f"Network: {network.vertex_count} vertices, {network.edge_count} edges")
+    print(f"Trajectories: {len(scenario.trajectories)}")
+
+    # 2. Temporal-style train / test split.
+    split = split_by_id(scenario.trajectories, train_fraction=0.75)
+    print(f"Training on {len(split.train)} trajectories, testing on {len(split.test)}")
+
+    # 3. Fit the L2R pipeline (Steps 1-3 of the paper).
+    pipeline = LearnToRoute().fit(network, split.train)
+    region_graph = pipeline.region_graph
+    print(
+        f"Region graph: {region_graph.region_count} regions, "
+        f"{len(region_graph.t_edges())} T-edges, {len(region_graph.b_edges())} B-edges, "
+        f"connected={region_graph.is_connected()}"
+    )
+    timings = pipeline.offline_timings
+    print(f"Offline processing: {timings.total_s:.2f} s total")
+
+    # 4. Route a few test queries and compare with the drivers' actual paths.
+    shortest = ShortestBaseline(network)
+    fastest = FastestBaseline(network)
+    print("\nPer-query Eq. 1 similarity against the driver's actual path:")
+    print(f"{'query':>6} {'L2R':>8} {'Shortest':>10} {'Fastest':>10}")
+    for trajectory in split.test[:8]:
+        l2r_path = pipeline.route(trajectory.source, trajectory.destination)
+        row = (
+            path_similarity(network, trajectory.path, l2r_path),
+            path_similarity(
+                network, trajectory.path, shortest.route(trajectory.source, trajectory.destination)
+            ),
+            path_similarity(
+                network, trajectory.path, fastest.route(trajectory.source, trajectory.destination)
+            ),
+        )
+        print(
+            f"{trajectory.trajectory_id:>6} {row[0] * 100:>7.1f}% {row[1] * 100:>9.1f}% {row[2] * 100:>9.1f}%"
+        )
+
+    # 5. Inspect one recommendation in detail.
+    trajectory = split.test[0]
+    path, diagnostics = pipeline.route_with_diagnostics(trajectory.source, trajectory.destination)
+    print(f"\nQuery {trajectory.source} -> {trajectory.destination}")
+    print(f"  routing case : {diagnostics.case} ({diagnostics.region_hops} region hops)")
+    print(f"  driver path  : {trajectory.path.vertices}")
+    print(f"  L2R path     : {path.vertices}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Baseline routing algorithms compared against L2R in the evaluation."""
+
+from .base import L2RAlgorithm, RoutingAlgorithm
+from .cost_centric import FastestBaseline, ShortestBaseline
+from .dom import DomBaseline
+from .trip import TripBaseline
+from .popular import PopularRouteBaseline
+from .external_service import (
+    ExternalRoutingService,
+    ExternalServiceConfig,
+    waypoint_accuracy,
+)
+
+__all__ = [
+    "DomBaseline",
+    "ExternalRoutingService",
+    "ExternalServiceConfig",
+    "FastestBaseline",
+    "L2RAlgorithm",
+    "PopularRouteBaseline",
+    "RoutingAlgorithm",
+    "ShortestBaseline",
+    "TripBaseline",
+    "waypoint_accuracy",
+]

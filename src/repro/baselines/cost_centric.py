@@ -1,0 +1,43 @@
+"""Cost-centric baselines: Shortest and Fastest.
+
+The paper compares L2R with plain shortest-path (distance) and fastest-path
+(travel time) routing computed with Dijkstra's algorithm on the original road
+network — the behaviour of a traditional routing service with static weights.
+"""
+
+from __future__ import annotations
+
+from ..network.road_network import RoadNetwork, VertexId
+from ..routing.dijkstra import fastest_path, shortest_path
+from ..routing.path import Path
+from .base import RoutingAlgorithm
+
+
+class ShortestBaseline(RoutingAlgorithm):
+    """Distance-minimal routing (the paper's *Shortest*)."""
+
+    name = "Shortest"
+
+    def route(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        departure_time: float | None = None,
+        driver_id: int | None = None,
+    ) -> Path:
+        return shortest_path(self._network, source, destination)
+
+
+class FastestBaseline(RoutingAlgorithm):
+    """Travel-time-minimal routing (the paper's *Fastest*)."""
+
+    name = "Fastest"
+
+    def route(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        departure_time: float | None = None,
+        driver_id: int | None = None,
+    ) -> Path:
+        return fastest_path(self._network, source, destination)

@@ -1,0 +1,127 @@
+"""A simulated commercial routing service (the paper's Google Maps comparison).
+
+The paper queries the Google Directions API and compares the returned
+way-point polylines against ground-truth paths using a 10 m band (Fig. 14).
+Without network access we simulate a comparable service:
+
+* it routes for *time* on its own slightly different travel-time model — a
+  global perturbation of edge speeds plus a bias that favours major roads
+  (commercial services weigh live traffic and road hierarchy, not local
+  drivers' preferences);
+* it does not return an edge path but a sparse sequence of way-points in
+  lon/lat (as the Directions API does), optionally with coordinate jitter;
+* the comparison against a ground-truth path therefore uses the band-matching
+  methodology (:func:`repro.network.spatial.match_waypoints_to_polyline`),
+  exactly as the paper does for Google paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..network.road_network import Edge, RoadNetwork, VertexId
+from ..network.spatial import LonLat, match_waypoints_to_polyline
+from ..routing.astar import astar, travel_time_heuristic
+from ..routing.path import Path
+from .base import RoutingAlgorithm
+
+
+@dataclass(frozen=True)
+class ExternalServiceConfig:
+    """Behavioural knobs of the simulated service."""
+
+    major_road_bias: float = 0.85
+    """Multiplier (< 1) applied to major-road travel times — the service
+    prefers the arterial hierarchy."""
+    speed_perturbation: float = 0.10
+    """Relative amplitude of the per-edge random perturbation of travel times
+    (models the service's independent traffic model)."""
+    waypoint_stride: int = 4
+    """A way-point is emitted every this many path vertices."""
+    waypoint_jitter_m: float = 3.0
+    """Gaussian jitter applied to emitted way-points."""
+    seed: int = 20180417
+
+
+class ExternalRoutingService(RoutingAlgorithm):
+    """Google-Directions-like routing: time-optimal, major-road biased."""
+
+    name = "Google"
+
+    def __init__(self, network: RoadNetwork, config: ExternalServiceConfig | None = None) -> None:
+        super().__init__(network)
+        self._config = config or ExternalServiceConfig()
+        rng = random.Random(self._config.seed)
+        self._perturbation: dict[tuple[VertexId, VertexId], float] = {}
+        for edge in network.edges():
+            amplitude = self._config.speed_perturbation
+            self._perturbation[edge.key] = 1.0 + rng.uniform(-amplitude, amplitude)
+
+    # ------------------------------------------------------------------ #
+    def _service_time(self, edge: Edge) -> float:
+        factor = self._perturbation.get(edge.key, 1.0)
+        if edge.road_type.is_major:
+            factor *= self._config.major_road_bias
+        return edge.travel_time_s * factor
+
+    def route(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        departure_time: float | None = None,
+        driver_id: int | None = None,
+    ) -> Path:
+        """The service's internal edge path (used for the uniform harness)."""
+        return astar(
+            self._network,
+            source,
+            destination,
+            self._service_time,
+            travel_time_heuristic(self._network, destination),
+        )
+
+    def directions(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        departure_time: float | None = None,
+    ) -> list[LonLat]:
+        """The service's public answer: a sparse way-point polyline."""
+        path = self.route(source, destination, departure_time=departure_time)
+        rng = random.Random(self._config.seed ^ (source * 1_000_003 + destination))
+        waypoints: list[LonLat] = []
+        vertices = path.vertices
+        stride = max(1, self._config.waypoint_stride)
+        indices = list(range(0, len(vertices), stride))
+        if indices[-1] != len(vertices) - 1:
+            indices.append(len(vertices) - 1)
+        for index in indices:
+            lon, lat = self._network.coordinates(vertices[index])
+            if self._config.waypoint_jitter_m > 0:
+                import math
+
+                lat_jitter = rng.gauss(0.0, self._config.waypoint_jitter_m) / 111_320.0
+                lon_jitter = rng.gauss(0.0, self._config.waypoint_jitter_m) / (
+                    111_320.0 * max(0.2, math.cos(math.radians(lat)))
+                )
+                lon, lat = lon + lon_jitter, lat + lat_jitter
+            waypoints.append((lon, lat))
+        return waypoints
+
+
+def waypoint_accuracy(
+    network: RoadNetwork,
+    ground_truth: Path,
+    waypoints: list[LonLat],
+    band_m: float = 10.0,
+) -> float:
+    """Accuracy of a way-point answer against a ground-truth path (Fig. 14).
+
+    The ground-truth path is widened into a ``band_m`` band; the matched
+    ground-truth length between consecutive in-band way-point projections,
+    divided by the total ground-truth length, is the Eq. 1 style accuracy.
+    """
+    polyline = ground_truth.coordinates(network)
+    matched, total = match_waypoints_to_polyline(waypoints, polyline, band_m=band_m)
+    return matched / total if total > 0 else 0.0

@@ -1,0 +1,92 @@
+"""Popularity-based path recommendation (related-work Cases 1 and 2).
+
+This baseline covers the two situations existing trajectory-reuse methods
+handle (Section II):
+
+* **Case 1** — a complete training trajectory already connects the requested
+  source and destination: recommend the most popular such path;
+* **Case 2** — no complete trajectory exists, but trajectory fragments can be
+  spliced: route on a popularity-weighted graph where an edge's cost decreases
+  with the number of trajectories that traversed it (a compact stand-in for
+  the absorbing-Markov-chain splicing of [18]);
+* **Case 3** — the requested pair touches roads never covered by any
+  trajectory: the method fails, which is exactly the gap L2R fills.  The
+  implementation falls back to the fastest path and reports the fallback, so
+  the evaluation can show where popularity-only methods stop working.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Sequence
+
+from ..network.road_network import Edge, RoadNetwork, VertexId
+from ..routing.dijkstra import dijkstra, fastest_path
+from ..routing.path import Path
+from ..trajectories.models import MatchedTrajectory
+from .base import RoutingAlgorithm
+
+
+class PopularRouteBaseline(RoutingAlgorithm):
+    """Most-popular-path lookup with popularity-weighted splicing fallback."""
+
+    name = "Popular"
+
+    def __init__(self, network: RoadNetwork, training: Sequence[MatchedTrajectory]) -> None:
+        super().__init__(network)
+        self._od_paths: dict[tuple[VertexId, VertexId], Counter] = defaultdict(Counter)
+        self._edge_popularity: dict[tuple[VertexId, VertexId], int] = defaultdict(int)
+        self._fallbacks = 0
+        self._queries = 0
+        self._fit(training)
+
+    def _fit(self, training: Sequence[MatchedTrajectory]) -> None:
+        for trajectory in training:
+            self._od_paths[(trajectory.source, trajectory.destination)][trajectory.path.vertices] += 1
+            for key in trajectory.path.edge_keys:
+                self._edge_popularity[key] += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of queries answered by the fastest-path fallback (Case 3)."""
+        return self._fallbacks / self._queries if self._queries else 0.0
+
+    def route(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        departure_time: float | None = None,
+        driver_id: int | None = None,
+    ) -> Path:
+        self._queries += 1
+        # Case 1: a complete trajectory connects the pair.
+        counted = self._od_paths.get((source, destination))
+        if counted:
+            vertices, _ = counted.most_common(1)[0]
+            return Path(vertices=vertices)
+
+        # Case 2: splice trajectory fragments on a popularity-weighted graph.
+        def splicing_cost(edge: Edge) -> float:
+            popularity = self._edge_popularity.get((edge.source, edge.target), 0)
+            if popularity == 0:
+                # Uncovered edges are strongly discouraged but not forbidden,
+                # otherwise Case-3 queries would have no answer at all.
+                return edge.distance_m * 100.0
+            return edge.distance_m / (1.0 + math.log1p(popularity))
+
+        try:
+            spliced = dijkstra(self._network, source, destination, splicing_cost)
+        except Exception:
+            self._fallbacks += 1
+            return fastest_path(self._network, source, destination)
+
+        # Case 3 detection: if most of the answer runs on uncovered edges, the
+        # popularity signal did not help and we record a fallback.
+        uncovered = sum(
+            1 for key in spliced.edge_keys if self._edge_popularity.get(key, 0) == 0
+        )
+        if spliced.edge_keys and uncovered / len(spliced.edge_keys) > 0.5:
+            self._fallbacks += 1
+        return spliced

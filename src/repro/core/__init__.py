@@ -1,0 +1,15 @@
+"""The learn-to-route (L2R) pipeline: configuration, routing, and orchestration."""
+
+from .config import L2RConfig, PeakHours
+from .router import RegionRouter, RouteDiagnostics
+from .l2r import FittedModel, LearnToRoute, OfflineTimings
+
+__all__ = [
+    "FittedModel",
+    "L2RConfig",
+    "LearnToRoute",
+    "OfflineTimings",
+    "PeakHours",
+    "RegionRouter",
+    "RouteDiagnostics",
+]

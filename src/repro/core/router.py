@@ -1,0 +1,435 @@
+"""Routing on the region graph (Section VI).
+
+Case 1: both endpoints lie inside regions.  Same-region requests are answered
+from inner-region paths (most traversed first) with a fastest-path fallback.
+Cross-region requests first find a *region path* on the region graph — the
+search greedily follows region edges that bring it geometrically closer to the
+destination region, using a direct edge whenever one exists — and then maps
+the region path back to a road-network path by stitching the region edges'
+concrete paths together (fastest-path connectors fill any gaps).
+
+Case 2: at least one endpoint is outside all regions.  A fastest path between
+the endpoints is computed; the first and last region-covered vertices on it
+select the source / destination regions, and the final answer is the fastest
+prefix + the Case-1 path + the fastest suffix.  When no or only one candidate
+region is touched, the fastest path itself is returned.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import NoPathError, RegionGraphError
+from ..network.road_network import RoadNetwork, VertexId
+from ..network.spatial import equirectangular_m
+from ..regions.region import RegionId
+from ..regions.region_graph import RegionEdge, RegionGraph
+from ..routing.dijkstra import fastest_path
+from ..routing.path import Path
+from ..routing.preference_dijkstra import preference_dijkstra
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..preferences.model import PreferenceVector
+
+
+@dataclass(frozen=True)
+class RouteDiagnostics:
+    """How a routing request was answered (used in evaluation breakdowns)."""
+
+    case: str
+    """``"in-region-same"``, ``"in-region"``, ``"in-out-region"``, ``"out-region"``,
+    or ``"fallback-fastest"``."""
+    region_hops: int = 0
+    used_b_edges: int = 0
+
+
+class RegionRouter:
+    """Answers (source, destination) requests using a fitted region graph."""
+
+    def __init__(self, region_graph: RegionGraph, max_region_hops: int = 64) -> None:
+        self._graph = region_graph
+        self._network = region_graph.network
+        self._max_region_hops = max_region_hops
+
+    # ------------------------------------------------------------------ #
+    def route(self, source: VertexId, destination: VertexId) -> Path:
+        """Recommend a path; see :meth:`route_with_diagnostics`."""
+        path, _ = self.route_with_diagnostics(source, destination)
+        return path
+
+    def route_with_diagnostics(
+        self, source: VertexId, destination: VertexId
+    ) -> tuple[Path, RouteDiagnostics]:
+        """Recommend a path and report which routing case applied."""
+        if source == destination:
+            return Path.of([source]), RouteDiagnostics(case="in-region-same")
+
+        region_s = self._graph.region_of(source)
+        region_d = self._graph.region_of(destination)
+
+        if region_s is not None and region_d is not None:
+            if region_s == region_d:
+                return self._route_same_region(source, destination, region_s)
+            return self._route_between_regions(source, destination, region_s, region_d)
+        return self._route_case2(source, destination, region_s, region_d)
+
+    # ------------------------------------------------------------------ #
+    # Case 1 — same region
+    # ------------------------------------------------------------------ #
+    def _route_same_region(
+        self, source: VertexId, destination: VertexId, region_id: RegionId
+    ) -> tuple[Path, RouteDiagnostics]:
+        best_path: Path | None = None
+        best_count = 0
+        for inner, count in self._graph.inner_paths(region_id):
+            vertices = inner.vertices
+            if source in vertices and destination in vertices:
+                si = vertices.index(source)
+                di = vertices.index(destination, si) if destination in vertices[si:] else -1
+                if di > si and count > best_count:
+                    best_path = Path(vertices=vertices[si : di + 1])
+                    best_count = count
+        if best_path is not None:
+            return best_path, RouteDiagnostics(case="in-region-same")
+        return (
+            self._connector(source, destination, self._region_preference(region_id)),
+            RouteDiagnostics(case="in-region-same"),
+        )
+
+    def _region_preference(self, region_id: RegionId) -> "PreferenceVector | None":
+        """The most common learned preference among the region's T-edges."""
+        preferences = [
+            edge.preference
+            for edge in self._graph.edges()
+            if edge.preference is not None and region_id in (edge.region_a, edge.region_b)
+        ]
+        if not preferences:
+            return None
+        return Counter(preferences).most_common(1)[0][0]
+
+    def _connector(
+        self, source: VertexId, destination: VertexId, preference: "PreferenceVector | None"
+    ) -> Path:
+        """A short connecting path, preference-aware when a preference is known."""
+        if source == destination:
+            return Path.of([source])
+        if preference is not None:
+            try:
+                return preference_dijkstra(self._network, source, destination, preference)
+            except NoPathError:
+                pass
+        return fastest_path(self._network, source, destination)
+
+    # ------------------------------------------------------------------ #
+    # Case 1 — different regions
+    # ------------------------------------------------------------------ #
+    def _route_between_regions(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        region_s: RegionId,
+        region_d: RegionId,
+        case_label: str = "in-region",
+    ) -> tuple[Path, RouteDiagnostics]:
+        region_path = self._find_region_path(region_s, region_d)
+        if region_path is None:
+            return (
+                fastest_path(self._network, source, destination),
+                RouteDiagnostics(case="fallback-fastest"),
+            )
+
+        # The region edges along the region path define the *corridor*: the
+        # road-network edges that local drivers actually used when traveling
+        # between these regions, plus the preference that explains them.
+        used_b = 0
+        corridor: dict[tuple[VertexId, VertexId], int] = {}
+        preferences: list["PreferenceVector"] = []
+
+        def add_corridor(hop: tuple[VertexId, VertexId], count: int) -> None:
+            corridor[hop] = corridor.get(hop, 0) + count
+            reverse = (hop[1], hop[0])
+            corridor[reverse] = corridor.get(reverse, 0) + count
+
+        for region_a, region_b in zip(region_path, region_path[1:]):
+            edge = self._edge_object(region_a, region_b)
+            if edge is None:
+                continue
+            if edge.is_b_edge:
+                used_b += 1
+            if edge.preference is not None:
+                preferences.append(edge.preference)
+            for vertices, count in edge.path_counts.items():
+                for hop in zip(vertices, vertices[1:]):
+                    add_corridor(hop, count)
+        # Inner-region paths of the endpoint regions belong to the corridor too.
+        for region_id in (region_s, region_d):
+            for inner, count in self._graph.inner_paths(region_id):
+                for hop in inner.edge_keys:
+                    add_corridor(hop, count)
+
+        preference = Counter(preferences).most_common(1)[0][0] if preferences else None
+        path = self._corridor_route(source, destination, corridor, preference)
+        return path, RouteDiagnostics(
+            case=case_label, region_hops=len(region_path) - 1, used_b_edges=used_b
+        )
+
+    def _corridor_route(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        corridor: dict[tuple[VertexId, VertexId], int],
+        preference: "PreferenceVector | None",
+    ) -> Path:
+        """Route ``source`` to ``destination`` hugging the trajectory corridor.
+
+        The master cost of the (learned or transferred) preference is used,
+        discounted on corridor edges — the more trajectories traversed an
+        edge, the stronger the discount — so the answer follows the roads
+        local drivers chose while still adapting to the query's exact
+        endpoints; edges violating the slave road-condition preference outside
+        the corridor are mildly penalized.
+        """
+        from ..routing.costs import CostFeature, cost_function
+        from ..routing.dijkstra import dijkstra
+
+        master = cost_function(preference.master) if preference is not None else cost_function(
+            CostFeature.TRAVEL_TIME
+        )
+        slave = preference.slave if preference is not None else None
+
+        def corridor_cost(edge) -> float:
+            cost = master(edge)
+            count = corridor.get(edge.key, 0)
+            if count > 0:
+                return cost / (1.0 + math.log1p(count))
+            if slave is not None and not slave.satisfied_by(edge.road_type):
+                return cost * 1.5
+            return cost
+
+        try:
+            return dijkstra(self._network, source, destination, corridor_cost)
+        except NoPathError:
+            return fastest_path(self._network, source, destination)
+
+    def _find_region_path(self, region_s: RegionId, region_d: RegionId) -> list[RegionId] | None:
+        """Greedy geometric walk on the region graph with a BFS fallback."""
+        greedy = self._greedy_region_walk(region_s, region_d)
+        if greedy is not None:
+            return greedy
+        return self._bfs_region_path(region_s, region_d)
+
+    def _greedy_region_walk(self, region_s: RegionId, region_d: RegionId) -> list[RegionId] | None:
+        goal = self._graph.region_centroid(region_d)
+        current = region_s
+        path = [current]
+        visited = {current}
+        for _ in range(self._max_region_hops):
+            if current == region_d:
+                return path
+            neighbors = self._graph.neighbors(current)
+            if region_d in neighbors:
+                path.append(region_d)
+                return path
+            candidates = [n for n in neighbors if n not in visited]
+            if not candidates:
+                return None
+            # Prefer the neighbour whose centroid is closest to the goal, and
+            # only move if it actually makes geometric progress.
+            def distance_to_goal(region: RegionId) -> float:
+                return equirectangular_m(self._graph.region_centroid(region), goal)
+
+            best = min(candidates, key=distance_to_goal)
+            if distance_to_goal(best) >= distance_to_goal(current) and len(path) > 1:
+                return None
+            path.append(best)
+            visited.add(best)
+            current = best
+        return None
+
+    def _bfs_region_path(self, region_s: RegionId, region_d: RegionId) -> list[RegionId] | None:
+        """Fewest-region-edge path (the paper prefers few region edges)."""
+        from collections import deque
+
+        parent: dict[RegionId, RegionId] = {}
+        seen = {region_s}
+        queue: deque[RegionId] = deque([region_s])
+        while queue:
+            current = queue.popleft()
+            if current == region_d:
+                path = [current]
+                while current != region_s:
+                    current = parent[current]
+                    path.append(current)
+                path.reverse()
+                return path
+            for neighbor in self._graph.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+        return None
+
+    def _edge_object(self, region_a: RegionId, region_b: RegionId) -> RegionEdge | None:
+        if self._graph.has_edge(region_a, region_b):
+            return self._graph.edge(region_a, region_b)
+        if self._graph.has_edge(region_b, region_a):
+            return self._graph.edge(region_b, region_a)
+        return None
+
+    def _edge_path(
+        self,
+        region_a: RegionId,
+        region_b: RegionId,
+        from_vertex: VertexId | None = None,
+        to_vertex: VertexId | None = None,
+    ) -> Path | None:
+        """A concrete road-network path for traversing region edge (a, b).
+
+        Among the paths associated with the region edge, the one whose
+        endpoints best fit the query (geometrically close to where the route
+        currently is and to where it is heading) is preferred; popularity
+        breaks ties.  Reverse-edge paths are used (reversed) when the forward
+        edge carries no paths.
+        """
+        candidates: list[tuple[Path, int]] = []
+        if self._graph.has_edge(region_a, region_b):
+            edge = self._graph.edge(region_a, region_b)
+            candidates = [(Path(vertices=v), c) for v, c in edge.path_counts.items()]
+        if not candidates and self._graph.has_edge(region_b, region_a):
+            reverse_edge = self._graph.edge(region_b, region_a)
+            for vertices, count in reverse_edge.path_counts.items():
+                candidate = Path(vertices=vertices).reversed()
+                if candidate.is_valid(self._network):
+                    candidates.append((candidate, count))
+        if not candidates:
+            return None
+        if from_vertex is None and to_vertex is None:
+            return max(candidates, key=lambda item: item[1])[0]
+
+        def detour_m(path: Path) -> float:
+            total = 0.0
+            if from_vertex is not None:
+                total += equirectangular_m(
+                    self._network.coordinates(from_vertex),
+                    self._network.coordinates(path.source),
+                )
+            if to_vertex is not None:
+                total += equirectangular_m(
+                    self._network.coordinates(path.destination),
+                    self._network.coordinates(to_vertex),
+                )
+            return total
+
+        return min(candidates, key=lambda item: (detour_m(item[0]), -item[1]))[0]
+
+    def _stitch(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        segments: list[tuple[Path, "PreferenceVector | None"]],
+    ) -> Path:
+        """Join region-edge segments with preference-aware connectors.
+
+        Gaps before a segment are bridged with the segment's edge preference
+        (learned or transferred); the final gap to the destination uses the
+        last segment's preference.  This keeps the attachment portions
+        consistent with the routing behaviour the region edges encode.
+        """
+        full: Path | None = None
+        cursor = source
+        last_preference: "PreferenceVector | None" = None
+        try:
+            for segment, preference in segments:
+                if cursor != segment.source:
+                    connector = self._connector(cursor, segment.source, preference)
+                    full = connector if full is None else full.splice(connector)
+                full = segment if full is None else full.splice(segment)
+                cursor = segment.destination
+                last_preference = preference
+            if cursor != destination:
+                connector = self._connector(cursor, destination, last_preference)
+                full = connector if full is None else full.splice(connector)
+        except NoPathError:
+            return fastest_path(self._network, source, destination)
+        if full is None:
+            return fastest_path(self._network, source, destination)
+        return _remove_cycles(full)
+
+    # ------------------------------------------------------------------ #
+    # Case 2 — endpoints outside regions
+    # ------------------------------------------------------------------ #
+    def _route_case2(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        region_s: RegionId | None,
+        region_d: RegionId | None,
+    ) -> tuple[Path, RouteDiagnostics]:
+        case_label = "out-region" if region_s is None and region_d is None else "in-out-region"
+        try:
+            baseline = fastest_path(self._network, source, destination)
+        except NoPathError:
+            raise
+        # Scan the fastest path for candidate regions.
+        first_idx, first_region = self._first_region_on(baseline.vertices)
+        last_idx, last_region = self._last_region_on(baseline.vertices)
+        if (
+            first_region is None
+            or last_region is None
+            or first_region == last_region
+            or first_idx >= last_idx
+        ):
+            return baseline, RouteDiagnostics(case=case_label)
+
+        anchor_s = baseline.vertices[first_idx]
+        anchor_d = baseline.vertices[last_idx]
+        prefix = Path(vertices=baseline.vertices[: first_idx + 1])
+        suffix = Path(vertices=baseline.vertices[last_idx:])
+        middle, diagnostics = self._route_between_regions(
+            anchor_s, anchor_d, first_region, last_region, case_label=case_label
+        )
+        try:
+            combined = prefix.splice(middle).splice(suffix)
+        except Exception:
+            return baseline, RouteDiagnostics(case=case_label)
+        return _remove_cycles(combined), RouteDiagnostics(
+            case=case_label,
+            region_hops=diagnostics.region_hops,
+            used_b_edges=diagnostics.used_b_edges,
+        )
+
+    def _first_region_on(self, vertices: tuple[VertexId, ...]) -> tuple[int, RegionId | None]:
+        for index, vertex in enumerate(vertices):
+            region = self._graph.region_of(vertex)
+            if region is not None:
+                return index, region
+        return -1, None
+
+    def _last_region_on(self, vertices: tuple[VertexId, ...]) -> tuple[int, RegionId | None]:
+        for index in range(len(vertices) - 1, -1, -1):
+            region = self._graph.region_of(vertices[index])
+            if region is not None:
+                return index, region
+        return -1, None
+
+
+def _remove_cycles(path: Path) -> Path:
+    """Remove loops (repeated vertices) that stitching may introduce."""
+    seen: dict[VertexId, int] = {}
+    vertices: list[VertexId] = []
+    for vertex in path.vertices:
+        if vertex in seen:
+            # Cut the loop: drop everything after the first occurrence.
+            cut = seen[vertex]
+            for removed in vertices[cut + 1 :]:
+                seen.pop(removed, None)
+            vertices = vertices[: cut + 1]
+        else:
+            seen[vertex] = len(vertices)
+            vertices.append(vertex)
+    if len(vertices) < 1:
+        return path
+    return Path.of(vertices)

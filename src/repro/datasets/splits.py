@@ -1,0 +1,68 @@
+"""Train / test splitting of trajectory sets.
+
+The paper uses a temporal split (first 18 months / 21 days for training, the
+rest for testing).  The synthetic generator stamps departure times within a
+day, so the library offers both a temporal split (by departure time) and a
+deterministic hash split (by trajectory id), the latter being the default for
+benchmarks because it balances the distance bands better on synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..trajectories.models import MatchedTrajectory
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A train / test partition of a trajectory set."""
+
+    train: list[MatchedTrajectory]
+    test: list[MatchedTrajectory]
+
+    @property
+    def train_fraction(self) -> float:
+        total = len(self.train) + len(self.test)
+        return len(self.train) / total if total else 0.0
+
+
+def split_by_time(
+    trajectories: Sequence[MatchedTrajectory], train_fraction: float = 0.75
+) -> TrainTestSplit:
+    """Temporal split: the earliest departures form the training set."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    ordered = sorted(trajectories, key=lambda t: t.departure_time)
+    cut = int(len(ordered) * train_fraction)
+    return TrainTestSplit(train=ordered[:cut], test=ordered[cut:])
+
+
+def split_by_id(
+    trajectories: Sequence[MatchedTrajectory], train_fraction: float = 0.75, modulus: int = 100
+) -> TrainTestSplit:
+    """Deterministic hash split on the trajectory id."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    threshold = int(train_fraction * modulus)
+    train: list[MatchedTrajectory] = []
+    test: list[MatchedTrajectory] = []
+    for trajectory in trajectories:
+        if (trajectory.trajectory_id * 2_654_435_761) % modulus < threshold:
+            train.append(trajectory)
+        else:
+            test.append(trajectory)
+    return TrainTestSplit(train=train, test=test)
+
+
+def k_fold_partitions(
+    items: Sequence, k: int = 5
+) -> list[list]:
+    """Deterministic round-robin partition into ``k`` folds (Fig. 9 setup)."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    folds: list[list] = [[] for _ in range(k)]
+    for index, item in enumerate(items):
+        folds[index % k].append(item)
+    return folds

@@ -1,0 +1,93 @@
+"""Canned evaluation scenarios (the D1-like and D2-like data sets).
+
+Each scenario bundles a synthetic road network, a generated trajectory set,
+and the distance bands the paper uses for that data set.  Scenario builders
+accept a ``scale`` in (0, 1] so tests can use tiny instances while benchmarks
+use the full default size; everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.generators import chengdu_like_network, denmark_like_network, grid_city_network
+from ..network.road_network import RoadNetwork
+from ..trajectories.generator import GeneratedData, GeneratorConfig, TrajectoryGenerator
+from ..trajectories.models import MatchedTrajectory
+from ..trajectories.statistics import D1_DISTANCE_BANDS_KM, D2_DISTANCE_BANDS_KM
+
+
+@dataclass
+class Scenario:
+    """A complete evaluation scenario."""
+
+    name: str
+    network: RoadNetwork
+    data: GeneratedData
+    bands_km: tuple[tuple[float, float], ...]
+
+    @property
+    def trajectories(self) -> list[MatchedTrajectory]:
+        return self.data.trajectories
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def d1_like_scenario(scale: float = 1.0, seed: int = 11) -> Scenario:
+    """Country-scale scenario mirroring D1 (Denmark, long trips, highways)."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    network = denmark_like_network(seed=seed)
+    config = GeneratorConfig(
+        n_drivers=_scaled(60, scale, 8),
+        n_trajectories=_scaled(900, scale, 60),
+        hotspot_count=8,
+        hotspot_probability=0.7,
+        hotspot_radius_m=2_500.0,
+        min_trip_distance_m=1_500.0,
+        long_trip_km=12.0,
+        short_trip_km=3.0,
+        seed=seed,
+    )
+    data = TrajectoryGenerator(network, config).generate()
+    return Scenario(name="D1-like", network=network, data=data, bands_km=D1_DISTANCE_BANDS_KM)
+
+
+def d2_like_scenario(scale: float = 1.0, seed: int = 7) -> Scenario:
+    """City-scale scenario mirroring D2 (Chengdu taxis, short trips)."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    network = chengdu_like_network(seed=seed)
+    config = GeneratorConfig(
+        n_drivers=_scaled(80, scale, 8),
+        n_trajectories=_scaled(1_200, scale, 60),
+        hotspot_count=10,
+        hotspot_probability=0.75,
+        hotspot_radius_m=1_200.0,
+        min_trip_distance_m=500.0,
+        long_trip_km=6.0,
+        short_trip_km=2.0,
+        seed=seed,
+    )
+    data = TrajectoryGenerator(network, config).generate()
+    return Scenario(name="D2-like", network=network, data=data, bands_km=D2_DISTANCE_BANDS_KM)
+
+
+def tiny_scenario(seed: int = 3, n_trajectories: int = 120) -> Scenario:
+    """A small scenario for unit tests and the quickstart example."""
+    network = grid_city_network(rows=10, cols=10, block_m=300.0, seed=seed, name="tiny")
+    config = GeneratorConfig(
+        n_drivers=12,
+        n_trajectories=n_trajectories,
+        hotspot_count=4,
+        hotspot_probability=0.8,
+        hotspot_radius_m=900.0,
+        min_trip_distance_m=400.0,
+        long_trip_km=2.5,
+        short_trip_km=1.0,
+        seed=seed,
+    )
+    data = TrajectoryGenerator(network, config).generate()
+    return Scenario(name="tiny", network=network, data=data, bands_km=D2_DISTANCE_BANDS_KM)

@@ -1,0 +1,22 @@
+"""Evaluation harness: metrics, categorization, replay, and reporting."""
+
+from .categories import RegionCategory, band_label, distance_category, region_category
+from .metrics import AggregateRow, QueryResult, accuracy_eq1, accuracy_eq4, aggregate
+from .harness import EvaluationHarness, EvaluationReport
+from .reporting import format_accuracy_table, format_series
+
+__all__ = [
+    "AggregateRow",
+    "EvaluationHarness",
+    "EvaluationReport",
+    "QueryResult",
+    "RegionCategory",
+    "accuracy_eq1",
+    "accuracy_eq4",
+    "aggregate",
+    "band_label",
+    "distance_category",
+    "format_accuracy_table",
+    "format_series",
+    "region_category",
+]

@@ -1,0 +1,54 @@
+"""Query categorization used by the paper's figures.
+
+Evaluation results are broken down two ways:
+
+* by the travel distance of the ground-truth path (the bands of Table II);
+* by whether the query's source / destination lie inside regions of the
+  learned region graph: *InRegion* (both inside), *InOutRegion* (exactly one
+  inside), *OutRegion* (neither inside).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from ..network.road_network import RoadNetwork
+from ..regions.region_graph import RegionGraph
+from ..trajectories.models import MatchedTrajectory
+from ..trajectories.statistics import band_index
+
+
+class RegionCategory(str, Enum):
+    """Region-membership category of a query."""
+
+    IN_REGION = "InRegion"
+    IN_OUT_REGION = "InOutRegion"
+    OUT_REGION = "OutRegion"
+
+
+def region_category(
+    region_graph: RegionGraph, source: int, destination: int
+) -> RegionCategory:
+    """Classify a query by region membership of its endpoints."""
+    source_in = region_graph.region_of(source) is not None
+    destination_in = region_graph.region_of(destination) is not None
+    if source_in and destination_in:
+        return RegionCategory.IN_REGION
+    if source_in or destination_in:
+        return RegionCategory.IN_OUT_REGION
+    return RegionCategory.OUT_REGION
+
+
+def distance_category(
+    network: RoadNetwork,
+    trajectory: MatchedTrajectory,
+    bands_km: Sequence[tuple[float, float]],
+) -> int | None:
+    """Index of the distance band of a ground-truth trajectory."""
+    return band_index(trajectory.distance_km(network), bands_km)
+
+
+def band_label(bands_km: Sequence[tuple[float, float]], index: int) -> str:
+    lo, hi = bands_km[index]
+    return f"({lo:g},{hi:g}]"

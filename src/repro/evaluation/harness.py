@@ -1,0 +1,145 @@
+"""The evaluation harness (Section VII).
+
+Given a fitted L2R pipeline, a set of baseline algorithms, and a testing
+trajectory set, the harness replays every test query (source, destination,
+departure time, driver id), measures each algorithm's answer against the
+ground-truth path with Eq. 1 and Eq. 4, records the per-query run time, and
+aggregates the results by distance band and by region category — the exact
+breakdowns of Figs. 10, 11, and 12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..baselines.base import RoutingAlgorithm
+from ..exceptions import ReproError
+from ..network.road_network import RoadNetwork
+from ..regions.region_graph import RegionGraph
+from ..trajectories.models import MatchedTrajectory
+from .categories import RegionCategory, band_label, distance_category, region_category
+from .metrics import AggregateRow, QueryResult, accuracy_eq1, accuracy_eq4, aggregate
+
+
+@dataclass
+class EvaluationReport:
+    """All per-query results plus the paper-style aggregations."""
+
+    results: list[QueryResult]
+    bands_km: tuple[tuple[float, float], ...]
+
+    def by_distance(self) -> list[AggregateRow]:
+        """Fig. 10/11/12 style aggregation per distance band."""
+        rows: list[AggregateRow] = []
+        for index in range(len(self.bands_km)):
+            members = [r for r in self.results if r.distance_band == index]
+            rows.extend(aggregate(members, band_label(self.bands_km, index)))
+        return rows
+
+    def by_region(self) -> list[AggregateRow]:
+        """Fig. 10/11/12 style aggregation per region category."""
+        rows: list[AggregateRow] = []
+        for category in RegionCategory:
+            members = [r for r in self.results if r.region_category == category]
+            rows.extend(aggregate(members, category.value))
+        return rows
+
+    def overall(self) -> list[AggregateRow]:
+        return aggregate(self.results, "overall")
+
+    def algorithms(self) -> list[str]:
+        return sorted({r.algorithm for r in self.results})
+
+    def mean_accuracy(self, algorithm: str, use_eq4: bool = False) -> float:
+        rows = [r for r in self.results if r.algorithm == algorithm and not r.failed]
+        if not rows:
+            return 0.0
+        values = [r.accuracy_eq4 if use_eq4 else r.accuracy_eq1 for r in rows]
+        return sum(values) / len(values)
+
+    def mean_runtime(self, algorithm: str) -> float:
+        rows = [r for r in self.results if r.algorithm == algorithm and not r.failed]
+        if not rows:
+            return 0.0
+        return sum(r.runtime_s for r in rows) / len(rows)
+
+
+@dataclass
+class EvaluationHarness:
+    """Runs the paper's accuracy / efficiency comparison."""
+
+    network: RoadNetwork
+    region_graph: RegionGraph
+    bands_km: tuple[tuple[float, float], ...]
+    algorithms: list[RoutingAlgorithm] = field(default_factory=list)
+
+    def add_algorithm(self, algorithm: RoutingAlgorithm) -> "EvaluationHarness":
+        self.algorithms.append(algorithm)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self,
+        test_trajectories: Sequence[MatchedTrajectory],
+        max_queries: int | None = None,
+    ) -> EvaluationReport:
+        """Replay test queries through every registered algorithm."""
+        results: list[QueryResult] = []
+        queries = list(test_trajectories)
+        if max_queries is not None:
+            queries = queries[:max_queries]
+
+        for trajectory in queries:
+            band = distance_category(self.network, trajectory, self.bands_km)
+            category = region_category(
+                self.region_graph, trajectory.source, trajectory.destination
+            )
+            ground_truth_km = trajectory.distance_km(self.network)
+            for algorithm in self.algorithms:
+                results.append(
+                    self._evaluate_one(algorithm, trajectory, band, category, ground_truth_km)
+                )
+        return EvaluationReport(results=results, bands_km=self.bands_km)
+
+    def _evaluate_one(
+        self,
+        algorithm: RoutingAlgorithm,
+        trajectory: MatchedTrajectory,
+        band: int | None,
+        category: RegionCategory,
+        ground_truth_km: float,
+    ) -> QueryResult:
+        started = time.perf_counter()
+        try:
+            constructed = algorithm.route(
+                trajectory.source,
+                trajectory.destination,
+                departure_time=trajectory.departure_time,
+                driver_id=trajectory.driver_id,
+            )
+            elapsed = time.perf_counter() - started
+            return QueryResult(
+                algorithm=algorithm.name,
+                trajectory_id=trajectory.trajectory_id,
+                distance_band=band,
+                region_category=category,
+                accuracy_eq1=accuracy_eq1(self.network, trajectory.path, constructed),
+                accuracy_eq4=accuracy_eq4(self.network, trajectory.path, constructed),
+                runtime_s=elapsed,
+                ground_truth_km=ground_truth_km,
+            )
+        except ReproError:
+            elapsed = time.perf_counter() - started
+            return QueryResult(
+                algorithm=algorithm.name,
+                trajectory_id=trajectory.trajectory_id,
+                distance_band=band,
+                region_category=category,
+                accuracy_eq1=0.0,
+                accuracy_eq4=0.0,
+                runtime_s=elapsed,
+                ground_truth_km=ground_truth_km,
+                failed=True,
+            )

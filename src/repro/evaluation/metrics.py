@@ -1,0 +1,79 @@
+"""Accuracy metrics and per-query measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Iterable, Sequence
+
+from ..network.road_network import RoadNetwork
+from ..preferences.similarity import path_similarity, path_similarity_union
+from ..routing.path import Path
+from .categories import RegionCategory
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One evaluated routing query."""
+
+    algorithm: str
+    trajectory_id: int
+    distance_band: int | None
+    region_category: RegionCategory
+    accuracy_eq1: float
+    accuracy_eq4: float
+    runtime_s: float
+    ground_truth_km: float
+    failed: bool = False
+
+
+def accuracy_eq1(network: RoadNetwork, ground_truth: Path, constructed: Path) -> float:
+    """Eq. 1 accuracy in percent (shared length over ground-truth length)."""
+    return 100.0 * path_similarity(network, ground_truth, constructed)
+
+
+def accuracy_eq4(network: RoadNetwork, ground_truth: Path, constructed: Path) -> float:
+    """Eq. 4 accuracy in percent (shared length over union length)."""
+    return 100.0 * path_similarity_union(network, ground_truth, constructed)
+
+
+def mean_or_zero(values: Sequence[float]) -> float:
+    return float(mean(values)) if values else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One aggregated cell of a results table (per algorithm per category)."""
+
+    algorithm: str
+    group: str
+    query_count: int
+    mean_accuracy_eq1: float
+    mean_accuracy_eq4: float
+    mean_runtime_s: float
+    failure_rate: float
+
+
+def aggregate(
+    results: Iterable[QueryResult],
+    group_label: str,
+) -> list[AggregateRow]:
+    """Aggregate a homogeneous group of query results per algorithm."""
+    by_algorithm: dict[str, list[QueryResult]] = {}
+    for result in results:
+        by_algorithm.setdefault(result.algorithm, []).append(result)
+    rows: list[AggregateRow] = []
+    for algorithm, items in sorted(by_algorithm.items()):
+        ok = [r for r in items if not r.failed]
+        rows.append(
+            AggregateRow(
+                algorithm=algorithm,
+                group=group_label,
+                query_count=len(items),
+                mean_accuracy_eq1=mean_or_zero([r.accuracy_eq1 for r in ok]),
+                mean_accuracy_eq4=mean_or_zero([r.accuracy_eq4 for r in ok]),
+                mean_runtime_s=mean_or_zero([r.runtime_s for r in ok]),
+                failure_rate=(len(items) - len(ok)) / len(items) if items else 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,59 @@
+"""Text rendering of evaluation results (the benchmark harness's output)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .metrics import AggregateRow
+
+
+def format_accuracy_table(
+    rows: Sequence[AggregateRow],
+    title: str,
+    use_eq4: bool = False,
+    value: str = "accuracy",
+) -> str:
+    """Render aggregated rows as a figure-style text table.
+
+    ``value`` selects what to print: ``"accuracy"`` (Figs. 10/11),
+    ``"runtime"`` (Fig. 12), or ``"count"``.
+    """
+    groups: list[str] = []
+    algorithms: list[str] = []
+    for row in rows:
+        if row.group not in groups:
+            groups.append(row.group)
+        if row.algorithm not in algorithms:
+            algorithms.append(row.algorithm)
+
+    lookup = {(row.algorithm, row.group): row for row in rows}
+
+    lines = [title]
+    header = f"{'Algorithm':<12}" + "".join(f"{group:>16}" for group in groups)
+    lines.append(header)
+    for algorithm in algorithms:
+        cells: list[str] = []
+        for group in groups:
+            row = lookup.get((algorithm, group))
+            if row is None or row.query_count == 0:
+                cells.append(f"{'-':>16}")
+                continue
+            if value == "runtime":
+                cells.append(f"{row.mean_runtime_s * 1000.0:>13.2f} ms")
+            elif value == "count":
+                cells.append(f"{row.query_count:>16d}")
+            else:
+                accuracy = row.mean_accuracy_eq4 if use_eq4 else row.mean_accuracy_eq1
+                cells.append(f"{accuracy:>14.1f} %")
+        lines.append(f"{algorithm:<12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(series: dict[str, Sequence[float]], x_labels: Sequence[str], title: str) -> str:
+    """Render named numeric series over shared x labels (parameter sweeps)."""
+    lines = [title]
+    lines.append(f"{'x':<12}" + "".join(f"{label:>14}" for label in x_labels))
+    for name, values in series.items():
+        cells = "".join(f"{value:>14.2f}" for value in values)
+        lines.append(f"{name:<12}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the L2R reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NetworkError(ReproError):
+    """Problems with a road network (missing vertices, malformed edges...)."""
+
+
+class VertexNotFoundError(NetworkError):
+    """A vertex id was referenced that does not exist in the road network."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex {vertex_id!r} is not part of the road network")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(NetworkError):
+    """An edge was referenced that does not exist in the road network."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not part of the road network")
+        self.source = source
+        self.target = target
+
+
+class NoPathError(ReproError):
+    """No path could be found between the requested source and destination."""
+
+    def __init__(self, source: object, destination: object, reason: str = "") -> None:
+        message = f"no path from {source!r} to {destination!r}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.source = source
+        self.destination = destination
+
+
+class TrajectoryError(ReproError):
+    """Problems with trajectory data (too few records, unmatched points...)."""
+
+
+class MapMatchingError(TrajectoryError):
+    """The map matcher could not align a trajectory with the road network."""
+
+
+class ClusteringError(ReproError):
+    """The region clustering could not be performed."""
+
+
+class RegionGraphError(ReproError):
+    """Problems while building or querying the region graph."""
+
+
+class PreferenceError(ReproError):
+    """Problems in preference learning, transfer, or application."""
+
+
+class TransferError(PreferenceError):
+    """The transduction-based preference transfer failed."""
+
+
+class EvaluationError(ReproError):
+    """Problems inside the evaluation harness."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NotFittedError(ReproError):
+    """A pipeline method requiring a fitted model was called before ``fit``."""
+
+    def __init__(self, what: str = "model") -> None:
+        super().__init__(
+            f"this {what} has not been fitted yet; call fit() with a road network "
+            "and a trajectory set before routing"
+        )

@@ -1,0 +1,63 @@
+"""Road-network substrate: graphs, road types, spatial tools, and generators."""
+
+from .road_network import Edge, NetworkStatistics, RoadNetwork, Vertex, VertexId
+from .road_types import ALL_ROAD_TYPES, DEFAULT_SPEED_KMH, RoadType
+from .spatial import (
+    BoundingBox,
+    LocalProjection,
+    LonLat,
+    centroid,
+    convex_hull,
+    equirectangular_m,
+    haversine_m,
+    match_waypoints_to_polyline,
+    max_diameter_km,
+    path_length_m,
+    point_segment_distance_m,
+    polygon_area_km2,
+    project_point_to_segment,
+)
+from .spatial_index import SpatialIndex
+from .generators import (
+    CitySpec,
+    chengdu_like_network,
+    country_network,
+    denmark_like_network,
+    grid_city_network,
+    small_demo_network,
+)
+from .io import load_json, load_osm_xml, save_json
+
+__all__ = [
+    "ALL_ROAD_TYPES",
+    "BoundingBox",
+    "CitySpec",
+    "DEFAULT_SPEED_KMH",
+    "Edge",
+    "LocalProjection",
+    "LonLat",
+    "NetworkStatistics",
+    "RoadNetwork",
+    "RoadType",
+    "SpatialIndex",
+    "Vertex",
+    "VertexId",
+    "centroid",
+    "chengdu_like_network",
+    "convex_hull",
+    "country_network",
+    "denmark_like_network",
+    "equirectangular_m",
+    "grid_city_network",
+    "haversine_m",
+    "load_json",
+    "load_osm_xml",
+    "match_waypoints_to_polyline",
+    "max_diameter_km",
+    "path_length_m",
+    "point_segment_distance_m",
+    "polygon_area_km2",
+    "project_point_to_segment",
+    "save_json",
+    "small_demo_network",
+]

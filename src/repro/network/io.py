@@ -1,0 +1,123 @@
+"""Road-network serialization.
+
+Two formats are supported:
+
+* a compact JSON format (vertices + edges with all four weight functions),
+  used for caching generated networks between benchmark runs;
+* a minimal OSM XML reader (:func:`load_osm_xml`) so that users with a real
+  OpenStreetMap extract can run the pipeline on actual data.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from .road_network import RoadNetwork
+from .road_types import RoadType
+
+_FORMAT_VERSION = 1
+
+
+def save_json(network: RoadNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": network.name,
+        "vertices": [
+            {"id": v.vertex_id, "lon": v.lon, "lat": v.lat} for v in network.vertices()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "distance_m": e.distance_m,
+                "travel_time_s": e.travel_time_s,
+                "fuel_ml": e.fuel_ml,
+                "road_type": int(e.road_type),
+                "speed_kmh": e.speed_kmh,
+            }
+            for e in network.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_json(path: str | Path) -> RoadNetwork:
+    """Read a network previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported road-network format version: {payload.get('format_version')}")
+    network = RoadNetwork(name=payload.get("name", "road-network"))
+    for vertex in payload["vertices"]:
+        network.add_vertex(int(vertex["id"]), float(vertex["lon"]), float(vertex["lat"]))
+    for edge in payload["edges"]:
+        network.add_edge(
+            int(edge["source"]),
+            int(edge["target"]),
+            road_type=RoadType(int(edge["road_type"])),
+            distance_m=float(edge["distance_m"]),
+            speed_kmh=float(edge["speed_kmh"]),
+            travel_time_s=float(edge["travel_time_s"]),
+            fuel_ml=float(edge["fuel_ml"]),
+        )
+    return network
+
+
+def load_osm_xml(path: str | Path, name: str | None = None) -> RoadNetwork:
+    """Load a road network from an OSM XML extract.
+
+    Only ``way`` elements carrying a ``highway`` tag that maps to one of the
+    six :class:`RoadType` classes are imported.  Ways are split into edges
+    between consecutive member nodes; ``oneway=yes`` is honoured, all other
+    ways become bidirectional edges.
+    """
+    path = Path(path)
+    tree = ET.parse(path)
+    root = tree.getroot()
+
+    node_coords: dict[int, tuple[float, float]] = {}
+    for node in root.iter("node"):
+        node_coords[int(node.attrib["id"])] = (
+            float(node.attrib["lon"]),
+            float(node.attrib["lat"]),
+        )
+
+    network = RoadNetwork(name=name or path.stem)
+    used_nodes: set[int] = set()
+    ways: list[tuple[list[int], RoadType, bool, float | None]] = []
+
+    for way in root.iter("way"):
+        tags = {t.attrib["k"]: t.attrib["v"] for t in way.findall("tag")}
+        highway = tags.get("highway")
+        if highway is None:
+            continue
+        road_type = RoadType.from_osm_tag(highway)
+        oneway = tags.get("oneway", "no").lower() in ("yes", "true", "1")
+        maxspeed: float | None = None
+        raw_speed = tags.get("maxspeed", "")
+        if raw_speed and raw_speed.split()[0].isdigit():
+            maxspeed = float(raw_speed.split()[0])
+        refs = [int(nd.attrib["ref"]) for nd in way.findall("nd") if int(nd.attrib["ref"]) in node_coords]
+        if len(refs) < 2:
+            continue
+        ways.append((refs, road_type, oneway, maxspeed))
+        used_nodes.update(refs)
+
+    for node_id in used_nodes:
+        lon, lat = node_coords[node_id]
+        network.add_vertex(node_id, lon, lat)
+
+    for refs, road_type, oneway, maxspeed in ways:
+        for i in range(len(refs) - 1):
+            if refs[i] == refs[i + 1]:
+                continue
+            network.add_edge(
+                refs[i],
+                refs[i + 1],
+                road_type=road_type,
+                speed_kmh=maxspeed,
+                bidirectional=not oneway,
+            )
+    return network

@@ -1,0 +1,339 @@
+"""The road-network graph ``G = (V, E, W)``.
+
+A :class:`RoadNetwork` is a directed graph whose vertices are road
+intersections with ``(lon, lat)`` coordinates and whose edges are road
+segments carrying the four weight functions of the paper:
+
+* ``wDI``  — distance in meters,
+* ``wTT``  — free-flow travel time in seconds,
+* ``wFC``  — fuel consumption in milliliters,
+* ``wRT``  — road type (:class:`~repro.network.road_types.RoadType`).
+
+The class is a thin, explicit wrapper around adjacency dictionaries rather
+than a :mod:`networkx` graph so that the hot routing loops touch plain dicts;
+conversion helpers to/from networkx are provided for analysis and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from ..exceptions import EdgeNotFoundError, NetworkError, VertexNotFoundError
+from .road_types import RoadType
+from .spatial import BoundingBox, LonLat, equirectangular_m
+
+VertexId = int
+"""Vertices are identified by integers."""
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A road intersection."""
+
+    vertex_id: VertexId
+    lon: float
+    lat: float
+
+    @property
+    def lonlat(self) -> LonLat:
+        return (self.lon, self.lat)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed road segment with the paper's four weight functions."""
+
+    source: VertexId
+    target: VertexId
+    distance_m: float
+    travel_time_s: float
+    fuel_ml: float
+    road_type: RoadType
+    speed_kmh: float
+
+    @property
+    def key(self) -> tuple[VertexId, VertexId]:
+        return (self.source, self.target)
+
+
+class RoadNetwork:
+    """A directed road-network graph with spatial vertices and weighted edges."""
+
+    def __init__(self, name: str = "road-network") -> None:
+        self.name = name
+        self._vertices: dict[VertexId, Vertex] = {}
+        self._edges: dict[tuple[VertexId, VertexId], Edge] = {}
+        self._adjacency: dict[VertexId, dict[VertexId, Edge]] = {}
+        self._reverse: dict[VertexId, dict[VertexId, Edge]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex_id: VertexId, lon: float, lat: float) -> Vertex:
+        """Add (or replace) a vertex and return it."""
+        vertex = Vertex(vertex_id=vertex_id, lon=float(lon), lat=float(lat))
+        self._vertices[vertex_id] = vertex
+        self._adjacency.setdefault(vertex_id, {})
+        self._reverse.setdefault(vertex_id, {})
+        return vertex
+
+    def add_edge(
+        self,
+        source: VertexId,
+        target: VertexId,
+        road_type: RoadType = RoadType.RESIDENTIAL,
+        distance_m: float | None = None,
+        speed_kmh: float | None = None,
+        travel_time_s: float | None = None,
+        fuel_ml: float | None = None,
+        bidirectional: bool = False,
+    ) -> Edge:
+        """Add a directed road segment.
+
+        Missing weights are derived: distance from vertex coordinates, speed
+        from the road-type default, travel time from distance and speed, and
+        fuel from the environmental model in :mod:`repro.routing.fuel`.
+        """
+        if source not in self._vertices:
+            raise VertexNotFoundError(source)
+        if target not in self._vertices:
+            raise VertexNotFoundError(target)
+        if source == target:
+            raise NetworkError(f"self-loop edges are not allowed (vertex {source})")
+
+        if distance_m is None:
+            distance_m = equirectangular_m(
+                self._vertices[source].lonlat, self._vertices[target].lonlat
+            )
+        if distance_m <= 0.0:
+            distance_m = 1.0
+        if speed_kmh is None:
+            speed_kmh = road_type.default_speed_kmh
+        if travel_time_s is None:
+            travel_time_s = distance_m / (speed_kmh / 3.6)
+        if fuel_ml is None:
+            from ..routing.fuel import fuel_consumption_ml
+
+            fuel_ml = fuel_consumption_ml(distance_m, speed_kmh)
+
+        edge = Edge(
+            source=source,
+            target=target,
+            distance_m=float(distance_m),
+            travel_time_s=float(travel_time_s),
+            fuel_ml=float(fuel_ml),
+            road_type=road_type,
+            speed_kmh=float(speed_kmh),
+        )
+        self._edges[(source, target)] = edge
+        self._adjacency[source][target] = edge
+        self._reverse[target][source] = edge
+
+        if bidirectional:
+            self.add_edge(
+                target,
+                source,
+                road_type=road_type,
+                distance_m=distance_m,
+                speed_kmh=speed_kmh,
+                travel_time_s=travel_time_s,
+                fuel_ml=fuel_ml,
+                bidirectional=False,
+            )
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, vertex_id: VertexId) -> bool:
+        return vertex_id in self._vertices
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._vertices.values())
+
+    def vertex_ids(self) -> Iterator[VertexId]:
+        return iter(self._vertices.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        return iter(self._edges.values())
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        try:
+            return self._vertices[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(vertex_id) from None
+
+    def has_edge(self, source: VertexId, target: VertexId) -> bool:
+        return (source, target) in self._edges
+
+    def edge(self, source: VertexId, target: VertexId) -> Edge:
+        try:
+            return self._edges[(source, target)]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def successors(self, vertex_id: VertexId) -> Mapping[VertexId, Edge]:
+        """Outgoing neighbours with the connecting edge."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return self._adjacency[vertex_id]
+
+    def predecessors(self, vertex_id: VertexId) -> Mapping[VertexId, Edge]:
+        """Incoming neighbours with the connecting edge."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        return self._reverse[vertex_id]
+
+    def neighbors(self, vertex_id: VertexId) -> set[VertexId]:
+        """Union of successors and predecessors (undirected neighbourhood)."""
+        return set(self.successors(vertex_id)) | set(self.predecessors(vertex_id))
+
+    def incident_edges(self, vertex_id: VertexId) -> list[Edge]:
+        """All edges incident (either direction) to the vertex."""
+        out_edges = list(self.successors(vertex_id).values())
+        in_edges = list(self.predecessors(vertex_id).values())
+        return out_edges + in_edges
+
+    def coordinates(self, vertex_id: VertexId) -> LonLat:
+        return self.vertex(vertex_id).lonlat
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of(v.lonlat for v in self._vertices.values())
+
+    # ------------------------------------------------------------------ #
+    # Weight functions (paper notation)
+    # ------------------------------------------------------------------ #
+    def w_di(self, source: VertexId, target: VertexId) -> float:
+        """Distance weight ``wDI`` in meters."""
+        return self.edge(source, target).distance_m
+
+    def w_tt(self, source: VertexId, target: VertexId) -> float:
+        """Travel-time weight ``wTT`` in seconds."""
+        return self.edge(source, target).travel_time_s
+
+    def w_fc(self, source: VertexId, target: VertexId) -> float:
+        """Fuel-consumption weight ``wFC`` in milliliters."""
+        return self.edge(source, target).fuel_ml
+
+    def w_rt(self, source: VertexId, target: VertexId) -> RoadType:
+        """Road-type weight ``wRT``."""
+        return self.edge(source, target).road_type
+
+    # ------------------------------------------------------------------ #
+    # Path helpers
+    # ------------------------------------------------------------------ #
+    def is_path(self, vertices: Iterable[VertexId]) -> bool:
+        """Check that consecutive vertices are connected by edges."""
+        seq = list(vertices)
+        if len(seq) < 2:
+            return all(v in self._vertices for v in seq)
+        return all(self.has_edge(seq[i], seq[i + 1]) for i in range(len(seq) - 1))
+
+    def path_edges(self, vertices: Iterable[VertexId]) -> list[Edge]:
+        """Edges along a vertex path; raises if any hop is missing."""
+        seq = list(vertices)
+        return [self.edge(seq[i], seq[i + 1]) for i in range(len(seq) - 1)]
+
+    def path_distance_m(self, vertices: Iterable[VertexId]) -> float:
+        return sum(e.distance_m for e in self.path_edges(vertices))
+
+    def path_travel_time_s(self, vertices: Iterable[VertexId]) -> float:
+        return sum(e.travel_time_s for e in self.path_edges(vertices))
+
+    def path_fuel_ml(self, vertices: Iterable[VertexId]) -> float:
+        return sum(e.fuel_ml for e in self.path_edges(vertices))
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.DiGraph:
+        """Export as a :class:`networkx.DiGraph` (for analysis and tests)."""
+        graph = nx.DiGraph(name=self.name)
+        for v in self._vertices.values():
+            graph.add_node(v.vertex_id, lon=v.lon, lat=v.lat)
+        for e in self._edges.values():
+            graph.add_edge(
+                e.source,
+                e.target,
+                distance_m=e.distance_m,
+                travel_time_s=e.travel_time_s,
+                fuel_ml=e.fuel_ml,
+                road_type=e.road_type,
+                speed_kmh=e.speed_kmh,
+            )
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.DiGraph, name: str | None = None) -> "RoadNetwork":
+        """Build a :class:`RoadNetwork` from a networkx graph.
+
+        Nodes must carry ``lon`` / ``lat`` attributes; edges may carry any of
+        the weight attributes used by :meth:`to_networkx`.
+        """
+        network = cls(name=name or str(graph.name or "road-network"))
+        for node, data in graph.nodes(data=True):
+            network.add_vertex(int(node), float(data["lon"]), float(data["lat"]))
+        for source, target, data in graph.edges(data=True):
+            road_type = data.get("road_type", RoadType.RESIDENTIAL)
+            if not isinstance(road_type, RoadType):
+                road_type = RoadType(int(road_type))
+            network.add_edge(
+                int(source),
+                int(target),
+                road_type=road_type,
+                distance_m=data.get("distance_m"),
+                speed_kmh=data.get("speed_kmh"),
+                travel_time_s=data.get("travel_time_s"),
+                fuel_ml=data.get("fuel_ml"),
+            )
+        return network
+
+    def undirected_view(self) -> nx.Graph:
+        """Undirected networkx view used by connectivity checks."""
+        return self.to_networkx().to_undirected()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoadNetwork(name={self.name!r}, vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )
+
+
+@dataclass
+class NetworkStatistics:
+    """Descriptive statistics of a road network (used in reports and docs)."""
+
+    vertex_count: int
+    edge_count: int
+    total_length_km: float
+    road_type_counts: dict[RoadType, int] = field(default_factory=dict)
+    bounding_box: BoundingBox | None = None
+
+    @classmethod
+    def of(cls, network: RoadNetwork) -> "NetworkStatistics":
+        counts: dict[RoadType, int] = {}
+        total_m = 0.0
+        for edge in network.edges():
+            counts[edge.road_type] = counts.get(edge.road_type, 0) + 1
+            total_m += edge.distance_m
+        box = network.bounding_box() if network.vertex_count else None
+        return cls(
+            vertex_count=network.vertex_count,
+            edge_count=network.edge_count,
+            total_length_km=total_m / 1000.0,
+            road_type_counts=counts,
+            bounding_box=box,
+        )

@@ -1,0 +1,182 @@
+"""Step 1: learning routing preferences for T-edges.
+
+For each T-edge's path set ``P_ij`` we search for the preference vector
+``V* = <master, slave>`` whose preference-constructed paths best match the
+ground-truth paths under Eq. 1.  Instead of enumerating the whole master x
+slave product, the paper's coordinate-descent-style procedure is used:
+
+1. for each ground-truth path, compute the lowest-cost path under each travel
+   cost feature (DI, TT, FC) and pick the feature whose paths are most similar
+   to the ground truth (the *master*);
+2. with the master fixed, try each road-condition feature (via the
+   preference-aware Dijkstra of Algorithm 2) and keep the one that improves
+   similarity the most; if none improves, the slave stays empty.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import NoPathError
+from ..network.road_network import RoadNetwork
+from ..routing.costs import CostFeature
+from ..routing.dijkstra import lowest_cost_path
+from ..routing.path import Path
+from ..routing.preference_dijkstra import preference_dijkstra
+from .features import FeatureCatalog, RoadConditionFeature
+from .model import PreferenceVector
+from .similarity import path_similarity
+
+
+@dataclass
+class LearnedPreference:
+    """The result of Step-1 learning for one T-edge."""
+
+    preference: PreferenceVector
+    similarity: float
+    """Mean Eq. 1 similarity of the constructed paths against the path set."""
+    per_path_preferences: list[PreferenceVector] = field(default_factory=list)
+    """The per-path best preferences (used for the Fig. 6a uniqueness curve)."""
+
+    @property
+    def unique_preference_count(self) -> int:
+        return len(set(self.per_path_preferences)) if self.per_path_preferences else 1
+
+
+class PreferenceLearner:
+    """Learns a representative routing preference from a set of paths."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        catalog: FeatureCatalog | None = None,
+        min_improvement: float = 1e-9,
+        max_paths_per_edge: int = 12,
+    ) -> None:
+        self._network = network
+        self._catalog = catalog or FeatureCatalog()
+        self._min_improvement = min_improvement
+        self._max_paths_per_edge = max_paths_per_edge
+
+    # ------------------------------------------------------------------ #
+    def learn(self, paths: Sequence[Path]) -> LearnedPreference:
+        """Learn the representative preference for a T-edge path set."""
+        usable = [p for p in paths if len(p) >= 2][: self._max_paths_per_edge]
+        if not usable:
+            # Degenerate path sets carry no information: default to fastest.
+            default = PreferenceVector(master=CostFeature.TRAVEL_TIME, slave=None)
+            return LearnedPreference(preference=default, similarity=0.0)
+
+        per_path: list[PreferenceVector] = [self._learn_single(path) for path in usable]
+
+        # The representative preference is the most common per-path preference
+        # (ties broken by re-scoring against the whole path set).
+        counted = Counter(per_path)
+        top_count = counted.most_common(1)[0][1]
+        candidates = [pref for pref, count in counted.items() if count == top_count]
+        best_pref = candidates[0]
+        best_score = -1.0
+        if len(candidates) > 1:
+            for pref in candidates:
+                score = self._score(pref, usable)
+                if score > best_score:
+                    best_score = score
+                    best_pref = pref
+        else:
+            best_score = self._score(best_pref, usable)
+        return LearnedPreference(
+            preference=best_pref,
+            similarity=best_score,
+            per_path_preferences=per_path,
+        )
+
+    def _learn_single(self, path: Path) -> PreferenceVector:
+        """Coordinate-descent learning of one ground-truth path's preference."""
+        source, destination = path.source, path.destination
+
+        # Master dimension: the cost feature with the most similar lowest-cost path.
+        best_master = self._catalog.cost_features[0]
+        best_similarity = -1.0
+        for feature in self._catalog.cost_features:
+            try:
+                candidate = lowest_cost_path(self._network, source, destination, feature)
+            except NoPathError:
+                continue
+            similarity = path_similarity(self._network, path, candidate)
+            if similarity > best_similarity:
+                best_similarity = similarity
+                best_master = feature
+
+        # The master feature alone already reproduces the path: no road
+        # condition feature can improve on a perfect match.
+        if best_similarity >= 1.0 - 1e-9:
+            return PreferenceVector(master=best_master, slave=None)
+
+        # Slave dimension: the road-condition feature with the largest
+        # improvement.  Only features whose road types actually occur on the
+        # ground-truth path can increase the shared length, so the others are
+        # skipped (a substantial saving on large catalogs).
+        ground_truth_types = {
+            self._network.w_rt(u, v) for u, v in path.edge_keys
+        }
+        best_slave: RoadConditionFeature | None = None
+        best_gain = self._min_improvement
+        for road_feature in self._catalog.road_condition_features:
+            if not (road_feature.road_types & ground_truth_types):
+                continue
+            preference = PreferenceVector(master=best_master, slave=road_feature)
+            try:
+                candidate = preference_dijkstra(self._network, source, destination, preference)
+            except NoPathError:
+                continue
+            similarity = path_similarity(self._network, path, candidate)
+            gain = similarity - best_similarity
+            if gain > best_gain:
+                best_gain = gain
+                best_slave = road_feature
+        return PreferenceVector(master=best_master, slave=best_slave)
+
+    def _score(
+        self, preference: PreferenceVector, paths: Sequence[Path], sample: int = 4
+    ) -> float:
+        """Mean Eq. 1 similarity of preference-constructed paths to ``paths``.
+
+        Only a small sample of paths is scored; the score is diagnostic (it is
+        reported, not optimized over), so the sample keeps Step 1 fast on
+        T-edges with many associated paths.
+        """
+        total = 0.0
+        count = 0
+        for path in paths[:sample]:
+            try:
+                constructed = preference_dijkstra(
+                    self._network, path.source, path.destination, preference
+                )
+            except NoPathError:
+                continue
+            total += path_similarity(self._network, path, constructed)
+            count += 1
+        return total / count if count else 0.0
+
+
+def learn_t_edge_preferences(
+    network: RoadNetwork,
+    region_graph,
+    catalog: FeatureCatalog | None = None,
+    max_paths_per_edge: int = 12,
+) -> dict[tuple[int, int], LearnedPreference]:
+    """Learn preferences for every T-edge of a region graph (Step 1).
+
+    The learned preference is stored on each edge (``edge.preference``) and
+    also returned keyed by the edge's ``(region_a, region_b)`` pair.
+    """
+    learner = PreferenceLearner(network, catalog=catalog, max_paths_per_edge=max_paths_per_edge)
+    results: dict[tuple[int, int], LearnedPreference] = {}
+    for edge in region_graph.t_edges():
+        learned = learner.learn(edge.paths())
+        edge.preference = learned.preference
+        edge.preference_transferred = False
+        results[edge.key] = learned
+    return results

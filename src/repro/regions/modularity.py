@@ -1,0 +1,63 @@
+"""Modularity gain for trajectory-graph clustering.
+
+The clustering of Section IV-A merges two (simple or aggregate) vertices when
+the modularity gain
+
+``dQ_ij = s_ij / S - (S_i * S_j) / S^2``
+
+is positive, where ``s_ij`` is the popularity of the edge between them,
+``S_i`` / ``S_j`` are the vertices' popularities, and ``S`` is the total edge
+popularity of the trajectory graph.  Non-adjacent vertices have zero gain and
+are never merged.
+"""
+
+from __future__ import annotations
+
+
+def modularity_gain(
+    edge_popularity: float,
+    popularity_i: float,
+    popularity_j: float,
+    total_popularity: float,
+) -> float:
+    """``dQ`` of merging two vertices connected by an edge.
+
+    Returns 0.0 when the vertices are not connected (``edge_popularity == 0``)
+    or when the graph carries no popularity at all.
+    """
+    if total_popularity <= 0 or edge_popularity <= 0:
+        return 0.0
+    return (edge_popularity / total_popularity) - (
+        popularity_i * popularity_j / (total_popularity * total_popularity)
+    )
+
+
+def modularity(
+    cluster_assignment: dict[int, int],
+    edge_popularities: dict[tuple[int, int], float],
+    total_popularity: float,
+) -> float:
+    """Global modularity ``Q`` of a clustering (used in tests and ablations).
+
+    ``Q = sum_c [ s_in(c)/S - (S_c / S)^2 ]`` with ``s_in(c)`` the popularity
+    of edges inside cluster ``c`` and ``S_c`` the popularity incident to it.
+    """
+    if total_popularity <= 0:
+        return 0.0
+    internal: dict[int, float] = {}
+    incident: dict[int, float] = {}
+    for (u, v), weight in edge_popularities.items():
+        cu = cluster_assignment.get(u)
+        cv = cluster_assignment.get(v)
+        if cu is None or cv is None:
+            continue
+        incident[cu] = incident.get(cu, 0.0) + weight
+        incident[cv] = incident.get(cv, 0.0) + weight
+        if cu == cv:
+            internal[cu] = internal.get(cu, 0.0) + weight
+    quality = 0.0
+    for cluster in incident:
+        s_in = internal.get(cluster, 0.0)
+        s_tot = incident[cluster]
+        quality += s_in / total_popularity - (s_tot / (2.0 * total_popularity)) ** 2
+    return quality

@@ -1,0 +1,129 @@
+"""A* search with great-circle lower-bound heuristics.
+
+A* is used where a goal-directed search pays off — notably in the external
+routing-service simulator and in the Case-2 attachment searches of the unified
+router.  The heuristics are admissible lower bounds for each travel-cost
+feature (straight-line distance; straight-line distance at the maximum speed
+for travel time; at the most economical fuel rate for fuel).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable
+
+from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.road_network import Edge, RoadNetwork, VertexId
+from ..network.road_types import DEFAULT_SPEED_KMH, RoadType
+from .costs import CostFeature, EdgeCost, cost_function
+from .fuel import fuel_per_km_ml, most_economical_speed_kmh
+from .path import Path
+from ..network.spatial import equirectangular_m
+
+Heuristic = Callable[[VertexId], float]
+
+
+def euclidean_heuristic(network: RoadNetwork, destination: VertexId) -> Heuristic:
+    """Straight-line distance (meters) to the destination."""
+    goal = network.coordinates(destination)
+
+    def h(vertex: VertexId) -> float:
+        return equirectangular_m(network.coordinates(vertex), goal)
+
+    return h
+
+
+def travel_time_heuristic(network: RoadNetwork, destination: VertexId) -> Heuristic:
+    """Straight-line time (seconds) at the network's maximum speed."""
+    goal = network.coordinates(destination)
+    max_speed_ms = DEFAULT_SPEED_KMH[RoadType.MOTORWAY] / 3.6
+
+    def h(vertex: VertexId) -> float:
+        return equirectangular_m(network.coordinates(vertex), goal) / max_speed_ms
+
+    return h
+
+
+def fuel_heuristic(network: RoadNetwork, destination: VertexId) -> Heuristic:
+    """Straight-line fuel (ml) at the most economical speed."""
+    goal = network.coordinates(destination)
+    best_rate_per_m = fuel_per_km_ml(most_economical_speed_kmh()) / 1000.0
+
+    def h(vertex: VertexId) -> float:
+        return equirectangular_m(network.coordinates(vertex), goal) * best_rate_per_m
+
+    return h
+
+
+def heuristic_for(network: RoadNetwork, destination: VertexId, feature: CostFeature) -> Heuristic:
+    """An admissible heuristic for the given travel-cost feature."""
+    if feature is CostFeature.DISTANCE:
+        return euclidean_heuristic(network, destination)
+    if feature is CostFeature.TRAVEL_TIME:
+        return travel_time_heuristic(network, destination)
+    return fuel_heuristic(network, destination)
+
+
+def astar(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    edge_cost: EdgeCost,
+    heuristic: Heuristic,
+    edge_filter: Callable[[Edge], bool] | None = None,
+) -> Path:
+    """A* lowest-cost path; raises :class:`NoPathError` if unreachable."""
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    if source == destination:
+        return Path.of([source])
+
+    g_score: dict[VertexId, float] = {source: 0.0}
+    parent: dict[VertexId, VertexId] = {}
+    closed: set[VertexId] = set()
+    heap: list[tuple[float, VertexId]] = [(heuristic(source), source)]
+
+    while heap:
+        _, u = heapq.heappop(heap)
+        if u in closed:
+            continue
+        closed.add(u)
+        if u == destination:
+            vertices = [destination]
+            current = destination
+            while current != source:
+                current = parent[current]
+                vertices.append(current)
+            vertices.reverse()
+            return Path.of(vertices)
+        for v, edge in network.successors(u).items():
+            if v in closed:
+                continue
+            if edge_filter is not None and not edge_filter(edge):
+                continue
+            tentative = g_score[u] + edge_cost(edge)
+            if tentative < g_score.get(v, math.inf):
+                g_score[v] = tentative
+                parent[v] = u
+                heapq.heappush(heap, (tentative + heuristic(v), v))
+
+    raise NoPathError(source, destination)
+
+
+def astar_by_feature(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    feature: CostFeature = CostFeature.TRAVEL_TIME,
+) -> Path:
+    """A* using a built-in cost feature and its matching heuristic."""
+    return astar(
+        network,
+        source,
+        destination,
+        cost_function(feature),
+        heuristic_for(network, destination, feature),
+    )

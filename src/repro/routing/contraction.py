@@ -1,0 +1,290 @@
+"""Contraction hierarchies (CH).
+
+The paper mentions contraction hierarchies [16] as the standard query-time
+speed-up for cost-centric routing and notes that such speed-ups are orthogonal
+to accuracy.  We provide a compact CH implementation so that the efficiency
+benchmarks can compare plain Dijkstra, bidirectional Dijkstra, and CH queries,
+and so the library is usable as a general routing substrate.
+
+The implementation follows the classical recipe: nodes are contracted in order
+of a lazy edge-difference priority; shortcuts preserve shortest-path distances
+between higher-ranked neighbours; queries run a bidirectional upward search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.road_network import RoadNetwork, VertexId
+from .costs import CostFeature, EdgeCost, cost_function
+from .path import Path
+
+
+@dataclass
+class _Shortcut:
+    """A CH arc: either an original edge or a shortcut bridging ``via``."""
+
+    target: VertexId
+    weight: float
+    via: VertexId | None = None
+
+
+@dataclass
+class ContractionHierarchy:
+    """A contracted search structure for one edge-cost function."""
+
+    order: dict[VertexId, int]
+    upward: dict[VertexId, list[_Shortcut]]
+    downward: dict[VertexId, list[_Shortcut]]
+    middle: dict[tuple[VertexId, VertexId], VertexId] = field(default_factory=dict)
+
+    def query_cost(self, source: VertexId, destination: VertexId) -> float:
+        """Shortest-path cost between two vertices (``inf`` if unreachable)."""
+        if source == destination:
+            return 0.0
+        dist_f = self._upward_search(source, self.upward)
+        dist_b = self._upward_search(destination, self.downward)
+        best = math.inf
+        smaller, larger = (dist_f, dist_b) if len(dist_f) <= len(dist_b) else (dist_b, dist_f)
+        for vertex, cost in smaller.items():
+            other = larger.get(vertex)
+            if other is not None and cost + other < best:
+                best = cost + other
+        return best
+
+    def query(self, source: VertexId, destination: VertexId) -> Path:
+        """Shortest path between two vertices with shortcuts unpacked."""
+        if source == destination:
+            return Path.of([source])
+        dist_f, parent_f = self._upward_search_with_parents(source, self.upward)
+        dist_b, parent_b = self._upward_search_with_parents(destination, self.downward)
+        best = math.inf
+        meeting: VertexId | None = None
+        for vertex, cost in dist_f.items():
+            other = dist_b.get(vertex)
+            if other is not None and cost + other < best:
+                best = cost + other
+                meeting = vertex
+        if meeting is None:
+            raise NoPathError(source, destination)
+
+        forward = self._walk(parent_f, source, meeting)
+        backward = self._walk(parent_b, destination, meeting)
+        backward.reverse()
+        contracted_path = forward + backward[1:]
+        return Path.of(self._unpack(contracted_path))
+
+    # ------------------------------------------------------------------ #
+    def _upward_search(self, start: VertexId, arcs: dict[VertexId, list[_Shortcut]]) -> dict[VertexId, float]:
+        dist: dict[VertexId, float] = {start: 0.0}
+        settled: set[VertexId] = set()
+        heap: list[tuple[float, VertexId]] = [(0.0, start)]
+        while heap:
+            cost_u, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            for arc in arcs.get(u, ()):  # only upward arcs exist in the maps
+                candidate = cost_u + arc.weight
+                if candidate < dist.get(arc.target, math.inf):
+                    dist[arc.target] = candidate
+                    heapq.heappush(heap, (candidate, arc.target))
+        return dist
+
+    def _upward_search_with_parents(
+        self, start: VertexId, arcs: dict[VertexId, list[_Shortcut]]
+    ) -> tuple[dict[VertexId, float], dict[VertexId, VertexId]]:
+        dist: dict[VertexId, float] = {start: 0.0}
+        parent: dict[VertexId, VertexId] = {}
+        settled: set[VertexId] = set()
+        heap: list[tuple[float, VertexId]] = [(0.0, start)]
+        while heap:
+            cost_u, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            for arc in arcs.get(u, ()):
+                candidate = cost_u + arc.weight
+                if candidate < dist.get(arc.target, math.inf):
+                    dist[arc.target] = candidate
+                    parent[arc.target] = u
+                    heapq.heappush(heap, (candidate, arc.target))
+        return dist, parent
+
+    @staticmethod
+    def _walk(parent: dict[VertexId, VertexId], start: VertexId, end: VertexId) -> list[VertexId]:
+        vertices = [end]
+        current = end
+        while current != start:
+            current = parent[current]
+            vertices.append(current)
+        vertices.reverse()
+        return vertices
+
+    def _unpack(self, contracted_path: list[VertexId]) -> list[VertexId]:
+        """Recursively expand shortcuts back into original vertices."""
+        result: list[VertexId] = [contracted_path[0]]
+        for i in range(len(contracted_path) - 1):
+            result.extend(self._unpack_arc(contracted_path[i], contracted_path[i + 1]))
+        return result
+
+    def _unpack_arc(self, u: VertexId, v: VertexId) -> list[VertexId]:
+        via = self.middle.get((u, v))
+        if via is None:
+            return [v]
+        return self._unpack_arc(u, via) + self._unpack_arc(via, v)
+
+
+def build_contraction_hierarchy(
+    network: RoadNetwork,
+    feature: CostFeature = CostFeature.TRAVEL_TIME,
+    edge_cost: EdgeCost | None = None,
+    hop_limit: int = 16,
+) -> ContractionHierarchy:
+    """Preprocess ``network`` into a :class:`ContractionHierarchy`.
+
+    ``hop_limit`` bounds the witness searches during contraction; smaller
+    values make preprocessing faster at the price of a few extra shortcuts.
+    """
+    cost_fn = edge_cost or cost_function(feature)
+
+    # Working graph: adjacency of weights (min weight per vertex pair).
+    forward: dict[VertexId, dict[VertexId, float]] = {v: {} for v in network.vertex_ids()}
+    backward: dict[VertexId, dict[VertexId, float]] = {v: {} for v in network.vertex_ids()}
+    middle: dict[tuple[VertexId, VertexId], VertexId] = {}
+    for edge in network.edges():
+        weight = cost_fn(edge)
+        if weight < forward[edge.source].get(edge.target, math.inf):
+            forward[edge.source][edge.target] = weight
+            backward[edge.target][edge.source] = weight
+
+    def witness_cost(start: VertexId, end: VertexId, exclude: VertexId, limit: float) -> float:
+        """Cost of the best path start->end avoiding ``exclude`` (bounded)."""
+        dist: dict[VertexId, float] = {start: 0.0}
+        heap: list[tuple[float, VertexId, int]] = [(0.0, start, 0)]
+        settled: set[VertexId] = set()
+        while heap:
+            cost_u, u, hops = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u == end:
+                return cost_u
+            if cost_u > limit or hops >= hop_limit:
+                continue
+            for v, weight in forward[u].items():
+                if v == exclude or v in settled:
+                    continue
+                candidate = cost_u + weight
+                if candidate < dist.get(v, math.inf):
+                    dist[v] = candidate
+                    heapq.heappush(heap, (candidate, v, hops + 1))
+        return math.inf
+
+    def edge_difference(vertex: VertexId) -> int:
+        in_neighbors = list(backward[vertex].items())
+        out_neighbors = list(forward[vertex].items())
+        shortcuts = 0
+        for u, w_in in in_neighbors:
+            for w, w_out in out_neighbors:
+                if u == w:
+                    continue
+                through = w_in + w_out
+                if witness_cost(u, w, vertex, through) > through:
+                    shortcuts += 1
+        return shortcuts - (len(in_neighbors) + len(out_neighbors))
+
+    heap: list[tuple[int, VertexId]] = [(edge_difference(v), v) for v in network.vertex_ids()]
+    heapq.heapify(heap)
+
+    order: dict[VertexId, int] = {}
+    rank = 0
+    contracted: set[VertexId] = set()
+
+    while heap:
+        priority, vertex = heapq.heappop(heap)
+        if vertex in contracted:
+            continue
+        # Lazy update: recompute and re-insert if the priority became stale.
+        current = edge_difference(vertex)
+        if heap and current > heap[0][0]:
+            heapq.heappush(heap, (current, vertex))
+            continue
+
+        order[vertex] = rank
+        rank += 1
+        contracted.add(vertex)
+
+        in_neighbors = [(u, w) for u, w in backward[vertex].items() if u not in contracted]
+        out_neighbors = [(w, c) for w, c in forward[vertex].items() if w not in contracted]
+        for u, w_in in in_neighbors:
+            for w, w_out in out_neighbors:
+                if u == w:
+                    continue
+                through = w_in + w_out
+                if witness_cost(u, w, vertex, through) > through:
+                    if through < forward[u].get(w, math.inf):
+                        forward[u][w] = through
+                        backward[w][u] = through
+                        middle[(u, w)] = vertex
+        # Remove the contracted vertex from the working graph.
+        for u, _ in in_neighbors:
+            forward[u].pop(vertex, None)
+        for w, _ in out_neighbors:
+            backward[w].pop(vertex, None)
+        forward[vertex] = {}
+        backward[vertex] = {}
+
+    # Rebuild full arc sets (originals + shortcuts) partitioned by rank.
+    upward: dict[VertexId, list[_Shortcut]] = {v: [] for v in network.vertex_ids()}
+    downward: dict[VertexId, list[_Shortcut]] = {v: [] for v in network.vertex_ids()}
+
+    all_arcs: dict[tuple[VertexId, VertexId], float] = {}
+    for edge in network.edges():
+        key = (edge.source, edge.target)
+        weight = cost_fn(edge)
+        if weight < all_arcs.get(key, math.inf):
+            all_arcs[key] = weight
+    for (u, w), via in middle.items():
+        # Recompute shortcut weights from the final arc set lazily below; the
+        # stored "through" weights may have been improved, so recompute from
+        # the middle vertex expansion at query time is avoided by storing the
+        # weight at insertion.  We therefore track them in a second pass.
+        pass
+    # Shortcut weights: reconstruct by summing the two halves recursively.
+    def arc_weight(u: VertexId, w: VertexId) -> float:
+        via = middle.get((u, w))
+        if via is None:
+            return all_arcs[(u, w)]
+        return arc_weight(u, via) + arc_weight(via, w)
+
+    shortcut_arcs = {key: arc_weight(*key) for key in middle}
+    combined = dict(all_arcs)
+    for key, weight in shortcut_arcs.items():
+        if weight < combined.get(key, math.inf):
+            combined[key] = weight
+
+    for (u, w), weight in combined.items():
+        if order[u] < order[w]:
+            upward[u].append(_Shortcut(target=w, weight=weight, via=middle.get((u, w))))
+        else:
+            downward[w].append(_Shortcut(target=u, weight=weight, via=middle.get((u, w))))
+
+    return ContractionHierarchy(order=order, upward=upward, downward=downward, middle=middle)
+
+
+def ch_shortest_path(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    hierarchy: ContractionHierarchy,
+) -> Path:
+    """Query a prebuilt hierarchy for the path from ``source`` to ``destination``."""
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    return hierarchy.query(source, destination)

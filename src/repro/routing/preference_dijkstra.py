@@ -1,0 +1,95 @@
+"""Algorithm 2: preference-aware modified Dijkstra.
+
+Given a routing-preference vector ``<master, slave>`` — a travel-cost feature
+and an optional road-condition feature — the algorithm behaves like Dijkstra
+on the master cost, but when expanding a vertex it restricts relaxation to
+edges whose road type satisfies the slave preference *whenever at least one
+such edge exists*; otherwise all outgoing edges are considered.  This soft
+treatment of the slave constraint is exactly the two cases in the paper's
+pseudo-code and guarantees that a path is found whenever one exists at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING
+
+from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.road_network import Edge, RoadNetwork, VertexId
+from .costs import cost_function
+from .path import Path
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a routing <-> preferences cycle
+    from ..preferences.model import PreferenceVector
+
+
+def preference_dijkstra(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    preference: "PreferenceVector",
+) -> Path:
+    """Lowest-master-cost path that honours the slave road-condition feature.
+
+    Implements Algorithm 2 of the paper.  The slave restriction can, on rare
+    topologies, prune the only edges leading to the destination; in that case
+    the search is retried with the master cost alone so that a path is always
+    returned whenever one exists.  Raises :class:`NoPathError` only when the
+    destination is unreachable even without the slave restriction.
+    """
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    if source == destination:
+        return Path.of([source])
+
+    master_cost = cost_function(preference.master)
+    slave = preference.slave
+
+    def satisfies_slave(edge: Edge) -> bool:
+        return slave is None or slave.satisfied_by(edge.road_type)
+
+    dist: dict[VertexId, float] = {source: 0.0}
+    parent: dict[VertexId, VertexId] = {}
+    settled: set[VertexId] = set()
+    heap: list[tuple[float, VertexId]] = [(0.0, source)]
+
+    while heap:
+        cost_u, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == destination:
+            vertices: list[VertexId] = [destination]
+            current = destination
+            while current != source:
+                current = parent[current]
+                vertices.append(current)
+            vertices.reverse()
+            return Path.of(vertices)
+
+        successors = network.successors(u)
+        # Case (i): at least one outgoing edge satisfies the slave preference
+        # -> expand only those edges.  Case (ii): none does -> expand all.
+        none_satisfies = not any(satisfies_slave(edge) for edge in successors.values())
+        for v, edge in successors.items():
+            if v in settled:
+                continue
+            if not (satisfies_slave(edge) or none_satisfies):
+                continue
+            candidate = cost_u + master_cost(edge)
+            if candidate < dist.get(v, math.inf):
+                dist[v] = candidate
+                parent[v] = u
+                heapq.heappush(heap, (candidate, v))
+
+    if slave is not None:
+        # The road-condition restriction pruned every route; fall back to the
+        # unconstrained master-cost search (Algorithm 2 is best-effort on the
+        # slave dimension).
+        from .dijkstra import dijkstra
+
+        return dijkstra(network, source, destination, master_cost)
+    raise NoPathError(source, destination, reason="preference-constrained search exhausted")

@@ -1,0 +1,57 @@
+"""Trajectory substrate: GPS models, simulation, map matching, statistics."""
+
+from .models import GPSRecord, MatchedTrajectory, Trajectory, TrajectorySet, validate_against_network
+from .sampling import SamplingSpec, high_frequency_sampler, low_frequency_sampler, sample_path
+from .map_matching import HMMMapMatcher, MatchingConfig
+from .generator import (
+    DriverProfile,
+    GeneratedData,
+    GeneratorConfig,
+    TrajectoryGenerator,
+    emit_and_match,
+)
+from .statistics import (
+    D1_DISTANCE_BANDS_KM,
+    D2_DISTANCE_BANDS_KM,
+    DistanceBandStatistics,
+    band_index,
+    distance_band_statistics,
+    format_distance_table,
+)
+from .io import (
+    load_matched_jsonl,
+    load_raw_csv,
+    save_matched_jsonl,
+    save_raw_csv,
+    split_by_driver,
+)
+
+__all__ = [
+    "D1_DISTANCE_BANDS_KM",
+    "D2_DISTANCE_BANDS_KM",
+    "DistanceBandStatistics",
+    "DriverProfile",
+    "GPSRecord",
+    "GeneratedData",
+    "GeneratorConfig",
+    "HMMMapMatcher",
+    "MatchedTrajectory",
+    "MatchingConfig",
+    "SamplingSpec",
+    "Trajectory",
+    "TrajectoryGenerator",
+    "TrajectorySet",
+    "band_index",
+    "distance_band_statistics",
+    "emit_and_match",
+    "format_distance_table",
+    "high_frequency_sampler",
+    "load_matched_jsonl",
+    "load_raw_csv",
+    "low_frequency_sampler",
+    "sample_path",
+    "save_matched_jsonl",
+    "save_raw_csv",
+    "split_by_driver",
+    "validate_against_network",
+]

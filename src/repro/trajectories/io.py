@@ -1,0 +1,121 @@
+"""Trajectory (de)serialization.
+
+Raw GPS trajectories use a CSV format with one record per line (the layout
+commonly used for published taxi data sets); matched trajectories use a JSON
+Lines format carrying the vertex path, which is compact and stream-friendly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import defaultdict
+from pathlib import Path as FilePath
+from typing import Iterable, Sequence
+
+from ..routing.path import Path
+from .models import GPSRecord, MatchedTrajectory, Trajectory
+
+_CSV_HEADER = ["trajectory_id", "driver_id", "timestamp", "lon", "lat", "speed_kmh", "occupied"]
+
+
+def save_raw_csv(trajectories: Iterable[Trajectory], path: str | FilePath) -> None:
+    """Write raw GPS trajectories to a CSV file (one record per row)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for trajectory in trajectories:
+            for record in trajectory.records:
+                writer.writerow(
+                    [
+                        trajectory.trajectory_id,
+                        trajectory.driver_id,
+                        f"{record.timestamp:.3f}",
+                        f"{record.lon:.7f}",
+                        f"{record.lat:.7f}",
+                        "" if record.speed_kmh is None else f"{record.speed_kmh:.2f}",
+                        int(trajectory.occupied),
+                    ]
+                )
+
+
+def load_raw_csv(path: str | FilePath) -> list[Trajectory]:
+    """Read raw GPS trajectories previously written by :func:`save_raw_csv`."""
+    grouped: dict[int, list[tuple[float, GPSRecord]]] = defaultdict(list)
+    meta: dict[int, tuple[int, bool]] = {}
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            trajectory_id = int(row["trajectory_id"])
+            speed = row.get("speed_kmh") or ""
+            record = GPSRecord(
+                lon=float(row["lon"]),
+                lat=float(row["lat"]),
+                timestamp=float(row["timestamp"]),
+                speed_kmh=float(speed) if speed else None,
+            )
+            grouped[trajectory_id].append((record.timestamp, record))
+            meta[trajectory_id] = (int(row["driver_id"]), bool(int(row.get("occupied", 1))))
+
+    trajectories: list[Trajectory] = []
+    for trajectory_id, items in sorted(grouped.items()):
+        items.sort(key=lambda pair: pair[0])
+        driver_id, occupied = meta[trajectory_id]
+        trajectories.append(
+            Trajectory(
+                trajectory_id=trajectory_id,
+                driver_id=driver_id,
+                records=tuple(record for _, record in items),
+                occupied=occupied,
+            )
+        )
+    return trajectories
+
+
+def save_matched_jsonl(trajectories: Iterable[MatchedTrajectory], path: str | FilePath) -> None:
+    """Write matched trajectories as JSON Lines (one trajectory per line)."""
+    with open(path, "w") as handle:
+        for trajectory in trajectories:
+            handle.write(
+                json.dumps(
+                    {
+                        "trajectory_id": trajectory.trajectory_id,
+                        "driver_id": trajectory.driver_id,
+                        "vertices": list(trajectory.path.vertices),
+                        "departure_time": trajectory.departure_time,
+                        "duration_s": trajectory.duration_s,
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def load_matched_jsonl(path: str | FilePath) -> list[MatchedTrajectory]:
+    """Read matched trajectories previously written by :func:`save_matched_jsonl`."""
+    trajectories: list[MatchedTrajectory] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            trajectories.append(
+                MatchedTrajectory(
+                    trajectory_id=int(payload["trajectory_id"]),
+                    driver_id=int(payload["driver_id"]),
+                    path=Path.of([int(v) for v in payload["vertices"]]),
+                    departure_time=float(payload["departure_time"]),
+                    duration_s=float(payload["duration_s"]),
+                )
+            )
+    return trajectories
+
+
+def split_by_driver(
+    trajectories: Sequence[MatchedTrajectory],
+) -> dict[int, list[MatchedTrajectory]]:
+    """Group matched trajectories by driver id (used by Dom / TRIP baselines)."""
+    grouped: dict[int, list[MatchedTrajectory]] = defaultdict(list)
+    for trajectory in trajectories:
+        grouped[trajectory.driver_id].append(trajectory)
+    return dict(grouped)

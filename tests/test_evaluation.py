@@ -1,0 +1,153 @@
+"""Tests for the evaluation harness, metrics, categorization, and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FastestBaseline, L2RAlgorithm, ShortestBaseline
+from repro.evaluation import (
+    EvaluationHarness,
+    RegionCategory,
+    accuracy_eq1,
+    accuracy_eq4,
+    aggregate,
+    band_label,
+    format_accuracy_table,
+    format_series,
+    region_category,
+)
+from repro.evaluation.metrics import QueryResult
+from repro.routing import Path
+
+
+class TestMetrics:
+    def test_accuracy_bounds(self, tiny, tiny_split):
+        trajectory = tiny_split.test[0]
+        same = accuracy_eq1(tiny.network, trajectory.path, trajectory.path)
+        assert same == pytest.approx(100.0)
+        assert accuracy_eq4(tiny.network, trajectory.path, trajectory.path) == pytest.approx(100.0)
+
+    def test_accuracy_partial(self, line_network):
+        ground = Path.of([0, 1, 2, 3, 4])
+        constructed = Path.of([0, 1, 2])
+        assert accuracy_eq1(line_network, ground, constructed) == pytest.approx(50.0)
+        assert accuracy_eq4(line_network, ground, constructed) == pytest.approx(50.0)
+
+    def test_aggregate_groups_by_algorithm(self):
+        results = [
+            QueryResult("A", 1, 0, RegionCategory.IN_REGION, 80.0, 70.0, 0.01, 2.0),
+            QueryResult("A", 2, 0, RegionCategory.IN_REGION, 60.0, 50.0, 0.03, 3.0),
+            QueryResult("B", 1, 0, RegionCategory.IN_REGION, 40.0, 30.0, 0.02, 2.0),
+        ]
+        rows = aggregate(results, "g")
+        by_name = {row.algorithm: row for row in rows}
+        assert by_name["A"].mean_accuracy_eq1 == pytest.approx(70.0)
+        assert by_name["A"].query_count == 2
+        assert by_name["B"].mean_accuracy_eq4 == pytest.approx(30.0)
+
+    def test_aggregate_failure_rate(self):
+        results = [
+            QueryResult("A", 1, 0, RegionCategory.IN_REGION, 80.0, 70.0, 0.01, 2.0),
+            QueryResult("A", 2, 0, RegionCategory.IN_REGION, 0.0, 0.0, 0.01, 2.0, failed=True),
+        ]
+        rows = aggregate(results, "g")
+        assert rows[0].failure_rate == pytest.approx(0.5)
+        # Failed queries do not drag down the accuracy mean.
+        assert rows[0].mean_accuracy_eq1 == pytest.approx(80.0)
+
+
+class TestCategories:
+    def test_region_category_classification(self, fitted_l2r, tiny):
+        region_graph = fitted_l2r.region_graph
+        covered = [v for v in tiny.network.vertex_ids() if region_graph.region_of(v) is not None]
+        uncovered = [v for v in tiny.network.vertex_ids() if region_graph.region_of(v) is None]
+        assert region_category(region_graph, covered[0], covered[1]) is RegionCategory.IN_REGION
+        if uncovered:
+            assert (
+                region_category(region_graph, covered[0], uncovered[0])
+                is RegionCategory.IN_OUT_REGION
+            )
+            if len(uncovered) > 1:
+                assert (
+                    region_category(region_graph, uncovered[0], uncovered[1])
+                    is RegionCategory.OUT_REGION
+                )
+
+    def test_band_label(self):
+        assert band_label(((0.0, 2.0), (2.0, 5.0)), 1) == "(2,5]"
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def report(self, tiny, tiny_split, fitted_l2r):
+        harness = EvaluationHarness(
+            network=tiny.network,
+            region_graph=fitted_l2r.region_graph,
+            bands_km=tiny.bands_km,
+        )
+        harness.add_algorithm(L2RAlgorithm(fitted_l2r))
+        harness.add_algorithm(ShortestBaseline(tiny.network))
+        harness.add_algorithm(FastestBaseline(tiny.network))
+        return harness.evaluate(tiny_split.test, max_queries=25)
+
+    def test_all_algorithms_evaluated(self, report):
+        assert set(report.algorithms()) == {"L2R", "Shortest", "Fastest"}
+
+    def test_result_count(self, report):
+        assert len(report.results) == 3 * min(25, len(report.results) // 3)
+
+    def test_accuracies_in_percent_range(self, report):
+        for result in report.results:
+            assert 0.0 <= result.accuracy_eq1 <= 100.0
+            assert 0.0 <= result.accuracy_eq4 <= 100.0
+            assert result.accuracy_eq4 <= result.accuracy_eq1 + 1e-9
+
+    def test_by_distance_covers_bands_with_data(self, report):
+        rows = report.by_distance()
+        assert rows
+        assert all(row.query_count >= 0 for row in rows)
+
+    def test_by_region_covers_categories(self, report):
+        rows = report.by_region()
+        groups = {row.group for row in rows}
+        assert groups <= {c.value for c in RegionCategory}
+
+    def test_mean_accuracy_and_runtime_accessors(self, report):
+        for algorithm in report.algorithms():
+            assert 0.0 <= report.mean_accuracy(algorithm) <= 100.0
+            assert report.mean_runtime(algorithm) >= 0.0
+
+    def test_l2r_at_least_as_good_as_shortest(self, report):
+        assert report.mean_accuracy("L2R") >= report.mean_accuracy("Shortest") * 0.9
+
+    def test_runtimes_positive(self, report):
+        assert all(result.runtime_s >= 0.0 for result in report.results)
+
+
+class TestReporting:
+    def test_format_accuracy_table(self):
+        results = [
+            QueryResult("L2R", 1, 0, RegionCategory.IN_REGION, 90.0, 85.0, 0.01, 2.0),
+            QueryResult("Shortest", 1, 0, RegionCategory.IN_REGION, 60.0, 55.0, 0.02, 2.0),
+        ]
+        rows = aggregate(results, "(0,2]")
+        text = format_accuracy_table(rows, title="Fig 10", value="accuracy")
+        assert "Fig 10" in text
+        assert "L2R" in text and "Shortest" in text
+        assert "%" in text
+
+    def test_format_runtime_table(self):
+        results = [QueryResult("L2R", 1, 0, RegionCategory.IN_REGION, 90.0, 85.0, 0.5, 2.0)]
+        text = format_accuracy_table(aggregate(results, "g"), title="Fig 12", value="runtime")
+        assert "ms" in text
+
+    def test_format_table_empty_cell(self):
+        rows = aggregate([QueryResult("A", 1, 0, RegionCategory.IN_REGION, 1.0, 1.0, 0.1, 2.0)], "g1")
+        rows += aggregate([QueryResult("B", 1, 0, RegionCategory.IN_REGION, 1.0, 1.0, 0.1, 2.0)], "g2")
+        text = format_accuracy_table(rows, title="T")
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series({"Accuracy": [80.0, 85.0], "N-Rate": [5.0, 2.0]}, ["x", "2x"], "Fig 9a")
+        assert "Fig 9a" in text
+        assert "Accuracy" in text and "N-Rate" in text

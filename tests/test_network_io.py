@@ -1,0 +1,93 @@
+"""Tests for road-network serialization (JSON) and the OSM XML loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import RoadType, load_json, load_osm_xml, save_json
+
+OSM_SAMPLE = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6">
+  <node id="1" lat="56.000" lon="10.000"/>
+  <node id="2" lat="56.001" lon="10.001"/>
+  <node id="3" lat="56.002" lon="10.002"/>
+  <node id="4" lat="56.003" lon="10.003"/>
+  <node id="5" lat="56.010" lon="10.010"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="maxspeed" v="60"/>
+  </way>
+  <way id="101">
+    <nd ref="3"/><nd ref="4"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="102">
+    <nd ref="4"/><nd ref="5"/>
+    <tag k="building" v="yes"/>
+  </way>
+  <way id="103">
+    <nd ref="2"/><nd ref="4"/>
+    <tag k="highway" v="motorway_link"/>
+  </way>
+</osm>
+"""
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, tmp_path, grid_network):
+        target = tmp_path / "network.json"
+        save_json(grid_network, target)
+        loaded = load_json(target)
+        assert loaded.vertex_count == grid_network.vertex_count
+        assert loaded.edge_count == grid_network.edge_count
+        for edge in list(grid_network.edges())[:20]:
+            other = loaded.edge(edge.source, edge.target)
+            assert other.distance_m == pytest.approx(edge.distance_m)
+            assert other.road_type is edge.road_type
+            assert other.travel_time_s == pytest.approx(edge.travel_time_s)
+
+    def test_version_check(self, tmp_path, grid_network):
+        target = tmp_path / "network.json"
+        save_json(grid_network, target)
+        content = target.read_text().replace('"format_version": 1', '"format_version": 99')
+        target.write_text(content)
+        with pytest.raises(ValueError):
+            load_json(target)
+
+
+class TestOsmLoader:
+    @pytest.fixture()
+    def osm_file(self, tmp_path):
+        path = tmp_path / "sample.osm"
+        path.write_text(OSM_SAMPLE)
+        return path
+
+    def test_loads_highway_ways_only(self, osm_file):
+        network = load_osm_xml(osm_file)
+        # Node 5 is only referenced by the building way and must be excluded.
+        assert 5 not in network
+        assert network.vertex_count == 4
+
+    def test_bidirectional_by_default(self, osm_file):
+        network = load_osm_xml(osm_file)
+        assert network.has_edge(1, 2) and network.has_edge(2, 1)
+
+    def test_oneway_respected(self, osm_file):
+        network = load_osm_xml(osm_file)
+        assert network.has_edge(3, 4)
+        assert not network.has_edge(4, 3)
+
+    def test_maxspeed_applied(self, osm_file):
+        network = load_osm_xml(osm_file)
+        assert network.edge(1, 2).speed_kmh == pytest.approx(60.0)
+
+    def test_link_tag_maps_to_parent_class(self, osm_file):
+        network = load_osm_xml(osm_file)
+        assert network.edge(2, 4).road_type is RoadType.MOTORWAY
+
+    def test_road_types(self, osm_file):
+        network = load_osm_xml(osm_file)
+        assert network.edge(1, 2).road_type is RoadType.PRIMARY
+        assert network.edge(3, 4).road_type is RoadType.RESIDENTIAL

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network import RoadNetwork, RoadType, convex_hull, equirectangular_m, haversine_m, polygon_area_km2
+from repro.network.spatial import project_point_to_segment
+from repro.preferences import FeatureCatalog, PreferenceVector, jaccard
+from repro.preferences.similarity import path_similarity, path_similarity_union
+from repro.regions.modularity import modularity_gain
+from repro.routing import CostFeature, Path, fuel_consumption_ml
+from repro.routing.costs import ALL_COST_FEATURES
+from repro.preferences.features import default_road_condition_features
+from repro.trajectories.statistics import D1_DISTANCE_BANDS_KM, D2_DISTANCE_BANDS_KM, band_index
+
+# Coordinates around a mid-latitude city, small enough to stay planar.
+lons = st.floats(min_value=9.0, max_value=11.0, allow_nan=False, allow_infinity=False)
+lats = st.floats(min_value=55.0, max_value=57.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(lons, lats)
+
+
+class TestSpatialProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a), rel=1e-9)
+        assert equirectangular_m(a, b) == pytest.approx(equirectangular_m(b, a), rel=1e-9)
+
+    @given(points, points)
+    def test_distance_non_negative_and_identity(self, a, b):
+        assert haversine_m(a, b) >= 0.0
+        assert haversine_m(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        ab = haversine_m(a, b)
+        bc = haversine_m(b, c)
+        ac = haversine_m(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @given(st.lists(points, min_size=1, max_size=25))
+    def test_convex_hull_subset_and_area_non_negative(self, pts):
+        hull = convex_hull(pts)
+        assert set(hull) <= set(pts)
+        assert polygon_area_km2(hull) >= 0.0
+
+    @given(points, points, points)
+    def test_point_segment_projection_fraction_bounds(self, p, a, b):
+        distance, fraction = project_point_to_segment(p, a, b)
+        assert distance >= 0.0
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestCostProperties:
+    @given(st.floats(min_value=1.0, max_value=100_000.0), st.floats(min_value=5.0, max_value=130.0))
+    def test_fuel_positive_and_monotone_in_distance(self, distance, speed):
+        assert fuel_consumption_ml(distance, speed) > 0.0
+        assert fuel_consumption_ml(distance * 2, speed) == pytest.approx(
+            2 * fuel_consumption_ml(distance, speed), rel=1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=1_000.0),
+        st.floats(min_value=0.0, max_value=10_000.0),
+        st.floats(min_value=0.0, max_value=10_000.0),
+        st.floats(min_value=1.0, max_value=100_000.0),
+    )
+    def test_modularity_gain_bounded(self, edge_pop, pop_i, pop_j, total):
+        gain = modularity_gain(edge_pop, pop_i, pop_j, total)
+        # The gain never exceeds the edge's share of the total popularity and
+        # is exactly zero for non-adjacent vertices.
+        assert gain <= edge_pop / total + 1e-12
+        if edge_pop == 0.0:
+            assert gain == 0.0
+
+
+class TestSimilarityProperties:
+    @given(st.lists(st.sets(st.integers(0, 20)), min_size=2, max_size=2))
+    def test_jaccard_bounds_and_symmetry(self, sets):
+        a, b = sets
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaccard(b, a))
+
+    @given(data=st.data())
+    @settings(suppress_health_check=[HealthCheck.function_scoped_fixture, HealthCheck.too_slow], deadline=None, max_examples=30)
+    def test_path_similarity_bounds_on_random_grid_paths(self, grid_network, data):
+        vertices = list(grid_network.vertex_ids())
+        start = data.draw(st.sampled_from(vertices))
+        # Random walks of bounded length along outgoing edges.
+        def walk(seed_vertex):
+            path = [seed_vertex]
+            for _ in range(data.draw(st.integers(1, 8))):
+                successors = list(grid_network.successors(path[-1]))
+                if not successors:
+                    break
+                path.append(data.draw(st.sampled_from(successors)))
+            return Path.of(path)
+
+        p1, p2 = walk(start), walk(start)
+        eq1 = path_similarity(grid_network, p1, p2)
+        eq4 = path_similarity_union(grid_network, p1, p2)
+        assert 0.0 <= eq4 <= eq1 <= 1.0
+        assert path_similarity(grid_network, p1, p1) == pytest.approx(1.0)
+
+
+class TestPreferenceEncodingProperties:
+    @given(data=st.data())
+    def test_to_row_from_row_round_trip(self, data):
+        catalog = FeatureCatalog()
+        master = data.draw(st.sampled_from(list(ALL_COST_FEATURES)))
+        slave = data.draw(st.one_of(st.none(), st.sampled_from(default_road_condition_features())))
+        vector = PreferenceVector(master=master, slave=slave)
+        decoded = PreferenceVector.from_row(vector.to_row(catalog), catalog)
+        assert decoded == vector
+
+    @given(data=st.data())
+    def test_similarity_bounds_and_symmetry(self, data):
+        features = default_road_condition_features()
+        def vector():
+            return PreferenceVector(
+                master=data.draw(st.sampled_from(list(ALL_COST_FEATURES))),
+                slave=data.draw(st.one_of(st.none(), st.sampled_from(features))),
+            )
+        a, b = vector(), vector()
+        assert 0.0 <= a.similarity(b) <= 1.0
+        assert a.similarity(b) == pytest.approx(b.similarity(a))
+        assert a.similarity(a) == pytest.approx(1.0)
+
+
+class TestStatisticsProperties:
+    @given(st.floats(min_value=0.0, max_value=600.0, allow_nan=False))
+    def test_band_index_consistent(self, distance_km):
+        for bands in (D1_DISTANCE_BANDS_KM, D2_DISTANCE_BANDS_KM):
+            index = band_index(distance_km, bands)
+            if index is not None:
+                lo, hi = bands[index]
+                assert lo <= distance_km <= hi or (distance_km == 0.0 and index == 0)
+
+
+class TestPathProperties:
+    @given(st.lists(st.integers(0, 1_000), min_size=1, max_size=30))
+    def test_path_roundtrip_and_edges(self, vertices):
+        path = Path.of(vertices)
+        assert list(path) == vertices
+        assert len(path.edge_keys) == len(vertices) - 1
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=10), st.lists(st.integers(0, 100), min_size=2, max_size=10))
+    def test_splice_length(self, a, b):
+        first = Path.of(a)
+        second = Path.of([a[-1]] + b)
+        combined = first.splice(second)
+        assert len(combined) == len(first) + len(second) - 1
+        assert combined.source == first.source
+        assert combined.destination == second.destination
+
+
+class TestRoadNetworkProperties:
+    @given(st.integers(2, 12), st.integers(0, 2**30))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_grid_edges_have_positive_weights(self, size, seed):
+        from repro.network import grid_city_network
+
+        network = grid_city_network(rows=size, cols=size, seed=seed)
+        assert network.vertex_count == size * size
+        for edge in network.edges():
+            assert edge.distance_m > 0
+            assert edge.travel_time_s > 0
+            assert edge.fuel_ml > 0
+            assert isinstance(edge.road_type, RoadType)

@@ -1,0 +1,176 @@
+"""Tests for the RoadNetwork graph, road types, and network statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NetworkError, VertexNotFoundError
+from repro.network import NetworkStatistics, RoadNetwork, RoadType
+
+
+@pytest.fixture()
+def small_network() -> RoadNetwork:
+    network = RoadNetwork(name="small")
+    network.add_vertex(1, 10.00, 56.00)
+    network.add_vertex(2, 10.01, 56.00)
+    network.add_vertex(3, 10.01, 56.01)
+    network.add_edge(1, 2, road_type=RoadType.PRIMARY, bidirectional=True)
+    network.add_edge(2, 3, road_type=RoadType.RESIDENTIAL)
+    return network
+
+
+class TestRoadType:
+    def test_from_osm_tag_known(self):
+        assert RoadType.from_osm_tag("motorway") is RoadType.MOTORWAY
+        assert RoadType.from_osm_tag("residential") is RoadType.RESIDENTIAL
+
+    def test_from_osm_tag_link_variant(self):
+        assert RoadType.from_osm_tag("motorway_link") is RoadType.MOTORWAY
+
+    def test_from_osm_tag_unknown_falls_back_to_residential(self):
+        assert RoadType.from_osm_tag("bridleway") is RoadType.RESIDENTIAL
+
+    def test_is_major(self):
+        assert RoadType.MOTORWAY.is_major
+        assert RoadType.PRIMARY.is_major
+        assert not RoadType.RESIDENTIAL.is_major
+
+    def test_speed_decreases_with_importance(self):
+        speeds = [rt.default_speed_kmh for rt in RoadType]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_osm_tag_round_trip(self):
+        for road_type in RoadType:
+            assert RoadType.from_osm_tag(road_type.osm_tag) is road_type
+
+
+class TestConstruction:
+    def test_counts(self, small_network):
+        assert small_network.vertex_count == 3
+        assert small_network.edge_count == 3  # one bidirectional pair + one oneway
+
+    def test_add_edge_with_unknown_vertex_raises(self, small_network):
+        with pytest.raises(VertexNotFoundError):
+            small_network.add_edge(1, 99)
+
+    def test_self_loop_rejected(self, small_network):
+        with pytest.raises(NetworkError):
+            small_network.add_edge(1, 1)
+
+    def test_derived_distance_positive(self, small_network):
+        assert small_network.w_di(1, 2) > 0
+
+    def test_travel_time_consistent_with_speed(self, small_network):
+        edge = small_network.edge(1, 2)
+        expected = edge.distance_m / (edge.speed_kmh / 3.6)
+        assert edge.travel_time_s == pytest.approx(expected)
+
+    def test_fuel_positive(self, small_network):
+        assert small_network.w_fc(1, 2) > 0
+
+    def test_bidirectional_creates_reverse_edge(self, small_network):
+        assert small_network.has_edge(2, 1)
+        assert not small_network.has_edge(3, 2)
+
+    def test_contains(self, small_network):
+        assert 1 in small_network
+        assert 99 not in small_network
+
+
+class TestQueries:
+    def test_edge_lookup_missing_raises(self, small_network):
+        with pytest.raises(EdgeNotFoundError):
+            small_network.edge(3, 1)
+
+    def test_vertex_lookup_missing_raises(self, small_network):
+        with pytest.raises(VertexNotFoundError):
+            small_network.vertex(99)
+
+    def test_successors_and_predecessors(self, small_network):
+        assert set(small_network.successors(2)) == {1, 3}
+        assert set(small_network.predecessors(3)) == {2}
+
+    def test_neighbors_union(self, small_network):
+        assert small_network.neighbors(3) == {2}
+        assert small_network.neighbors(2) == {1, 3}
+
+    def test_incident_edges(self, small_network):
+        incident = small_network.incident_edges(2)
+        assert len(incident) == 3
+
+    def test_road_type_weight(self, small_network):
+        assert small_network.w_rt(1, 2) is RoadType.PRIMARY
+        assert small_network.w_rt(2, 3) is RoadType.RESIDENTIAL
+
+    def test_bounding_box_covers_vertices(self, small_network):
+        box = small_network.bounding_box()
+        for vertex in small_network.vertices():
+            assert box.contains(vertex.lonlat)
+
+
+class TestPathHelpers:
+    def test_is_path(self, small_network):
+        assert small_network.is_path([1, 2, 3])
+        assert not small_network.is_path([1, 3])
+
+    def test_path_costs_are_sums(self, small_network):
+        distance = small_network.path_distance_m([1, 2, 3])
+        assert distance == pytest.approx(small_network.w_di(1, 2) + small_network.w_di(2, 3))
+        time = small_network.path_travel_time_s([1, 2, 3])
+        assert time == pytest.approx(small_network.w_tt(1, 2) + small_network.w_tt(2, 3))
+
+    def test_path_edges_missing_hop_raises(self, small_network):
+        with pytest.raises(EdgeNotFoundError):
+            small_network.path_edges([1, 3])
+
+
+class TestConversions:
+    def test_networkx_round_trip(self, small_network):
+        graph = small_network.to_networkx()
+        rebuilt = RoadNetwork.from_networkx(graph, name="rebuilt")
+        assert rebuilt.vertex_count == small_network.vertex_count
+        assert rebuilt.edge_count == small_network.edge_count
+        assert rebuilt.w_rt(1, 2) is RoadType.PRIMARY
+        assert rebuilt.w_di(1, 2) == pytest.approx(small_network.w_di(1, 2))
+
+    def test_statistics(self, small_network):
+        stats = NetworkStatistics.of(small_network)
+        assert stats.vertex_count == 3
+        assert stats.edge_count == 3
+        assert stats.total_length_km > 0
+        assert stats.road_type_counts[RoadType.PRIMARY] == 2
+
+
+class TestGeneratedNetworks:
+    def test_demo_network_shape(self, demo_network):
+        assert demo_network.vertex_count == 36
+        assert demo_network.edge_count > 100  # bidirectional grid edges
+
+    def test_grid_network_has_multiple_road_types(self, grid_network):
+        types = {edge.road_type for edge in grid_network.edges()}
+        assert RoadType.RESIDENTIAL in types
+        assert any(t.is_major for t in types)
+
+    def test_grid_network_strongly_connected_enough(self, grid_network):
+        # Every vertex must have at least one outgoing and one incoming edge.
+        for vertex in grid_network.vertex_ids():
+            assert grid_network.successors(vertex)
+            assert grid_network.predecessors(vertex)
+
+    def test_generator_is_deterministic(self):
+        from repro.network import grid_city_network
+
+        a = grid_city_network(rows=5, cols=5, seed=13)
+        b = grid_city_network(rows=5, cols=5, seed=13)
+        assert a.vertex_count == b.vertex_count
+        coords_a = [v.lonlat for v in a.vertices()]
+        coords_b = [v.lonlat for v in b.vertices()]
+        assert coords_a == coords_b
+
+    def test_country_network_contains_motorway_corridor(self):
+        from repro.network import denmark_like_network
+
+        network = denmark_like_network(seed=2)
+        motorway_edges = [e for e in network.edges() if e.road_type is RoadType.MOTORWAY]
+        assert motorway_edges
+        assert network.vertex_count > 200
