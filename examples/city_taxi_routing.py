@@ -13,7 +13,7 @@ Table II / Table IV data statistics.
 
 from __future__ import annotations
 
-from repro.baselines import FastestBaseline, L2RAlgorithm, ShortestBaseline, TripBaseline
+from repro.baselines import FastestBaseline, ShortestBaseline, TripBaseline
 from repro.core import LearnToRoute
 from repro.datasets import d2_like_scenario
 from repro.datasets.splits import split_by_id
@@ -38,13 +38,15 @@ def main() -> None:
     print()
     print(format_region_size_table(rows, title="Region sizes (Table IV style)"))
 
+    # Every compared method goes through the same RoutingEngine request path
+    # the RoutingService serves in production.
     harness = EvaluationHarness(
         network=network, region_graph=pipeline.region_graph, bands_km=scenario.bands_km
     )
-    harness.add_algorithm(L2RAlgorithm(pipeline))
-    harness.add_algorithm(ShortestBaseline(network))
-    harness.add_algorithm(FastestBaseline(network))
-    harness.add_algorithm(TripBaseline(network, split.train))
+    harness.add_engine(pipeline.as_engine())
+    harness.add_engine(ShortestBaseline(network).as_engine())
+    harness.add_engine(FastestBaseline(network).as_engine())
+    harness.add_engine(TripBaseline(network, split.train).as_engine())
     report = harness.evaluate(split.test, max_queries=50)
 
     print()

@@ -1,4 +1,4 @@
-"""Quickstart: fit learn-to-route on a small synthetic city and route with it.
+"""Quickstart: fit learn-to-route once, then serve requests with RoutingService.
 
 Run with::
 
@@ -6,13 +6,19 @@ Run with::
 
 The script builds a small synthetic road network with simulated taxi
 trajectories, fits the L2R pipeline (region graph + preference learning +
-transfer), answers a few routing requests, and compares the answers against
-the paths the simulated local drivers actually took.
+transfer), registers the fitted model and two baselines with a
+:class:`~repro.service.RoutingService`, answers a batch of routing requests
+through the unified request/response API, and finally saves / reloads the
+fitted model to show that a serving process can start without re-running the
+offline pipeline.
 """
 
 from __future__ import annotations
 
-from repro import LearnToRoute
+import tempfile
+from pathlib import Path
+
+from repro import LearnToRoute, RouteRequest, RoutingService
 from repro.baselines import FastestBaseline, ShortestBaseline
 from repro.datasets import tiny_scenario
 from repro.datasets.splits import split_by_id
@@ -30,7 +36,7 @@ def main() -> None:
     split = split_by_id(scenario.trajectories, train_fraction=0.75)
     print(f"Training on {len(split.train)} trajectories, testing on {len(split.test)}")
 
-    # 3. Fit the L2R pipeline (Steps 1-3 of the paper).
+    # 3. Fit the L2R pipeline (Steps 1-3 of the paper) — once, offline.
     pipeline = LearnToRoute().fit(network, split.train)
     region_graph = pipeline.region_graph
     print(
@@ -38,36 +44,72 @@ def main() -> None:
         f"{len(region_graph.t_edges())} T-edges, {len(region_graph.b_edges())} B-edges, "
         f"connected={region_graph.is_connected()}"
     )
-    timings = pipeline.offline_timings
-    print(f"Offline processing: {timings.total_s:.2f} s total")
 
-    # 4. Route a few test queries and compare with the drivers' actual paths.
-    shortest = ShortestBaseline(network)
-    fastest = FastestBaseline(network)
+    # 4. One serving facade, many engines: L2R falls back to Fastest when it
+    #    cannot answer, and every answer is cached for repeat queries.
+    service = RoutingService(cache_size=1024)
+    service.register("L2R", pipeline.as_engine(), fallback="Fastest", default=True)
+    service.register("Shortest", ShortestBaseline(network).as_engine())
+    service.register("Fastest", FastestBaseline(network).as_engine())
+
+    requests = [
+        RouteRequest(
+            source=t.source,
+            destination=t.destination,
+            departure_time=t.departure_time,
+            request_id=str(t.trajectory_id),
+        )
+        for t in split.test[:8]
+    ]
+
+    # 5. Batch-route through every engine and compare with the drivers' paths.
     print("\nPer-query Eq. 1 similarity against the driver's actual path:")
     print(f"{'query':>6} {'L2R':>8} {'Shortest':>10} {'Fastest':>10}")
-    for trajectory in split.test[:8]:
-        l2r_path = pipeline.route(trajectory.source, trajectory.destination)
-        row = (
-            path_similarity(network, trajectory.path, l2r_path),
-            path_similarity(
-                network, trajectory.path, shortest.route(trajectory.source, trajectory.destination)
-            ),
-            path_similarity(
-                network, trajectory.path, fastest.route(trajectory.source, trajectory.destination)
-            ),
-        )
+    per_engine = {
+        name: service.route_many(requests, engine=name, max_workers=4)
+        for name in ("L2R", "Shortest", "Fastest")
+    }
+    for index, trajectory in enumerate(split.test[:8]):
+        # Failed requests carry path=None plus an error instead of raising.
+        scores = [
+            path_similarity(network, trajectory.path, answer.path) if answer.ok else 0.0
+            for answer in (per_engine[name][index] for name in ("L2R", "Shortest", "Fastest"))
+        ]
         print(
-            f"{trajectory.trajectory_id:>6} {row[0] * 100:>7.1f}% {row[1] * 100:>9.1f}% {row[2] * 100:>9.1f}%"
+            f"{trajectory.trajectory_id:>6} {scores[0] * 100:>7.1f}% "
+            f"{scores[1] * 100:>9.1f}% {scores[2] * 100:>9.1f}%"
         )
 
-    # 5. Inspect one recommendation in detail.
-    trajectory = split.test[0]
-    path, diagnostics = pipeline.route_with_diagnostics(trajectory.source, trajectory.destination)
-    print(f"\nQuery {trajectory.source} -> {trajectory.destination}")
-    print(f"  routing case : {diagnostics.case} ({diagnostics.region_hops} region hops)")
-    print(f"  driver path  : {trajectory.path.vertices}")
-    print(f"  L2R path     : {path.vertices}")
+    # 6. Inspect one response in detail (diagnostics, latency, cache).
+    response = service.route(requests[0])  # repeat query -> served from cache
+    print(f"\nQuery {response.request.source} -> {response.request.destination}")
+    print(f"  engine       : {response.engine} (cache hit: {response.cache_hit})")
+    if response.diagnostics is not None:
+        print(
+            f"  routing case : {response.diagnostics.case} "
+            f"({response.diagnostics.region_hops} region hops)"
+        )
+    print(f"  path         : {response.path.vertices if response.ok else response.error}")
+
+    stats = service.stats()
+    print(
+        f"\nServiceStats: {stats.requests} requests, "
+        f"cache hit rate {stats.cache_hit_rate:.0%}, "
+        f"p50 latency {stats.latency_p50_s * 1e3:.2f} ms, "
+        f"p95 latency {stats.latency_p95_s * 1e3:.2f} ms"
+    )
+
+    # 7. Persist the fitted model; a serving process reloads it instantly.
+    with tempfile.TemporaryDirectory() as tmp:
+        model_file = Path(tmp) / "l2r-model.pkl.gz"
+        pipeline.save(model_file)
+        restored = LearnToRoute.load(model_file)
+        check = requests[0]
+        same = (
+            pipeline.route(check.source, check.destination).vertices
+            == restored.route(check.source, check.destination).vertices
+        )
+        print(f"\nSaved {model_file.stat().st_size:,} bytes; reloaded routes identical: {same}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,8 @@ subpackages for the full API:
 * :mod:`repro.baselines` - Shortest, Fastest, Dom, TRIP, Popular, Google-like
 * :mod:`repro.evaluation` - accuracy / efficiency harness (Figs. 10-13)
 * :mod:`repro.datasets` - canned D1-like and D2-like scenarios
+* :mod:`repro.service` - the RoutingService serving layer (engines, batching,
+  caching, model persistence)
 """
 
 from .core import L2RConfig, LearnToRoute, RegionRouter
@@ -24,9 +26,18 @@ from .network import RoadNetwork, RoadType
 from .preferences import FeatureCatalog, PreferenceVector, TransferConfig
 from .routing import CostFeature, Path
 from .trajectories import MatchedTrajectory, Trajectory, TrajectoryGenerator
+from .service import (
+    RouteRequest,
+    RouteResponse,
+    RoutingEngine,
+    RoutingService,
+    ServiceStats,
+    load_model,
+    save_model,
+)
 from .exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CostFeature",
@@ -40,8 +51,15 @@ __all__ = [
     "ReproError",
     "RoadNetwork",
     "RoadType",
+    "RouteRequest",
+    "RouteResponse",
+    "RoutingEngine",
+    "RoutingService",
+    "ServiceStats",
     "Trajectory",
     "TrajectoryGenerator",
     "TransferConfig",
     "__version__",
+    "load_model",
+    "save_model",
 ]

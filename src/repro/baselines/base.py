@@ -4,14 +4,23 @@ Every algorithm (L2R itself, the cost-centric baselines, the personalized
 baselines, and the external-service simulator) is wrapped as a
 :class:`RoutingAlgorithm` so that the evaluation harness can treat them
 uniformly: ``route(source, destination, departure_time, driver_id)``.
+
+For serving, :meth:`RoutingAlgorithm.as_engine` adapts any algorithm to the
+:class:`~repro.service.engine.RoutingEngine` protocol so it can be registered
+with a :class:`~repro.service.RoutingService` — the evaluation harness and the
+service drive every method through that identical request/response path.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING
 
 from ..network.road_network import RoadNetwork, VertexId
 from ..routing.path import Path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..service.engine import AlgorithmEngine
 
 
 class RoutingAlgorithm(abc.ABC):
@@ -37,6 +46,12 @@ class RoutingAlgorithm(abc.ABC):
     ) -> Path:
         """Return a recommended path from ``source`` to ``destination``."""
 
+    def as_engine(self, name: str | None = None) -> "AlgorithmEngine":
+        """This algorithm adapted to the ``RoutingEngine`` protocol."""
+        from ..service.engine import AlgorithmEngine
+
+        return AlgorithmEngine(self, name=name)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -49,6 +64,11 @@ class L2RAlgorithm(RoutingAlgorithm):
     def __init__(self, pipeline) -> None:
         super().__init__(pipeline.network)
         self._pipeline = pipeline
+
+    @property
+    def pipeline(self):
+        """The wrapped :class:`~repro.core.l2r.LearnToRoute` pipeline."""
+        return self._pipeline
 
     def route(
         self,

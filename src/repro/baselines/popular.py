@@ -18,6 +18,7 @@ handle (Section II):
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter, defaultdict
 from typing import Sequence
 
@@ -37,6 +38,9 @@ class PopularRouteBaseline(RoutingAlgorithm):
         super().__init__(network)
         self._od_paths: dict[tuple[VertexId, VertexId], Counter] = defaultdict(Counter)
         self._edge_popularity: dict[tuple[VertexId, VertexId], int] = defaultdict(int)
+        # The service layer fans route() out over threads; the diagnostic
+        # counters need a lock to stay exact.
+        self._counter_lock = threading.Lock()
         self._fallbacks = 0
         self._queries = 0
         self._fit(training)
@@ -60,7 +64,8 @@ class PopularRouteBaseline(RoutingAlgorithm):
         departure_time: float | None = None,
         driver_id: int | None = None,
     ) -> Path:
-        self._queries += 1
+        with self._counter_lock:
+            self._queries += 1
         # Case 1: a complete trajectory connects the pair.
         counted = self._od_paths.get((source, destination))
         if counted:
@@ -79,7 +84,8 @@ class PopularRouteBaseline(RoutingAlgorithm):
         try:
             spliced = dijkstra(self._network, source, destination, splicing_cost)
         except Exception:
-            self._fallbacks += 1
+            with self._counter_lock:
+                self._fallbacks += 1
             return fastest_path(self._network, source, destination)
 
         # Case 3 detection: if most of the answer runs on uncovered edges, the
@@ -88,5 +94,6 @@ class PopularRouteBaseline(RoutingAlgorithm):
             1 for key in spliced.edge_keys if self._edge_popularity.get(key, 0) == 0
         )
         if spliced.edge_keys and uncovered / len(spliced.edge_keys) > 0.5:
-            self._fallbacks += 1
+            with self._counter_lock:
+                self._fallbacks += 1
         return spliced

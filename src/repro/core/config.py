@@ -18,6 +18,20 @@ class PeakHours:
     evening_start_s: float = 16 * 3600.0
     evening_end_s: float = 18 * 3600.0
 
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("morning_start_s", self.morning_start_s),
+            ("morning_end_s", self.morning_end_s),
+            ("evening_start_s", self.evening_start_s),
+            ("evening_end_s", self.evening_end_s),
+        ):
+            if not 0.0 <= value <= 86_400.0:
+                raise ConfigurationError(f"{label} must lie within a day (0..86400 s)")
+        if self.morning_start_s >= self.morning_end_s:
+            raise ConfigurationError("morning_start_s must be before morning_end_s")
+        if self.evening_start_s >= self.evening_end_s:
+            raise ConfigurationError("evening_start_s must be before evening_end_s")
+
     def is_peak(self, departure_time_s: float) -> bool:
         """True if a departure time (seconds of day) falls inside a peak period."""
         t = departure_time_s % 86_400.0

@@ -18,6 +18,7 @@ peak and off-peak region graphs are fitted and the departure time picks one.
 
 from __future__ import annotations
 
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -171,7 +172,16 @@ class LearnToRoute:
     def route(
         self, source: VertexId, destination: VertexId, departure_time: float | None = None
     ) -> Path:
-        """Recommend a path for an arbitrary (source, destination) pair."""
+        """Recommend a path for an arbitrary (source, destination) pair.
+
+        ``departure_time`` (seconds of day) selects the peak or off-peak model
+        when the pipeline was fitted with ``config.time_dependent``; otherwise
+        it does **not** influence path selection — the single fitted model
+        answers regardless of the requested time.  Callers who need the
+        requested time echoed back should route through the service layer,
+        whose :class:`~repro.service.api.RouteResponse` always records it on
+        the originating request.
+        """
         if not self.is_fitted:
             raise NotFittedError("LearnToRoute")
         return self._model_for(departure_time).router.route(source, destination)
@@ -183,6 +193,32 @@ class LearnToRoute:
         if not self.is_fitted:
             raise NotFittedError("LearnToRoute")
         return self._model_for(departure_time).router.route_with_diagnostics(source, destination)
+
+    # ------------------------------------------------------------------ #
+    # Serving and persistence
+    # ------------------------------------------------------------------ #
+    def as_engine(self, name: str | None = None):
+        """This pipeline adapted to the ``RoutingEngine`` protocol."""
+        from ..service.engine import L2REngine
+
+        return L2REngine(self, name=name)
+
+    def save(self, path) -> "pathlib.Path":
+        """Persist the fitted model so a serving process can skip ``fit()``.
+
+        See :func:`repro.service.persistence.save_model`; the returned value
+        is the written path.
+        """
+        from ..service.persistence import save_model
+
+        return save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "LearnToRoute":
+        """Restore a pipeline previously written by :meth:`save`."""
+        from ..service.persistence import load_model
+
+        return load_model(path)
 
     # ------------------------------------------------------------------ #
     # Introspection

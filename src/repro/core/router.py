@@ -41,7 +41,7 @@ class RouteDiagnostics:
 
     case: str
     """``"in-region-same"``, ``"in-region"``, ``"in-out-region"``, ``"out-region"``,
-    or ``"fallback-fastest"``."""
+    ``"fallback-fastest"``, or ``"cost-override"`` (service-level override)."""
     region_hops: int = 0
     used_b_edges: int = 0
 

@@ -6,6 +6,13 @@ departure time, driver id), measures each algorithm's answer against the
 ground-truth path with Eq. 1 and Eq. 4, records the per-query run time, and
 aggregates the results by distance band and by region category — the exact
 breakdowns of Figs. 10, 11, and 12.
+
+Every compared method is driven through the
+:class:`~repro.service.engine.RoutingEngine` protocol — the identical
+request/response path the :class:`~repro.service.RoutingService` serves in
+production — so the harness measures exactly what serving would measure.
+Legacy :class:`~repro.baselines.base.RoutingAlgorithm` instances are adapted
+automatically by :meth:`EvaluationHarness.add_algorithm`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from ..baselines.base import RoutingAlgorithm
 from ..exceptions import ReproError
 from ..network.road_network import RoadNetwork
 from ..regions.region_graph import RegionGraph
+from ..service.api import RouteRequest, RouteResponse
+from ..service.engine import RoutingEngine
 from ..trajectories.models import MatchedTrajectory
 from .categories import RegionCategory, band_label, distance_category, region_category
 from .metrics import AggregateRow, QueryResult, accuracy_eq1, accuracy_eq4, aggregate
@@ -73,10 +82,15 @@ class EvaluationHarness:
     network: RoadNetwork
     region_graph: RegionGraph
     bands_km: tuple[tuple[float, float], ...]
-    algorithms: list[RoutingAlgorithm] = field(default_factory=list)
+    engines: list[RoutingEngine] = field(default_factory=list)
 
     def add_algorithm(self, algorithm: RoutingAlgorithm) -> "EvaluationHarness":
-        self.algorithms.append(algorithm)
+        """Register a legacy algorithm (adapted to the engine protocol)."""
+        return self.add_engine(algorithm.as_engine())
+
+    def add_engine(self, engine: RoutingEngine) -> "EvaluationHarness":
+        """Register any engine satisfying the ``RoutingEngine`` protocol."""
+        self.engines.append(engine)
         return self
 
     # ------------------------------------------------------------------ #
@@ -85,7 +99,7 @@ class EvaluationHarness:
         test_trajectories: Sequence[MatchedTrajectory],
         max_queries: int | None = None,
     ) -> EvaluationReport:
-        """Replay test queries through every registered algorithm."""
+        """Replay test queries through every registered engine."""
         results: list[QueryResult] = []
         queries = list(test_trajectories)
         if max_queries is not None:
@@ -97,49 +111,61 @@ class EvaluationHarness:
                 self.region_graph, trajectory.source, trajectory.destination
             )
             ground_truth_km = trajectory.distance_km(self.network)
-            for algorithm in self.algorithms:
+            request = RouteRequest(
+                source=trajectory.source,
+                destination=trajectory.destination,
+                departure_time=trajectory.departure_time,
+                driver_id=trajectory.driver_id,
+                request_id=str(trajectory.trajectory_id),
+            )
+            for engine in self.engines:
                 results.append(
-                    self._evaluate_one(algorithm, trajectory, band, category, ground_truth_km)
+                    self._evaluate_one(engine, request, trajectory, band, category, ground_truth_km)
                 )
         return EvaluationReport(results=results, bands_km=self.bands_km)
 
     def _evaluate_one(
         self,
-        algorithm: RoutingAlgorithm,
+        engine: RoutingEngine,
+        request: RouteRequest,
         trajectory: MatchedTrajectory,
         band: int | None,
         category: RegionCategory,
         ground_truth_km: float,
     ) -> QueryResult:
+        # The harness measures wall time itself: protocol engines are not
+        # obliged to populate latency_s, and a raising engine (the protocol
+        # cannot enforce BaseEngine's no-raise discipline) must degrade to a
+        # failed result, not abort the whole evaluation — as must an ok
+        # response whose path turns out not to score against this network.
         started = time.perf_counter()
         try:
-            constructed = algorithm.route(
-                trajectory.source,
-                trajectory.destination,
-                departure_time=trajectory.departure_time,
-                driver_id=trajectory.driver_id,
-            )
-            elapsed = time.perf_counter() - started
-            return QueryResult(
-                algorithm=algorithm.name,
-                trajectory_id=trajectory.trajectory_id,
-                distance_band=band,
-                region_category=category,
-                accuracy_eq1=accuracy_eq1(self.network, trajectory.path, constructed),
-                accuracy_eq4=accuracy_eq4(self.network, trajectory.path, constructed),
-                runtime_s=elapsed,
-                ground_truth_km=ground_truth_km,
-            )
-        except ReproError:
-            elapsed = time.perf_counter() - started
-            return QueryResult(
-                algorithm=algorithm.name,
-                trajectory_id=trajectory.trajectory_id,
-                distance_band=band,
-                region_category=category,
-                accuracy_eq1=0.0,
-                accuracy_eq4=0.0,
-                runtime_s=elapsed,
-                ground_truth_km=ground_truth_km,
-                failed=True,
-            )
+            response = engine.route(request)
+        except ReproError as exc:
+            response = RouteResponse.from_error(request, engine.name, exc)
+        elapsed = time.perf_counter() - started
+        if response.ok:
+            try:
+                return QueryResult(
+                    algorithm=engine.name,
+                    trajectory_id=trajectory.trajectory_id,
+                    distance_band=band,
+                    region_category=category,
+                    accuracy_eq1=accuracy_eq1(self.network, trajectory.path, response.path),
+                    accuracy_eq4=accuracy_eq4(self.network, trajectory.path, response.path),
+                    runtime_s=elapsed,
+                    ground_truth_km=ground_truth_km,
+                )
+            except ReproError:
+                pass
+        return QueryResult(
+            algorithm=engine.name,
+            trajectory_id=trajectory.trajectory_id,
+            distance_band=band,
+            region_category=category,
+            accuracy_eq1=0.0,
+            accuracy_eq4=0.0,
+            runtime_s=elapsed,
+            ground_truth_km=ground_truth_km,
+            failed=True,
+        )

@@ -1,0 +1,34 @@
+"""The routing service layer: one serving API over interchangeable engines.
+
+* :mod:`repro.service.api` — typed :class:`RouteRequest` / :class:`RouteResponse`
+* :mod:`repro.service.engine` — the :class:`RoutingEngine` protocol + adapters
+* :mod:`repro.service.service` — the :class:`RoutingService` facade
+  (registry, batch routing, fallback chains, LRU route cache)
+* :mod:`repro.service.stats` — :class:`ServiceStats` monitoring snapshots
+* :mod:`repro.service.persistence` — save / load fitted L2R models
+"""
+
+from .api import RouteRequest, RouteResponse
+from .cache import CacheStats, RouteCache
+from .engine import AlgorithmEngine, BaseEngine, FunctionEngine, L2REngine, RoutingEngine
+from .persistence import ModelPersistenceError, load_model, save_model
+from .service import RoutingService
+from .stats import ServiceStats, StatsAccumulator
+
+__all__ = [
+    "AlgorithmEngine",
+    "BaseEngine",
+    "CacheStats",
+    "FunctionEngine",
+    "L2REngine",
+    "ModelPersistenceError",
+    "RouteCache",
+    "RouteRequest",
+    "RouteResponse",
+    "RoutingEngine",
+    "RoutingService",
+    "ServiceStats",
+    "StatsAccumulator",
+    "load_model",
+    "save_model",
+]

@@ -1,0 +1,89 @@
+"""Typed request / response objects of the routing service.
+
+A :class:`RouteRequest` describes one (source, destination) query together
+with the optional context a production routing service accepts: a departure
+time, the requesting driver, a per-request cost override, and a caller-chosen
+request id for correlation.  A :class:`RouteResponse` is the service's answer:
+the recommended path, routing diagnostics, the engine that produced it, the
+observed latency, whether the answer came from the route cache, and — for
+partial-batch failures — the error that prevented an answer.
+
+Both objects are immutable so they can be shared freely between the service's
+worker threads, cached, and logged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.router import RouteDiagnostics
+from ..network.road_network import VertexId
+from ..routing.costs import CostFeature
+from ..routing.path import Path
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One routing query as accepted by :class:`~repro.service.RoutingService`."""
+
+    source: VertexId
+    destination: VertexId
+    departure_time: float | None = None
+    """Requested departure time (seconds of day).  Engines that are not
+    time-dependent ignore it for path selection, but the value is always
+    echoed back on the response via :attr:`RouteResponse.request`."""
+    driver_id: int | None = None
+    """Driver identity, used by the personalized engines (Dom, TRIP)."""
+    cost_override: CostFeature | None = None
+    """Per-request preference override: when set, the engine answers with the
+    single-cost optimal path for this feature instead of its own policy."""
+    request_id: str | None = None
+    """Caller-chosen correlation id, echoed back unchanged."""
+
+
+@dataclass(frozen=True)
+class RouteResponse:
+    """The service's answer to one :class:`RouteRequest`."""
+
+    request: RouteRequest
+    """The originating request (including the requested departure time)."""
+    path: Path | None
+    """The recommended path, or ``None`` when the request failed."""
+    engine: str
+    """Name of the engine that produced the answer (after any fallback).
+    Responses served through a :class:`~repro.service.RoutingService` carry
+    the *registry* name the answering engine was registered under."""
+    diagnostics: RouteDiagnostics | None = None
+    latency_s: float = 0.0
+    """Wall-clock time spent answering (near zero on cache hits)."""
+    cache_hit: bool = False
+    fallback_used: bool = False
+    """True when the answer came from a fallback engine, not the one asked."""
+    error: str | None = None
+    """Error description for failed requests (``path`` is ``None`` then)."""
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was answered with a path."""
+        return self.path is not None and self.error is None
+
+    @classmethod
+    def from_error(
+        cls,
+        request: RouteRequest,
+        engine: str,
+        exc: BaseException,
+        latency_s: float = 0.0,
+    ) -> "RouteResponse":
+        """The canonical failure response for an exception-reported error."""
+        return cls(
+            request=request,
+            path=None,
+            engine=engine,
+            latency_s=latency_s,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def with_request(self, request: RouteRequest, **changes: object) -> "RouteResponse":
+        """A copy of this response bound to another request (cache replays)."""
+        return replace(self, request=request, **changes)

@@ -1,0 +1,172 @@
+"""The :class:`RoutingEngine` protocol and the engine adapters.
+
+Every routing backend — the L2R pipeline, each baseline, and any future
+method — is exposed to the service layer through one contract::
+
+    engine.route(request: RouteRequest) -> RouteResponse
+
+:class:`BaseEngine` implements the shared answering discipline (timing,
+per-request cost overrides, converting :class:`~repro.exceptions.ReproError`
+failures into error responses instead of exceptions) so concrete engines only
+implement :meth:`BaseEngine._answer`.  :class:`AlgorithmEngine` adapts any
+legacy :class:`~repro.baselines.base.RoutingAlgorithm`, and
+:class:`L2REngine` adapts a fitted :class:`~repro.core.l2r.LearnToRoute`
+pipeline with full routing diagnostics.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from ..core.router import RouteDiagnostics
+from ..exceptions import ReproError
+from ..network.road_network import RoadNetwork
+from ..routing.dijkstra import lowest_cost_path
+from ..routing.path import Path
+from .api import RouteRequest, RouteResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..baselines.base import RoutingAlgorithm
+    from ..core.l2r import LearnToRoute
+
+
+@runtime_checkable
+class RoutingEngine(Protocol):
+    """The single contract every routing backend satisfies.
+
+    Engines whose answers depend on peak / off-peak departure times should
+    additionally expose a ``peak_hours`` attribute (a
+    :class:`~repro.core.config.PeakHours`, or ``None`` when static) so the
+    service's route cache can bucket departure times with the same windows
+    the engine switches models on.  Both built-in adapters do.
+    """
+
+    name: str
+
+    def route(self, request: RouteRequest) -> RouteResponse:  # pragma: no cover
+        """Answer one request; failures are reported on the response."""
+        ...
+
+
+class BaseEngine(abc.ABC):
+    """Shared answering discipline of the concrete engines."""
+
+    name: str = "engine"
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    def route(self, request: RouteRequest) -> RouteResponse:
+        """Answer ``request``, timing the computation.
+
+        :class:`~repro.exceptions.ReproError` failures (no path, unknown
+        vertex, ...) become error responses so that one bad request cannot
+        abort a batch; programming errors still propagate.
+        """
+        started = time.perf_counter()
+        try:
+            if request.cost_override is not None:
+                path = lowest_cost_path(
+                    self._network, request.source, request.destination, request.cost_override
+                )
+                diagnostics: RouteDiagnostics | None = RouteDiagnostics(case="cost-override")
+            else:
+                path, diagnostics = self._answer(request)
+        except ReproError as exc:
+            return RouteResponse.from_error(
+                request, self.name, exc, latency_s=time.perf_counter() - started
+            )
+        return RouteResponse(
+            request=request,
+            path=path,
+            engine=self.name,
+            diagnostics=diagnostics,
+            latency_s=time.perf_counter() - started,
+        )
+
+    @abc.abstractmethod
+    def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        """Compute the path (and optional diagnostics) for one request."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class AlgorithmEngine(BaseEngine):
+    """Adapter exposing a legacy :class:`RoutingAlgorithm` as an engine."""
+
+    def __init__(self, algorithm: "RoutingAlgorithm", name: str | None = None) -> None:
+        super().__init__(algorithm.network)
+        self._algorithm = algorithm
+        self.name = name or algorithm.name
+
+    @property
+    def algorithm(self) -> "RoutingAlgorithm":
+        return self._algorithm
+
+    @property
+    def peak_hours(self):
+        """Peak windows of a wrapped time-dependent pipeline (else ``None``)."""
+        pipeline = getattr(self._algorithm, "pipeline", None)
+        config = getattr(pipeline, "config", None)
+        if config is not None and getattr(config, "time_dependent", False):
+            return config.peak_hours
+        return None
+
+    def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        path = self._algorithm.route(
+            request.source,
+            request.destination,
+            departure_time=request.departure_time,
+            driver_id=request.driver_id,
+        )
+        return path, None
+
+
+class L2REngine(BaseEngine):
+    """Adapter exposing a fitted L2R pipeline with routing diagnostics."""
+
+    name = "L2R"
+
+    def __init__(self, pipeline: "LearnToRoute", name: str | None = None) -> None:
+        super().__init__(pipeline.network)
+        self._pipeline = pipeline
+        if name is not None:
+            self.name = name
+
+    @property
+    def pipeline(self) -> "LearnToRoute":
+        return self._pipeline
+
+    @property
+    def peak_hours(self):
+        """Peak windows driving model selection (``None`` for static models)."""
+        config = self._pipeline.config
+        return config.peak_hours if config.time_dependent else None
+
+    def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        return self._pipeline.route_with_diagnostics(
+            request.source, request.destination, departure_time=request.departure_time
+        )
+
+
+class FunctionEngine(BaseEngine):
+    """Adapter for a bare ``(source, destination) -> Path`` callable.
+
+    Handy for plugging ad-hoc routing policies (or test doubles) into the
+    service without writing a class.
+    """
+
+    def __init__(self, network: RoadNetwork, fn, name: str = "function") -> None:
+        super().__init__(network)
+        self._fn = fn
+        self.name = name
+
+    def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        return self._fn(request.source, request.destination), None

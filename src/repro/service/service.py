@@ -1,0 +1,380 @@
+"""The :class:`RoutingService` facade — one serving API over many engines.
+
+The service owns a registry of named :class:`~repro.service.engine.RoutingEngine`
+backends (the fitted L2R pipeline, the baselines, anything satisfying the
+protocol), answers single requests with :meth:`RoutingService.route` and
+batches with :meth:`RoutingService.route_many` (thread-pool fan-out), follows
+per-engine fallback chains when an engine fails (e.g. L2R -> Fastest on
+``NoPathError``), caches answers in an LRU route cache, and exposes a
+:class:`~repro.service.stats.ServiceStats` snapshot for monitoring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..core.config import PeakHours
+from ..exceptions import ConfigurationError, ReproError
+from ..network.road_network import VertexId
+from .api import RouteRequest, RouteResponse
+from .cache import CacheStats, RouteCache
+from .engine import RoutingEngine
+from .stats import ServiceStats, StatsAccumulator
+
+
+class RoutingService:
+    """Unified serving facade over interchangeable routing engines."""
+
+    def __init__(
+        self,
+        cache_size: int = 2048,
+        peak_hours: PeakHours | None = None,
+        enable_cache: bool = True,
+    ) -> None:
+        self._engines: dict[str, RoutingEngine] = {}
+        self._fallbacks: dict[str, str] = {}
+        self._default_engine: str | None = None
+        self._cache: RouteCache | None = (
+            RouteCache(max_size=cache_size, peak_hours=peak_hours) if enable_cache else None
+        )
+        self._peak_hours_pinned = peak_hours is not None
+        self._engine_generation: dict[str, int] = {}
+        self._stats = StatsAccumulator()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_workers = 0
+        self._retired_executors: list[ThreadPoolExecutor] = []
+        self._pool_users: dict[ThreadPoolExecutor, int] = {}
+        self._executor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Registry
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        engine: RoutingEngine,
+        *,
+        fallback: str | None = None,
+        default: bool = False,
+    ) -> "RoutingService":
+        """Register an engine under ``name``; returns ``self`` for chaining.
+
+        ``fallback`` names the engine to consult when this one fails (chains
+        are followed transitively); the first registered engine — or the one
+        registered with ``default=True`` — becomes the default.
+
+        A time-dependent L2R engine carries its own peak windows: the route
+        cache adopts them automatically so peak and off-peak answers are
+        bucketed exactly as the pipeline switches models.  If the service was
+        constructed with explicit (or already-adopted) ``peak_hours`` that
+        disagree, registration fails rather than risking a peak-model answer
+        being replayed for an off-peak request.
+        """
+        self._adopt_peak_hours(name, engine)
+        if self._cache is not None:
+            self._cache.mark_time_dependent(
+                name, getattr(engine, "peak_hours", None) is not None
+            )
+        reregistration = name in self._engines
+        # Swap before bumping: a route() that observes the bumped generation
+        # is then guaranteed to have computed on the new engine.
+        self._engines[name] = engine
+        if reregistration and self._cache is not None:
+            # Re-registration (e.g. a refit model): the old engine's answers
+            # must not be replayed for the new one — including answers it
+            # produced through another engine's fallback chain, which sit
+            # under the calling engine's key but carry this registry name.
+            # The generation bump vetoes in-flight old-engine puts (the
+            # guard is evaluated under the cache lock); the invalidation
+            # drops the entries that already landed.
+            self._engine_generation[name] = self._engine_generation.get(name, 0) + 1
+            self._cache.invalidate_engine(name)
+        if fallback is not None:
+            self._fallbacks[name] = fallback
+        if default or self._default_engine is None:
+            self._default_engine = name
+        return self
+
+    def _adopt_peak_hours(self, name: str, engine: RoutingEngine) -> None:
+        """Align the cache's peak bucketing with a time-dependent engine.
+
+        An engine declares its windows through the optional ``peak_hours``
+        attribute of the ``RoutingEngine`` protocol (both built-in adapters
+        derive it from the wrapped pipeline's config).
+        """
+        if self._cache is None:
+            return
+        hours = getattr(engine, "peak_hours", None)
+        if hours is None:
+            return
+        if hours == self._cache.peak_hours:
+            # The engine's windows are in force now — a later time-dependent
+            # engine with different windows must not silently re-bucket them.
+            self._peak_hours_pinned = True
+            return
+        if self._peak_hours_pinned:
+            raise ConfigurationError(
+                f"engine {name!r} is time-dependent with peak hours that differ from "
+                "this service's cache bucketing; construct RoutingService(peak_hours=...) "
+                "with the pipeline's config.peak_hours (or disable the cache)"
+            )
+        self._cache.set_peak_hours(hours)
+        self._peak_hours_pinned = True
+
+    def engines(self) -> list[str]:
+        """Names of the registered engines (registration order)."""
+        return list(self._engines)
+
+    def engine(self, name: str) -> RoutingEngine:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no engine named {name!r} is registered (have: {sorted(self._engines)})"
+            ) from None
+
+    @property
+    def default_engine(self) -> str | None:
+        return self._default_engine
+
+    @default_engine.setter
+    def default_engine(self, name: str) -> None:
+        self.engine(name)  # validates
+        self._default_engine = name
+
+    def set_fallback(self, name: str, fallback: str) -> None:
+        """Declare ``fallback`` as the next engine when ``name`` fails."""
+        self.engine(name)
+        self.engine(fallback)
+        self._fallbacks[name] = fallback
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def route(self, request: RouteRequest, engine: str | None = None) -> RouteResponse:
+        """Answer one request with the named (or default) engine.
+
+        The answer is served from the route cache when possible; on failure
+        the engine's fallback chain is followed.  The returned response always
+        reports the engine that actually produced the path, the latency, and
+        the cache-hit flag.
+        """
+        name = engine or self._default_engine
+        if name is None:
+            raise ConfigurationError("no engines registered with this RoutingService")
+        self.engine(name)  # validates the name before cache lookup
+
+        if self._cache is not None:
+            cached = self._cache.get(name, request)
+            if cached is not None:
+                # A replay from the requested engine's own key did not run the
+                # fallback chain this time, whatever produced the entry.
+                if cached.fallback_used:
+                    cached = cached.with_request(request, fallback_used=False)
+                self._stats.record(cached)
+                return cached
+
+        # Snapshot generations before computing: the guard rejects the insert
+        # if either the requested engine or the engine that actually answered
+        # (a fallback) was re-registered while this request was in flight.
+        generations = dict(self._engine_generation)
+        response = self._route_with_fallbacks(name, request)
+        if self._cache is not None:
+
+            def _still_current() -> bool:
+                return all(
+                    self._engine_generation.get(involved, 0) == generations.get(involved, 0)
+                    for involved in (name, response.engine)
+                )
+
+            self._cache.put(name, response, guard=_still_current)
+        self._stats.record(response)
+        return response
+
+    def route_between(
+        self,
+        source: VertexId,
+        destination: VertexId,
+        *,
+        departure_time: float | None = None,
+        engine: str | None = None,
+        **request_fields: object,
+    ) -> RouteResponse:
+        """Convenience wrapper building the :class:`RouteRequest` inline."""
+        request = RouteRequest(
+            source=source,
+            destination=destination,
+            departure_time=departure_time,
+            **request_fields,  # type: ignore[arg-type]
+        )
+        return self.route(request, engine=engine)
+
+    def route_many(
+        self,
+        requests: Sequence[RouteRequest] | Iterable[RouteRequest],
+        engine: str | None = None,
+        max_workers: int = 4,
+    ) -> list[RouteResponse]:
+        """Answer a batch of requests, preserving order.
+
+        Requests fan out over a thread pool; a failed request yields an error
+        response in its slot instead of aborting the batch.
+        """
+        batch = list(requests)
+        if not batch:
+            return []
+        if max_workers <= 1 or len(batch) == 1:
+            return [self.route(request, engine=engine) for request in batch]
+        pool = self._acquire_executor(max_workers)
+        try:
+            return list(pool.map(lambda request: self.route(request, engine=engine), batch))
+        finally:
+            self._release_executor(pool)
+
+    def _acquire_executor(self, max_workers: int) -> ThreadPoolExecutor:
+        """The shared worker pool, grown (never shrunk) on demand.
+
+        Reused across :meth:`route_many` calls so per-batch pool setup does
+        not tax the throughput path.  Each batch holds a usage count on the
+        pool it was handed: growing the pool never shuts down one a
+        concurrent batch is still using — an idle pool is shut down at once,
+        a busy one is retired and reaped when its last batch releases it.
+        """
+        with self._executor_lock:
+            if self._executor is None or self._executor_workers < max_workers:
+                if self._executor is not None:
+                    if self._pool_users.get(self._executor, 0) == 0:
+                        self._executor.shutdown(wait=False)
+                    else:
+                        self._retired_executors.append(self._executor)
+                self._executor = ThreadPoolExecutor(max_workers=max_workers)
+                self._executor_workers = max_workers
+            self._pool_users[self._executor] = self._pool_users.get(self._executor, 0) + 1
+            return self._executor
+
+    def _release_executor(self, pool: ThreadPoolExecutor) -> None:
+        with self._executor_lock:
+            remaining = self._pool_users.get(pool, 1) - 1
+            if remaining > 0:
+                self._pool_users[pool] = remaining
+                return
+            self._pool_users.pop(pool, None)
+            if pool in self._retired_executors:
+                self._retired_executors.remove(pool)
+                pool.shutdown(wait=False)
+
+    def close(self) -> None:
+        """Release the batch worker threads (the service stays usable).
+
+        Pools still held by an in-flight batch are retired, not shut down —
+        the batch's release reaps them — so close() can never crash a
+        concurrent :meth:`route_many`.
+        """
+        with self._executor_lock:
+            still_busy: list[ThreadPoolExecutor] = []
+            for retired in self._retired_executors:
+                if self._pool_users.get(retired, 0) == 0:
+                    self._pool_users.pop(retired, None)
+                    retired.shutdown(wait=True)
+                else:
+                    still_busy.append(retired)
+            self._retired_executors = still_busy
+            if self._executor is not None:
+                if self._pool_users.get(self._executor, 0) == 0:
+                    self._pool_users.pop(self._executor, None)
+                    self._executor.shutdown(wait=True)
+                else:
+                    self._retired_executors.append(self._executor)
+                self._executor = None
+                self._executor_workers = 0
+
+    def _route_with_fallbacks(self, name: str, request: RouteRequest) -> RouteResponse:
+        """Run the engine, following its fallback chain on failure.
+
+        Fallback names that were never registered (``register()`` accepts
+        forward references) are skipped rather than crashing the request.
+        """
+        chain = [name]
+        current = name
+        unresolved: str | None = None
+        while current in self._fallbacks and self._fallbacks[current] not in chain:
+            current = self._fallbacks[current]
+            if current not in self._engines:
+                unresolved = current
+                break
+            chain.append(current)
+
+        started = time.perf_counter()
+        first_failure: RouteResponse | None = None
+        for position, engine_name in enumerate(chain):
+            # A fallback engine may already have this answer cached under its
+            # own key — serve it instead of recomputing.  The latency still
+            # covers the failed primary attempt(s) that got us here.
+            if position > 0 and self._cache is not None:
+                cached = self._cache.get(engine_name, request, probe=True)
+                if cached is not None and cached.ok:
+                    return cached.with_request(
+                        request,
+                        fallback_used=True,
+                        latency_s=time.perf_counter() - started,
+                    )
+            # Engines built on BaseEngine report failures on the response;
+            # the protocol cannot enforce that on arbitrary engines, and a
+            # raising engine must not abort a route_many batch.
+            try:
+                response = self._engines[engine_name].route(request)
+            except ReproError as exc:
+                response = RouteResponse.from_error(request, engine_name, exc)
+            # Report the *registry* name: two aliases may wrap engines with
+            # the same internal name (e.g. two L2R model versions), and
+            # stats / cache invalidation key on what the caller registered.
+            if response.engine != engine_name:
+                response = response.with_request(request, engine=engine_name)
+            if response.ok:
+                if position > 0:
+                    response = response.with_request(request, fallback_used=True)
+                return response
+            if first_failure is None:
+                first_failure = response
+        # Chain exhausted: attribute the failure to the engine the caller
+        # asked for — its error is the informative one for debugging.  A
+        # fallback name that never got registered (typo?) is surfaced here,
+        # exactly when it would have mattered.
+        assert first_failure is not None  # chain is never empty
+        if unresolved is not None:
+            first_failure = first_failure.with_request(
+                request,
+                error=f"{first_failure.error} "
+                f"(fallback {unresolved!r} is not registered)",
+            )
+        return first_failure
+
+    # ------------------------------------------------------------------ #
+    # Monitoring
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """A frozen snapshot of the service counters."""
+        if self._cache is not None:
+            cache_stats = self._cache.stats()
+        else:
+            cache_stats = CacheStats(hits=0, misses=0, size=0, max_size=0)
+        return self._stats.snapshot(cache_stats)
+
+    def reset_stats(self) -> None:
+        """Start a fresh monitoring window (keeps cached entries)."""
+        self._stats.reset()
+        if self._cache is not None:
+            self._cache.reset_counters()
+
+    def clear_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingService(engines={list(self._engines)}, "
+            f"default={self._default_engine!r})"
+        )

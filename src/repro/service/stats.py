@@ -1,0 +1,114 @@
+"""Serving statistics of a :class:`~repro.service.RoutingService`.
+
+The service records every answered request into a thread-safe accumulator;
+:meth:`StatsAccumulator.snapshot` freezes the counters into an immutable
+:class:`ServiceStats` — request counts per engine, latency percentiles,
+cache hit rate, error / fallback counts, and a histogram of the routing
+diagnostics cases (how many requests were answered in-region, cross-region,
+out-of-region, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .api import RouteResponse
+from .cache import CacheStats
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """An immutable snapshot of the service's counters."""
+
+    requests: int = 0
+    errors: int = 0
+    fallbacks: int = 0
+    cache: CacheStats = field(default_factory=lambda: CacheStats(0, 0, 0, 0))
+    requests_by_engine: dict[str, int] = field(default_factory=dict)
+    case_histogram: dict[str, int] = field(default_factory=dict)
+    """Routing-diagnostics case -> count (cache hits replay the cached case)."""
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_mean_s: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+
+class StatsAccumulator:
+    """Thread-safe recorder behind :class:`ServiceStats` snapshots."""
+
+    def __init__(self, max_latency_samples: int = 10_000) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._errors = 0
+        self._fallbacks = 0
+        self._by_engine: Counter[str] = Counter()
+        self._cases: Counter[str] = Counter()
+        # Ring buffer of the most recent latencies: percentiles track current
+        # behaviour on a long-lived service instead of freezing at startup.
+        self._latencies: list[float] = []
+        self._latency_seen = 0
+        self._max_latency_samples = max_latency_samples
+
+    def record(self, response: RouteResponse) -> None:
+        with self._lock:
+            self._requests += 1
+            self._by_engine[response.engine] += 1
+            if response.error is not None:
+                self._errors += 1
+            # The service clears fallback_used on replays where the chain did
+            # not run, so the flag counts actual fallback executions — even
+            # ones answered from the fallback engine's own cache line.
+            if response.fallback_used:
+                self._fallbacks += 1
+            if response.diagnostics is not None:
+                self._cases[response.diagnostics.case] += 1
+            if len(self._latencies) < self._max_latency_samples:
+                self._latencies.append(response.latency_s)
+            else:
+                self._latencies[self._latency_seen % self._max_latency_samples] = (
+                    response.latency_s
+                )
+            self._latency_seen += 1
+
+    def snapshot(self, cache: CacheStats) -> ServiceStats:
+        with self._lock:
+            latencies = list(self._latencies)
+            return ServiceStats(
+                requests=self._requests,
+                errors=self._errors,
+                fallbacks=self._fallbacks,
+                cache=cache,
+                requests_by_engine=dict(self._by_engine),
+                case_histogram=dict(self._cases),
+                latency_p50_s=percentile(latencies, 0.50),
+                latency_p95_s=percentile(latencies, 0.95),
+                latency_mean_s=sum(latencies) / len(latencies) if latencies else 0.0,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._requests = 0
+            self._errors = 0
+            self._fallbacks = 0
+            self._by_engine.clear()
+            self._cases.clear()
+            self._latencies.clear()
+            self._latency_seen = 0

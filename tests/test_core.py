@@ -5,9 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import L2RConfig, LearnToRoute, PeakHours, RegionRouter
+from repro.core.router import _remove_cycles
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.network import RoadNetwork, RoadType
 from repro.preferences import TransferConfig, path_similarity
-from repro.routing import fastest_path
+from repro.regions.region import Region
+from repro.regions.region_graph import RegionGraph
+from repro.routing import Path, fastest_path
 
 
 class TestConfig:
@@ -36,6 +40,18 @@ class TestConfig:
     def test_peak_hours_wrap_midnight(self):
         peak = PeakHours()
         assert peak.is_peak(8 * 3600.0 + 86_400.0)
+
+    def test_peak_hours_rejects_inverted_windows(self):
+        with pytest.raises(ConfigurationError):
+            PeakHours(morning_start_s=9 * 3600.0, morning_end_s=7 * 3600.0)
+        with pytest.raises(ConfigurationError):
+            PeakHours(evening_start_s=18 * 3600.0, evening_end_s=16 * 3600.0)
+
+    def test_peak_hours_rejects_values_outside_a_day(self):
+        with pytest.raises(ConfigurationError):
+            PeakHours(morning_start_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PeakHours(evening_end_s=90_000.0)
 
 
 class TestLearnToRoute:
@@ -160,3 +176,98 @@ class TestRegionRouter:
             assert path.distance_m(tiny.network) <= 4.0 * max(
                 reference.distance_m(tiny.network), 1.0
             )
+
+
+class TestRemoveCycles:
+    def test_single_vertex_path_unchanged(self):
+        path = Path.of([5])
+        assert _remove_cycles(path).vertices == (5,)
+
+    def test_acyclic_path_unchanged(self):
+        path = Path.of([0, 1, 2, 3])
+        assert _remove_cycles(path).vertices == (0, 1, 2, 3)
+
+    def test_simple_loop_removed(self):
+        path = Path.of([0, 1, 2, 1, 3])
+        assert _remove_cycles(path).vertices == (0, 1, 3)
+
+    def test_revisits_after_cut_are_kept(self):
+        # Vertex 2 appears inside the removed loop and again later; the second
+        # appearance is legitimate once the loop is gone.
+        path = Path.of([0, 1, 2, 3, 1, 4, 2, 5])
+        cleaned = _remove_cycles(path)
+        assert cleaned.vertices == (0, 1, 4, 2, 5)
+        assert len(set(cleaned.vertices)) == len(cleaned.vertices)
+
+    def test_idempotent(self):
+        path = Path.of([0, 1, 2, 1, 3, 4, 3, 5])
+        once = _remove_cycles(path)
+        assert _remove_cycles(once).vertices == once.vertices
+
+    def test_endpoints_preserved(self):
+        path = Path.of([7, 8, 9, 8, 10])
+        cleaned = _remove_cycles(path)
+        assert cleaned.source == 7
+        assert cleaned.destination == 10
+
+
+def _line_network(n: int = 5) -> RoadNetwork:
+    """A plain residential line 0 - 1 - ... - (n-1), no shortcut."""
+    network = RoadNetwork(name="case2-line")
+    for i in range(n):
+        network.add_vertex(i, lon=10.0 + i * 0.012, lat=56.0)
+    for i in range(n - 1):
+        network.add_edge(
+            i, i + 1, road_type=RoadType.RESIDENTIAL, distance_m=1_000.0, bidirectional=True
+        )
+    return network
+
+
+class TestCase2Stitching:
+    def test_falls_back_when_candidate_regions_coincide(self):
+        # The fastest path 1 -> 3 only touches the single region {2}: Case 2
+        # cannot pick distinct source / destination regions and must return
+        # the fastest path itself.
+        network = _line_network()
+        graph = RegionGraph(network, [Region(region_id=0, vertices=frozenset({2}))])
+        router = RegionRouter(graph)
+        path, diagnostics = router.route_with_diagnostics(1, 3)
+        assert path.vertices == (1, 2, 3)
+        assert diagnostics.case == "out-region"
+        assert diagnostics.region_hops == 0
+
+    def test_no_region_touched_returns_fastest(self):
+        network = _line_network()
+        graph = RegionGraph(network, [Region(region_id=0, vertices=frozenset({4}))])
+        router = RegionRouter(graph)
+        path, diagnostics = router.route_with_diagnostics(0, 2)
+        assert path.vertices == (0, 1, 2)
+        assert diagnostics.case == "out-region"
+
+    def test_prefix_middle_suffix_stitching(self):
+        # Endpoints 0 and 4 are uncovered; the fastest path crosses region
+        # {1} first and region {3} last, so Case 2 stitches fastest prefix +
+        # Case-1 middle + fastest suffix back into one valid path.
+        network = _line_network()
+        regions = [
+            Region(region_id=0, vertices=frozenset({1})),
+            Region(region_id=1, vertices=frozenset({3})),
+        ]
+        graph = RegionGraph(network, regions)
+        graph.connect_with_bfs()  # B-edge between the two regions
+        router = RegionRouter(graph)
+        path, diagnostics = router.route_with_diagnostics(0, 4)
+        assert path.source == 0
+        assert path.destination == 4
+        assert path.is_valid(network)
+        assert len(set(path.vertices)) == len(path.vertices)
+        assert diagnostics.case == "out-region"
+
+    def test_one_covered_endpoint_reports_in_out_region(self):
+        network = _line_network()
+        graph = RegionGraph(network, [Region(region_id=0, vertices=frozenset({0, 1}))])
+        router = RegionRouter(graph)
+        path, diagnostics = router.route_with_diagnostics(1, 4)
+        assert path.source == 1
+        assert path.destination == 4
+        assert diagnostics.case == "in-out-region"

@@ -151,3 +151,51 @@ class TestReporting:
         text = format_series({"Accuracy": [80.0, 85.0], "N-Rate": [5.0, 2.0]}, ["x", "2x"], "Fig 9a")
         assert "Fig 9a" in text
         assert "Accuracy" in text and "N-Rate" in text
+
+
+class TestHarnessRaisingEngine:
+    def test_raising_engine_recorded_as_failed_not_crash(self, tiny, fitted_l2r, tiny_split):
+        """An engine that raises (instead of returning an error response) must
+        degrade to failed=True query results, not abort the evaluation."""
+        from repro.exceptions import NoPathError
+        from repro.service import RouteRequest
+
+        class RaisingEngine:
+            name = "Raising"
+
+            def route(self, request: RouteRequest):
+                raise NoPathError(request.source, request.destination, "synthetic")
+
+        harness = EvaluationHarness(
+            network=tiny.network,
+            region_graph=fitted_l2r.region_graph,
+            bands_km=((0.0, 5.0), (5.0, 10.0)),
+        )
+        harness.add_engine(RaisingEngine())
+        report = harness.evaluate(tiny_split.test[:5])
+        assert len(report.results) == 5
+        assert all(r.failed for r in report.results)
+
+    def test_unscorable_ok_response_recorded_as_failed(self, tiny, fitted_l2r, tiny_split):
+        """An ok response whose path does not exist on the network must not
+        abort the evaluation either."""
+        from repro.routing import Path as RoutePath
+        from repro.service import RouteResponse
+
+        class OffNetworkEngine:
+            name = "OffNetwork"
+
+            def route(self, request):
+                return RouteResponse(
+                    request=request, path=RoutePath.of([999_999, 999_998]), engine=self.name
+                )
+
+        harness = EvaluationHarness(
+            network=tiny.network,
+            region_graph=fitted_l2r.region_graph,
+            bands_km=((0.0, 5.0), (5.0, 10.0)),
+        )
+        harness.add_engine(OffNetworkEngine())
+        report = harness.evaluate(tiny_split.test[:4])
+        assert len(report.results) == 4
+        assert all(r.failed for r in report.results)

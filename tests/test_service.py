@@ -1,0 +1,577 @@
+"""Tests for the routing service layer.
+
+Covers the typed request/response objects, the engine protocol and adapters
+(L2R plus all six baselines), the ``RoutingService`` facade (batching,
+caching, fallback chains, stats), and model persistence round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import (
+    DomBaseline,
+    ExternalRoutingService,
+    FastestBaseline,
+    PopularRouteBaseline,
+    ShortestBaseline,
+    TripBaseline,
+)
+from repro.core import LearnToRoute
+from repro.exceptions import ConfigurationError, NoPathError
+from repro.routing import CostFeature, Path, shortest_path
+from repro.service import (
+    AlgorithmEngine,
+    FunctionEngine,
+    L2REngine,
+    ModelPersistenceError,
+    RouteCache,
+    RouteRequest,
+    RouteResponse,
+    RoutingEngine,
+    RoutingService,
+    load_model,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def requests(tiny_split) -> list[RouteRequest]:
+    return [
+        RouteRequest(
+            source=t.source,
+            destination=t.destination,
+            departure_time=t.departure_time,
+            driver_id=t.driver_id,
+            request_id=str(t.trajectory_id),
+        )
+        for t in tiny_split.test[:15]
+    ]
+
+
+@pytest.fixture(scope="module")
+def all_engine_service(tiny, tiny_split, fitted_l2r) -> RoutingService:
+    """A service with L2R and all six baselines registered."""
+    network, train = tiny.network, tiny_split.train
+    service = RoutingService()
+    service.register("L2R", L2REngine(fitted_l2r), fallback="Fastest", default=True)
+    service.register("Shortest", ShortestBaseline(network).as_engine())
+    service.register("Fastest", FastestBaseline(network).as_engine())
+    service.register("Dom", DomBaseline(network, train, max_trajectories_per_driver=2).as_engine())
+    service.register("TRIP", TripBaseline(network, train).as_engine())
+    service.register("Popular", PopularRouteBaseline(network, train).as_engine())
+    service.register("Google", ExternalRoutingService(network).as_engine())
+    return service
+
+
+class TestRequestResponse:
+    def test_request_is_frozen(self):
+        request = RouteRequest(source=1, destination=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.source = 3  # type: ignore[misc]
+
+    def test_response_is_frozen(self):
+        response = RouteResponse(
+            request=RouteRequest(source=1, destination=2), path=None, engine="x", error="boom"
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            response.engine = "y"  # type: ignore[misc]
+        assert not response.ok
+
+    def test_departure_time_recorded_even_when_model_ignores_it(self, fitted_l2r):
+        # The fitted tiny model is not time-dependent: the requested time does
+        # not change the path, but the response still records it.
+        engine = L2REngine(fitted_l2r)
+        request = RouteRequest(source=0, destination=5, departure_time=8 * 3600.0)
+        response = engine.route(request)
+        assert response.request.departure_time == 8 * 3600.0
+
+    def test_request_id_echoed(self, all_engine_service):
+        response = all_engine_service.route(
+            RouteRequest(source=0, destination=5, request_id="req-42")
+        )
+        assert response.request.request_id == "req-42"
+
+
+class TestEngines:
+    def test_all_seven_engines_answer_batches(self, all_engine_service, requests, tiny):
+        for name in all_engine_service.engines():
+            responses = all_engine_service.route_many(requests, engine=name, max_workers=4)
+            assert len(responses) == len(requests)
+            for request, response in zip(requests, responses):
+                assert response.ok, f"{name} failed: {response.error}"
+                assert response.path.source == request.source
+                assert response.path.destination == request.destination
+                assert response.path.is_valid(tiny.network)
+                assert response.latency_s >= 0.0
+
+    def test_engine_protocol_runtime_checkable(self, tiny, fitted_l2r):
+        assert isinstance(L2REngine(fitted_l2r), RoutingEngine)
+        assert isinstance(ShortestBaseline(tiny.network).as_engine(), RoutingEngine)
+
+    def test_as_engine_keeps_algorithm_name(self, tiny):
+        engine = ShortestBaseline(tiny.network).as_engine()
+        assert engine.name == "Shortest"
+        assert AlgorithmEngine(ShortestBaseline(tiny.network), name="alias").name == "alias"
+
+    def test_l2r_engine_reports_diagnostics(self, all_engine_service, requests):
+        response = all_engine_service.route(requests[0], engine="L2R")
+        assert response.diagnostics is not None or response.cache_hit
+
+    def test_cost_override_routes_single_cost_optimal(self, tiny, all_engine_service, requests):
+        request = dataclasses.replace(requests[0], cost_override=CostFeature.DISTANCE)
+        response = all_engine_service.route(request, engine="L2R")
+        expected = shortest_path(tiny.network, request.source, request.destination)
+        assert response.ok
+        assert response.path.distance_m(tiny.network) == pytest.approx(
+            expected.distance_m(tiny.network)
+        )
+
+    def test_engine_converts_failures_to_error_responses(self, tiny):
+        engine = FastestBaseline(tiny.network).as_engine()
+        response = engine.route(RouteRequest(source=0, destination=999_999))
+        assert not response.ok
+        assert response.error is not None
+        assert response.path is None
+
+
+class TestRoutingService:
+    def test_route_without_engines_raises(self):
+        with pytest.raises(ConfigurationError):
+            RoutingService().route(RouteRequest(source=0, destination=1))
+
+    def test_unknown_engine_rejected(self, all_engine_service, requests):
+        with pytest.raises(ConfigurationError):
+            all_engine_service.route(requests[0], engine="nope")
+
+    def test_default_engine_is_first_registered(self, all_engine_service):
+        assert all_engine_service.default_engine == "L2R"
+
+    def test_route_between_convenience(self, all_engine_service, tiny):
+        response = all_engine_service.route_between(0, 7, engine="Fastest")
+        assert response.ok
+        assert response.path.is_valid(tiny.network)
+
+    def test_route_many_preserves_order(self, all_engine_service, requests):
+        responses = all_engine_service.route_many(requests, engine="Shortest", max_workers=8)
+        for request, response in zip(requests, responses):
+            assert response.request.source == request.source
+            assert response.request.destination == request.destination
+
+    def test_route_many_isolates_partial_failures(self, tiny, fitted_l2r):
+        service = RoutingService()
+        service.register("L2R", L2REngine(fitted_l2r))
+        good = RouteRequest(source=0, destination=5)
+        bad = RouteRequest(source=0, destination=777_777)
+        responses = service.route_many([good, bad, good], max_workers=3)
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+        assert responses[1].error
+
+    def test_cache_hit_flagged_and_counted(self, tiny, fitted_l2r, requests):
+        service = RoutingService(cache_size=64)
+        service.register("L2R", L2REngine(fitted_l2r))
+        first = service.route(requests[0])
+        again = service.route(requests[0])
+        assert not first.cache_hit
+        assert again.cache_hit
+        assert again.path.vertices == first.path.vertices
+        stats = service.stats()
+        assert stats.cache.hits == 1
+        assert stats.cache.misses == 1
+        assert stats.cache_hit_rate == pytest.approx(0.5)
+
+    def test_cache_disabled_service_never_reports_hits(self, tiny, fitted_l2r, requests):
+        service = RoutingService(enable_cache=False)
+        service.register("L2R", L2REngine(fitted_l2r))
+        service.route(requests[0])
+        response = service.route(requests[0])
+        assert not response.cache_hit
+        assert service.stats().cache.hits == 0
+
+    def test_cache_does_not_mix_engines_or_drivers(self, tiny, fitted_l2r):
+        cache = RouteCache(max_size=8)
+        base = RouteRequest(source=0, destination=5)
+        assert cache.key_for("a", base) != cache.key_for("b", base)
+        assert cache.key_for("a", base) != cache.key_for(
+            "a", dataclasses.replace(base, driver_id=7)
+        )
+
+    def test_cache_peak_bucket_separates_times_for_time_dependent_engines(self):
+        cache = RouteCache(max_size=8)
+        cache.mark_time_dependent("e")
+        peak = RouteRequest(source=0, destination=5, departure_time=8 * 3600.0)
+        off = RouteRequest(source=0, destination=5, departure_time=12 * 3600.0)
+        off2 = RouteRequest(source=0, destination=5, departure_time=13 * 3600.0)
+        assert cache.key_for("e", peak) != cache.key_for("e", off)
+        assert cache.key_for("e", off) == cache.key_for("e", off2)
+        # A static engine's answer does not depend on the departure time, so
+        # all times share one cache line.
+        untimed = RouteRequest(source=0, destination=5)
+        assert cache.key_for("static", peak) == cache.key_for("static", off)
+        assert cache.key_for("static", peak) == cache.key_for("static", untimed)
+
+    def test_cache_lru_eviction(self):
+        cache = RouteCache(max_size=2)
+        for destination in (10, 11, 12):
+            request = RouteRequest(source=0, destination=destination)
+            cache.put(
+                "e",
+                RouteResponse(request=request, path=Path.of([0, destination]), engine="e"),
+            )
+        assert len(cache) == 2
+        assert cache.get("e", RouteRequest(source=0, destination=10)) is None
+
+    def test_fallback_chain_answers_on_engine_failure(self, tiny):
+        def always_fails(source, destination):
+            raise NoPathError(source, destination, "synthetic failure")
+
+        service = RoutingService()
+        service.register("broken", FunctionEngine(tiny.network, always_fails, name="broken"))
+        service.register("Fastest", FastestBaseline(tiny.network).as_engine())
+        service.set_fallback("broken", "Fastest")
+        response = service.route(RouteRequest(source=0, destination=9), engine="broken")
+        assert response.ok
+        assert response.engine == "Fastest"
+        assert response.fallback_used
+        assert service.stats().fallbacks == 1
+
+    def test_unregistered_fallback_name_is_skipped(self, tiny):
+        def always_fails(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register(
+            "broken", FunctionEngine(tiny.network, always_fails, name="broken"), fallback="typo"
+        )
+        response = service.route(RouteRequest(source=0, destination=9), engine="broken")
+        assert not response.ok  # error response, not a KeyError crash
+        assert "'typo' is not registered" in response.error  # typo surfaced
+        responses = service.route_many([RouteRequest(source=0, destination=9)] * 3)
+        assert all(not r.ok for r in responses)
+
+    def test_cache_adopts_time_dependent_peak_hours(self, tiny, tiny_split):
+        from repro.baselines import L2RAlgorithm
+        from repro.core import L2RConfig, PeakHours
+
+        custom = PeakHours(morning_start_s=6 * 3600.0, morning_end_s=10 * 3600.0)
+        pipeline = LearnToRoute(
+            L2RConfig(time_dependent=True, peak_hours=custom)
+        ).fit(tiny.network, tiny_split.train)
+        service = RoutingService()
+        service.register("L2R", pipeline.as_engine())
+        assert service._cache.peak_hours == custom
+        # The adoption also sees a pipeline one adapter deeper.
+        wrapped = RoutingService()
+        wrapped.register("L2R", L2RAlgorithm(pipeline).as_engine())
+        assert wrapped._cache.peak_hours == custom
+        # An explicitly pinned, disagreeing bucketing is refused.
+        pinned = RoutingService(peak_hours=PeakHours())
+        with pytest.raises(ConfigurationError):
+            pinned.register("L2R", pipeline.as_engine())
+
+    def test_reregistering_engine_invalidates_its_cache(self, tiny, fitted_l2r):
+        service = RoutingService()
+        service.register("E", FunctionEngine(tiny.network, lambda s, d: Path.of([s, d]), name="A"))
+        request = RouteRequest(source=0, destination=1)
+        first = service.route(request)
+        assert first.engine == "E"  # responses carry the registry name
+        assert first.path.vertices == (0, 1)
+        service.register(
+            "E", FunctionEngine(tiny.network, lambda s, d: Path.of([s, 2, d]), name="B")
+        )
+        replaced = service.route(request)
+        assert not replaced.cache_hit
+        assert replaced.path.vertices == (0, 2, 1)
+
+    def test_reregistering_fallback_engine_drops_answers_served_through_it(self, tiny):
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="B")
+        service.register("B", FunctionEngine(tiny.network, lambda s, d: Path.of([s, d]), name="B"))
+        request = RouteRequest(source=0, destination=1)
+        first = service.route(request, engine="A")  # answered by B, cached under A's key
+        assert first.engine == "B" and first.fallback_used
+        service.register(
+            "B", FunctionEngine(tiny.network, lambda s, d: Path.of([s, 2, d]), name="B")
+        )
+        replayed = service.route(request, engine="A")
+        assert not replayed.cache_hit  # the old B's answer is gone
+        assert replayed.path.vertices == (0, 2, 1)
+
+    def test_raising_protocol_engine_yields_error_slot_in_batch(self, tiny):
+        class Raising:
+            name = "Raising"
+
+            def route(self, request):
+                raise NoPathError(request.source, request.destination, "synthetic")
+
+        service = RoutingService()
+        service.register("Raising", Raising())
+        service.register("Fastest", FastestBaseline(tiny.network).as_engine())
+        responses = service.route_many(
+            [RouteRequest(source=0, destination=9)] * 2, engine="Raising"
+        )
+        assert all(not r.ok and r.error for r in responses)
+        # With a fallback the raising engine still gets answered.
+        service.set_fallback("Raising", "Fastest")
+        rescued = service.route(RouteRequest(source=0, destination=9), engine="Raising")
+        assert rescued.ok and rescued.fallback_used
+
+    def test_default_window_engine_pins_peak_hours(self, tiny):
+        from types import SimpleNamespace
+
+        from repro.core import PeakHours
+
+        def fake_time_dependent(peak_hours):
+            return SimpleNamespace(
+                name="fake", route=lambda request: None, peak_hours=peak_hours
+            )
+
+        service = RoutingService()
+        service.register("first", fake_time_dependent(PeakHours()))
+        with pytest.raises(ConfigurationError):
+            service.register(
+                "second",
+                fake_time_dependent(PeakHours(morning_start_s=6 * 3600.0)),
+            )
+
+    def test_reregistration_invalidates_by_internal_engine_name(self, tiny):
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="fast")
+        # Registry name "fast" differs from the engine's internal name.
+        service.register(
+            "fast", FunctionEngine(tiny.network, lambda s, d: Path.of([s, d]), name="Internal")
+        )
+        request = RouteRequest(source=0, destination=1)
+        first = service.route(request, engine="A")
+        assert first.engine == "fast"  # registry name, not the internal one
+        service.register(
+            "fast", FunctionEngine(tiny.network, lambda s, d: Path.of([s, 2, d]), name="Internal")
+        )
+        replayed = service.route(request, engine="A")
+        assert not replayed.cache_hit
+        assert replayed.path.vertices == (0, 2, 1)
+
+    def test_latency_samples_are_a_ring_buffer(self):
+        from repro.service import StatsAccumulator
+        from repro.service.cache import CacheStats
+
+        accumulator = StatsAccumulator(max_latency_samples=4)
+        for latency in (0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0):
+            accumulator.record(
+                RouteResponse(
+                    request=RouteRequest(source=0, destination=1),
+                    path=Path.of([0, 1]),
+                    engine="e",
+                    latency_s=latency,
+                )
+            )
+        stats = accumulator.snapshot(CacheStats(0, 0, 0, 0))
+        # The window holds the most recent samples, not the startup ones.
+        assert stats.latency_p50_s == pytest.approx(1.0)
+        assert stats.latency_mean_s == pytest.approx(1.0)
+
+    def test_fallback_cycles_terminate(self, tiny):
+        def always_fails(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("a", FunctionEngine(tiny.network, always_fails, name="a"), fallback="b")
+        service.register("b", FunctionEngine(tiny.network, always_fails, name="b"), fallback="a")
+        response = service.route(RouteRequest(source=0, destination=9), engine="a")
+        assert not response.ok
+
+    def test_aliases_of_same_engine_name_are_tracked_separately(self, tiny, fitted_l2r):
+        service = RoutingService()
+        service.register("l2r-v1", L2REngine(fitted_l2r))
+        service.register("l2r-v2", L2REngine(fitted_l2r))  # same internal name "L2R"
+        request = RouteRequest(source=0, destination=5)
+        assert service.route(request, engine="l2r-v1").engine == "l2r-v1"
+        assert service.route(request, engine="l2r-v2").engine == "l2r-v2"
+        stats = service.stats()
+        assert stats.requests_by_engine == {"l2r-v1": 1, "l2r-v2": 1}
+        # Re-registering one alias keeps the other alias's cache line.
+        service.register("l2r-v1", L2REngine(fitted_l2r))
+        assert service.route(request, engine="l2r-v2").cache_hit
+
+    def test_route_many_reuses_the_worker_pool(self, tiny, fitted_l2r, requests):
+        service = RoutingService()
+        service.register("L2R", L2REngine(fitted_l2r))
+        service.route_many(requests, max_workers=4)
+        pool = service._executor
+        service.route_many(requests, max_workers=2)
+        assert service._executor is pool  # never shrunk
+        service.route_many(requests, max_workers=8)
+        assert service._executor is not pool  # grown on demand
+        assert service._retired_executors == []  # idle old pool reaped at once
+        service.close()
+        assert service._executor is None
+        assert service.route_many(requests[:3], max_workers=2)  # still usable
+
+    def test_exhausted_chain_reports_requested_engines_error(self, tiny):
+        def boom_a(source, destination):
+            raise NoPathError(source, destination, "primary failure detail")
+
+        def boom_b(source, destination):
+            raise NoPathError(source, destination, "fallback failure")
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom_a, name="A"), fallback="B")
+        service.register("B", FunctionEngine(tiny.network, boom_b, name="B"))
+        response = service.route(RouteRequest(source=0, destination=9), engine="A")
+        assert not response.ok
+        assert response.engine == "A"
+        assert "primary failure detail" in response.error
+        assert not response.fallback_used
+
+    def test_fallback_serves_from_fallback_engines_cache(self, tiny):
+        calls = {"n": 0}
+
+        def counting_fast(source, destination):
+            calls["n"] += 1
+            return Path.of([source, destination])
+
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("fast", FunctionEngine(tiny.network, counting_fast, name="fast"))
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="fast")
+        request = RouteRequest(source=0, destination=1)
+        service.route(request, engine="fast")  # warm fast's own cache line
+        assert calls["n"] == 1
+        rescued = service.route(request, engine="A")
+        assert rescued.ok and rescued.fallback_used and rescued.cache_hit
+        assert calls["n"] == 1  # served from the fallback's cache, not recomputed
+        # One outcome per logical request: the probe hit reclassified the
+        # primary miss, leaving 1 miss (first route) and 1 hit (second).
+        stats = service.stats()
+        assert stats.cache.misses == 1
+        assert stats.cache.hits == 1
+        assert stats.fallbacks == 1
+
+    def test_reregistering_fallback_engine_mid_flight_is_not_cached(self, tiny):
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        def slow_old_b(source, destination):
+            started.set()
+            assert release.wait(timeout=5)
+            return Path.of([source, destination])
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="B")
+        service.register("B", FunctionEngine(tiny.network, slow_old_b, name="B"))
+        request = RouteRequest(source=0, destination=1)
+        worker = threading.Thread(target=lambda: service.route(request, engine="A"))
+        worker.start()
+        assert started.wait(timeout=5)  # old B is mid-flight via A's chain
+        service.register(
+            "B", FunctionEngine(tiny.network, lambda s, d: Path.of([s, 2, d]), name="B")
+        )
+        release.set()
+        worker.join(timeout=5)
+        follow = service.route(request, engine="A")
+        assert not follow.cache_hit  # the in-flight old-B answer was vetoed
+        assert follow.path.vertices == (0, 2, 1)
+
+    def test_fallback_probe_does_not_inflate_miss_count(self, tiny):
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="B")
+        service.register("B", FunctionEngine(tiny.network, lambda s, d: Path.of([s, d]), name="B"))
+        service.route(RouteRequest(source=0, destination=1), engine="A")
+        stats = service.stats()
+        assert stats.cache.misses == 1  # one logical request, one miss
+
+    def test_cache_replays_do_not_inflate_fallback_count(self, tiny):
+        def boom(source, destination):
+            raise NoPathError(source, destination)
+
+        service = RoutingService()
+        service.register("A", FunctionEngine(tiny.network, boom, name="A"), fallback="B")
+        service.register("B", FunctionEngine(tiny.network, lambda s, d: Path.of([s, d]), name="B"))
+        request = RouteRequest(source=0, destination=1)
+        for _ in range(5):
+            service.route(request, engine="A")
+        stats = service.stats()
+        assert stats.fallbacks == 1  # the chain ran once; 4 cache replays
+        assert stats.cache.hits == 4
+
+    def test_stats_snapshot(self, tiny, fitted_l2r, requests):
+        service = RoutingService()
+        service.register("L2R", L2REngine(fitted_l2r))
+        service.register("Fastest", FastestBaseline(tiny.network).as_engine())
+        service.route_many(requests, engine="L2R")
+        service.route_many(requests[:5], engine="Fastest")
+        stats = service.stats()
+        assert stats.requests == 20
+        assert stats.requests_by_engine == {"L2R": 15, "Fastest": 5}
+        assert stats.latency_p95_s >= stats.latency_p50_s >= 0.0
+        assert sum(stats.case_histogram.values()) >= 1  # L2R reports cases
+        assert stats.error_rate == 0.0
+        service.reset_stats()
+        fresh = service.stats()
+        assert fresh.requests == 0
+        # The cache window resets with the stats window (entries are kept).
+        assert fresh.cache.hits == 0 and fresh.cache.misses == 0
+        assert fresh.cache.size > 0
+
+
+class TestPersistence:
+    def test_round_trip_identical_routes(self, tiny, tiny_split, fitted_l2r, tmp_path):
+        target = tmp_path / "model.pkl.gz"
+        written = fitted_l2r.save(target)
+        assert written == target
+        assert not list(tmp_path.glob("*.tmp"))  # atomic write, no scratch left
+        restored = LearnToRoute.load(target)
+        assert restored.is_fitted
+        for trajectory in tiny_split.test[:25]:
+            original = fitted_l2r.route(trajectory.source, trajectory.destination)
+            reloaded = restored.route(trajectory.source, trajectory.destination)
+            assert original.vertices == reloaded.vertices
+
+    def test_round_trip_preserves_region_graph(self, fitted_l2r, tmp_path):
+        restored = LearnToRoute.load(fitted_l2r.save(tmp_path / "m.pkl.gz"))
+        assert restored.region_graph.statistics() == fitted_l2r.region_graph.statistics()
+
+    def test_loaded_model_serves_through_service(self, tiny, tiny_split, fitted_l2r, tmp_path):
+        restored = LearnToRoute.load(fitted_l2r.save(tmp_path / "m.pkl.gz"))
+        service = RoutingService()
+        service.register("L2R", restored.as_engine())
+        trajectory = tiny_split.test[0]
+        response = service.route(RouteRequest(trajectory.source, trajectory.destination))
+        assert response.ok
+
+    def test_unfitted_model_refused(self, tmp_path):
+        with pytest.raises(ModelPersistenceError):
+            save_model(LearnToRoute(), tmp_path / "m.pkl.gz")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ModelPersistenceError):
+            load_model(tmp_path / "missing.pkl.gz")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        import gzip
+        import pickle
+
+        target = tmp_path / "garbage.pkl.gz"
+        with gzip.open(target, "wb") as handle:
+            pickle.dump({"format": "something-else"}, handle)
+        with pytest.raises(ModelPersistenceError):
+            load_model(target)
