@@ -1,0 +1,190 @@
+"""Benchmark: compiled CSR kernels vs the dict-based reference search.
+
+Measures point-to-point Dijkstra, A*, bidirectional Dijkstra, and the
+preference-aware Algorithm-2 search on synthetic city grids of increasing
+size, once through the compiled dispatch path and once with the compiled
+kernels disabled (the dict-based reference implementations), asserting
+path-for-path identical answers along the way.  Results are written to a
+machine-readable JSON file (default ``BENCH_routing.json``) so later PRs have
+a performance trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiled_graph.py
+    PYTHONPATH=src python benchmarks/bench_compiled_graph.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_compiled_graph.py --min-speedup 3.0
+
+Timings are hardware-dependent and (except under ``--min-speedup``) never
+fail the run; the correctness assertions always do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.network import compiled_disabled, grid_city_network
+from repro.network.compiled import sparse
+from repro.preferences import PreferenceVector
+from repro.preferences.features import MAJOR_ROADS
+from repro.routing import (
+    CostFeature,
+    astar,
+    bidirectional_dijkstra,
+    cost_function,
+    dijkstra,
+    heuristic_for,
+    preference_dijkstra,
+)
+
+FULL_GRIDS = [(20, 20), (40, 40), (60, 60)]
+SMOKE_GRIDS = [(12, 12)]
+
+
+def _queries(network, count: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    pairs = []
+    while len(pairs) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            pairs.append((a, b))
+    return pairs
+
+
+def _kernel_runners(network):
+    cost = cost_function(CostFeature.TRAVEL_TIME)
+    preference = PreferenceVector(master=CostFeature.TRAVEL_TIME, slave=MAJOR_ROADS)
+
+    def run_dijkstra(source, destination):
+        return dijkstra(network, source, destination, cost)
+
+    def run_astar(source, destination):
+        return astar(
+            network,
+            source,
+            destination,
+            cost,
+            heuristic_for(network, destination, CostFeature.TRAVEL_TIME),
+        )
+
+    def run_bidirectional(source, destination):
+        return bidirectional_dijkstra(network, source, destination, cost)
+
+    def run_preference(source, destination):
+        return preference_dijkstra(network, source, destination, preference)
+
+    return {
+        "dijkstra": run_dijkstra,
+        "astar": run_astar,
+        "bidirectional": run_bidirectional,
+        "preference_dijkstra": run_preference,
+    }
+
+
+def _time_queries(runner, queries) -> tuple[float, list[tuple[int, ...]]]:
+    paths: list[tuple[int, ...]] = []
+    start = time.perf_counter()
+    for source, destination in queries:
+        paths.append(runner(source, destination).vertices)
+    return time.perf_counter() - start, paths
+
+
+def bench_grid(rows: int, cols: int, query_count: int, seed: int) -> dict:
+    network = grid_city_network(rows=rows, cols=cols, seed=seed)
+    queries = _queries(network, query_count, seed + 1)
+
+    compile_start = time.perf_counter()
+    network.compiled()
+    compile_seconds = time.perf_counter() - compile_start
+
+    result = {
+        "rows": rows,
+        "cols": cols,
+        "vertices": network.vertex_count,
+        "edges": network.edge_count,
+        "queries": len(queries),
+        "compile_seconds": round(compile_seconds, 6),
+        "kernels": {},
+    }
+
+    runners = _kernel_runners(network)
+    for name, runner in runners.items():
+        runner(*queries[0])  # warm caches (cost arrays, sparse matrices)
+        compiled_seconds, compiled_paths = _time_queries(runner, queries)
+        with compiled_disabled():
+            dict_seconds, dict_paths = _time_queries(runner, queries)
+        if compiled_paths != dict_paths:
+            mismatches = sum(1 for a, b in zip(compiled_paths, dict_paths) if a != b)
+            raise AssertionError(
+                f"{name} on {rows}x{cols}: compiled and dict kernels disagree "
+                f"on {mismatches}/{len(queries)} queries"
+            )
+        result["kernels"][name] = {
+            "dict_seconds": round(dict_seconds, 6),
+            "compiled_seconds": round(compiled_seconds, 6),
+            "speedup": round(dict_seconds / compiled_seconds, 3) if compiled_seconds else None,
+        }
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="one small grid (CI)")
+    parser.add_argument("--queries", type=int, default=40, help="OD pairs per grid")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless compiled Dijkstra beats the dict kernel by this "
+        "factor on the largest grid (0 = report only)",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    queries = min(args.queries, 15) if args.smoke else args.queries
+
+    report = {
+        "benchmark": "bench_compiled_graph",
+        "mode": "smoke" if args.smoke else "full",
+        "queries_per_grid": queries,
+        "scipy_available": sparse.HAVE_SCIPY,
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(f"benchmarking {rows}x{cols} grid ({queries} queries)...", flush=True)
+        grid_report = bench_grid(rows, cols, queries, args.seed)
+        report["grids"].append(grid_report)
+        for name, numbers in grid_report["kernels"].items():
+            print(
+                f"  {name:>20}: dict {numbers['dict_seconds']:.4f}s  "
+                f"compiled {numbers['compiled_seconds']:.4f}s  "
+                f"speedup {numbers['speedup']}x"
+            )
+
+    largest = report["grids"][-1]
+    dijkstra_speedup = largest["kernels"]["dijkstra"]["speedup"]
+    report["largest_grid_dijkstra_speedup"] = dijkstra_speedup
+
+    output = FilePath(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} (largest-grid Dijkstra speedup: {dijkstra_speedup}x)")
+
+    if args.min_speedup and (dijkstra_speedup or 0.0) < args.min_speedup:
+        print(
+            f"FAIL: Dijkstra speedup {dijkstra_speedup}x below required "
+            f"{args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,8 @@ import threading
 from collections import Counter, defaultdict
 from typing import Sequence
 
+import numpy as np
+
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from ..routing.dijkstra import dijkstra, fastest_path
 from ..routing.path import Path
@@ -80,6 +82,26 @@ class PopularRouteBaseline(RoutingAlgorithm):
                 # otherwise Case-3 queries would have no answer at all.
                 return edge.distance_m * 100.0
             return edge.distance_m / (1.0 + math.log1p(popularity))
+
+        def build_cost_array(graph):
+            # Popularity is frozen after _fit, so the whole splicing-cost
+            # array is computed once per graph snapshot and shared by every
+            # query (keyed by this baseline instance).
+            def build():
+                if not self._edge_popularity:
+                    return graph.array("distance_m") * 100.0
+                return np.fromiter(
+                    (splicing_cost(edge) for edge in graph.edges),
+                    dtype=np.float64,
+                    count=graph.edge_count,
+                )
+
+            return graph.memo(("popular-splicing", self), build)
+
+        splicing_cost.build_cost_array = build_cost_array  # type: ignore[attr-defined]
+        # Keyed by the instance itself (not id()) so a recycled id can never
+        # alias another baseline's popularity table in the graph's caches.
+        splicing_cost.cost_cache_key = ("popular-splicing", self)  # type: ignore[attr-defined]
 
         try:
             spliced = dijkstra(self._network, source, destination, splicing_cost)

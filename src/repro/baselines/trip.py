@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Sequence
 
+import numpy as np
+
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from ..network.road_types import RoadType
 from ..routing.dijkstra import dijkstra
@@ -85,4 +87,20 @@ class TripBaseline(RoutingAlgorithm):
         def personalized_time(edge: Edge) -> float:
             return edge.travel_time_s * ratios.get(edge.road_type, 1.0)
 
+        # Compiled form: a per-road-type ratio lookup table applied to the
+        # flat travel-time array (memoized per distinct ratio profile, so all
+        # queries of one driver share the same precomputed cost array).
+        profile = tuple(sorted((int(rt), ratio) for rt, ratio in ratios.items()))
+
+        def build_cost_array(graph):
+            def build():
+                table = np.ones(max(int(rt) for rt in RoadType) + 1, dtype=np.float64)
+                for value, ratio in profile:
+                    table[value] = ratio
+                return graph.array("travel_time_s") * table[graph.road_type_values]
+
+            return graph.memo(("trip-personalized", profile), build)
+
+        personalized_time.build_cost_array = build_cost_array  # type: ignore[attr-defined]
+        personalized_time.cost_cache_key = ("trip-personalized", profile)  # type: ignore[attr-defined]
         return dijkstra(self._network, source, destination, personalized_time)

@@ -22,6 +22,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..exceptions import NoPathError, RegionGraphError
 from ..network.road_network import RoadNetwork, VertexId
 from ..network.spatial import equirectangular_m
@@ -208,6 +210,34 @@ class RegionRouter:
             if slave is not None and not slave.satisfied_by(edge.road_type):
                 return cost * 1.5
             return cost
+
+        def build_cost_array(graph):
+            # Vectorized corridor cost: start from the master feature's flat
+            # array, penalize slave-violating edges, then overwrite corridor
+            # slots with the popularity discount (same precedence as above).
+            attr = getattr(master, "cost_attr", None)
+            if attr is None:
+                return None
+            base = graph.array(attr)
+            weights = base.copy()
+            if slave is not None:
+                satisfied = graph.memo(
+                    ("corridor-slave-mask", slave),
+                    lambda: np.fromiter(
+                        (slave.satisfied_by(edge.road_type) for edge in graph.edges),
+                        dtype=bool,
+                        count=graph.edge_count,
+                    ),
+                )
+                weights[~satisfied] *= 1.5
+            slot = graph.slot
+            for hop, count in corridor.items():
+                index = slot(*hop)
+                if index is not None:
+                    weights[index] = base[index] / (1.0 + math.log1p(count))
+            return weights
+
+        corridor_cost.build_cost_array = build_cost_array  # type: ignore[attr-defined]
 
         try:
             return dijkstra(self._network, source, destination, corridor_cost)

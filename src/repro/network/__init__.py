@@ -18,6 +18,7 @@ from .spatial import (
     project_point_to_segment,
 )
 from .spatial_index import SpatialIndex
+from .compiled import CompiledGraph, SearchWorkspace, compiled_disabled
 from .generators import (
     CitySpec,
     chengdu_like_network,
@@ -32,6 +33,7 @@ __all__ = [
     "ALL_ROAD_TYPES",
     "BoundingBox",
     "CitySpec",
+    "CompiledGraph",
     "DEFAULT_SPEED_KMH",
     "Edge",
     "LocalProjection",
@@ -39,11 +41,13 @@ __all__ = [
     "NetworkStatistics",
     "RoadNetwork",
     "RoadType",
+    "SearchWorkspace",
     "SpatialIndex",
     "Vertex",
     "VertexId",
     "centroid",
     "chengdu_like_network",
+    "compiled_disabled",
     "convex_hull",
     "country_network",
     "denmark_like_network",

@@ -1,0 +1,42 @@
+"""Compiled CSR graph kernels — the array-based routing hot path.
+
+The subsystem has three layers:
+
+* :mod:`~repro.network.compiled.graph` — :class:`CompiledGraph`, the immutable
+  CSR snapshot of a :class:`~repro.network.road_network.RoadNetwork` with one
+  flat numpy cost array per travel-cost feature;
+* :mod:`~repro.network.compiled.kernels` — array-based Dijkstra / A* /
+  bidirectional / Algorithm-2 kernels over preallocated, generation-stamped
+  :class:`SearchWorkspace` state;
+* :mod:`~repro.network.compiled.dispatch` — the bridge the public routing
+  functions call: eligible queries run on the kernels, opaque ones fall back
+  to the dict-based reference implementations.
+
+Use :func:`compiled_disabled` to force the reference implementations (the
+equivalence tests and the ``bench_compiled_graph`` benchmark do).
+"""
+
+from .workspace import SearchWorkspace
+from .kernels import (
+    astar_kernel,
+    bidirectional_kernel,
+    dijkstra_costs_kernel,
+    dijkstra_kernel,
+    preference_kernel,
+)
+from .dispatch import PreferenceSearchExhausted, compiled_disabled, is_enabled
+from .graph import EDGE_COST_ATTRIBUTES, CompiledGraph
+
+__all__ = [
+    "CompiledGraph",
+    "EDGE_COST_ATTRIBUTES",
+    "PreferenceSearchExhausted",
+    "SearchWorkspace",
+    "astar_kernel",
+    "bidirectional_kernel",
+    "compiled_disabled",
+    "dijkstra_costs_kernel",
+    "dijkstra_kernel",
+    "is_enabled",
+    "preference_kernel",
+]

@@ -1,0 +1,306 @@
+"""Dispatch from the public routing functions onto the compiled kernels.
+
+The functions here are the bridge between the dict-based routing API
+(:mod:`repro.routing`) and the CSR kernels.  Each ``try_*`` function returns
+
+* a vertex-id path (or result mapping) when the compiled kernel ran,
+* ``None`` when the query is not eligible — compiled search disabled, or the
+  edge-cost callable is opaque — in which case the caller falls back to its
+  dict-based reference implementation,
+
+and raises :class:`~repro.exceptions.NoPathError` when the kernel ran and
+proved the destination unreachable.
+
+This module deliberately imports nothing from :mod:`repro.routing` (the
+routing modules import *it*), keeping the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ...exceptions import NoPathError
+from . import sparse
+from .kernels import (
+    astar_kernel,
+    bidirectional_kernel,
+    dijkstra_costs_kernel,
+    dijkstra_kernel,
+    preference_kernel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..road_network import Edge, RoadNetwork, VertexId
+    from .graph import CompiledGraph
+
+_enabled = True
+
+
+class PreferenceSearchExhausted(Exception):
+    """Internal signal: the compiled Algorithm-2 search found no path.
+
+    Raised instead of :class:`NoPathError` so the caller can apply the
+    paper's fall-back-to-unconstrained-master-cost behaviour.
+    """
+
+
+def is_enabled() -> bool:
+    """Whether routing functions dispatch to the compiled kernels."""
+    return _enabled
+
+
+@contextmanager
+def compiled_disabled() -> Iterator[None]:
+    """Force the dict-based reference implementations (tests, benchmarks)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def _recognized(edge_cost) -> bool:
+    """Whether the cost callable can map onto a compiled cost array.
+
+    Checked *before* touching ``network.compiled()`` so opaque costs never
+    trigger (and then discard) a CSR compilation.
+    """
+    return (
+        getattr(edge_cost, "cost_attr", None) is not None
+        or getattr(edge_cost, "cost_terms", None) is not None
+        or getattr(edge_cost, "build_cost_array", None) is not None
+    )
+
+
+def _view(network: "RoadNetwork") -> "CompiledGraph | None":
+    if not _enabled:
+        return None
+    accessor = getattr(network, "compiled", None)
+    if accessor is None:
+        return None
+    return accessor()
+
+
+def _weights(graph: "CompiledGraph", edge_cost) -> list[float] | None:
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array = resolved
+    return graph.forward_weights(key, array)
+
+
+def try_dijkstra(
+    network: "RoadNetwork",
+    source: "VertexId",
+    destination: "VertexId",
+    edge_cost,
+    edge_filter: Callable[["Edge"], bool] | None = None,
+) -> list["VertexId"] | None:
+    """Compiled point-to-point Dijkstra (see module docstring for protocol)."""
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array = resolved
+    source_index = graph.index_of[source]
+    destination_index = graph.index_of[destination]
+    if edge_filter is None and key is not None:
+        # Fast path: scipy's C Dijkstra over the same CSR arrays, with an
+        # exact (reference-identical) path reconstruction.  Restricted to
+        # cacheable cost arrays: it runs a full SSSP with no destination
+        # early-stop, which only pays off once the CSR matrix is memoized —
+        # per-query arrays (key None, e.g. corridor costs) do better on the
+        # early-exiting python kernel below.
+        result = sparse.shortest_path_indices(
+            graph, key, array, source_index, destination_index
+        )
+        if result == ():
+            raise NoPathError(source, destination)
+        if result is not None:
+            return graph.path_ids(result)
+    weights = graph.forward_weights(key, array)
+    with graph.borrowed_workspace() as ws:
+        indices = dijkstra_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            source_index,
+            destination_index,
+            ws,
+            graph.edges,
+            edge_filter,
+        )
+    if indices is None:
+        raise NoPathError(source, destination)
+    return graph.path_ids(indices)
+
+
+def try_dijkstra_costs(
+    network: "RoadNetwork",
+    source: "VertexId",
+    edge_cost,
+    targets: Iterable["VertexId"] | None = None,
+) -> dict["VertexId", float] | None:
+    """Compiled single-source costs with the reference early-stop semantics."""
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    weights = _weights(graph, edge_cost)
+    if weights is None:
+        return None
+    target_set = set(targets) if targets is not None else None
+    remaining: set[int] | None = None
+    if target_set is not None:
+        index_of = graph.index_of
+        remaining = {index_of[t] for t in target_set if t in index_of}
+    with graph.borrowed_workspace() as ws:
+        settled = dijkstra_costs_kernel(
+            graph.offsets, graph.targets, weights, graph.index_of[source], remaining, ws
+        )
+    ids = graph.vertex_ids
+    if target_set is not None:
+        return {ids[i]: cost for i, cost in settled if ids[i] in target_set}
+    return {ids[i]: cost for i, cost in settled}
+
+
+def try_astar(
+    network: "RoadNetwork",
+    source: "VertexId",
+    destination: "VertexId",
+    edge_cost,
+    heuristic: Callable[["VertexId"], float],
+    edge_filter: Callable[["Edge"], bool] | None = None,
+) -> list["VertexId"] | None:
+    """Compiled A*; caches heuristic values per vertex per query."""
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    weights = _weights(graph, edge_cost)
+    if weights is None:
+        return None
+    ids = graph.vertex_ids
+    with graph.borrowed_workspace() as ws:
+        gen = ws.begin()
+        hval = ws.hval
+        hstamp = ws.hstamp
+
+        def cached_heuristic(index: int) -> float:
+            if hstamp[index] != gen:
+                hval[index] = heuristic(ids[index])
+                hstamp[index] = gen
+            return hval[index]
+
+        indices = astar_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            graph.index_of[source],
+            graph.index_of[destination],
+            cached_heuristic,
+            ws,
+            gen,
+            graph.edges,
+            edge_filter,
+        )
+    if indices is None:
+        raise NoPathError(source, destination)
+    return graph.path_ids(indices)
+
+
+def try_bidirectional(
+    network: "RoadNetwork",
+    source: "VertexId",
+    destination: "VertexId",
+    edge_cost,
+) -> list["VertexId"] | None:
+    """Compiled bidirectional Dijkstra over the forward and reverse CSR."""
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array = resolved
+    weights = graph.forward_weights(key, array)
+    r_weights = graph.reverse_weights(key, array)
+    with graph.borrowed_workspace() as ws:
+        indices = bidirectional_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            graph.r_offsets,
+            graph.r_targets,
+            r_weights,
+            graph.index_of[source],
+            graph.index_of[destination],
+            ws,
+        )
+    if indices is None:
+        raise NoPathError(source, destination)
+    return graph.path_ids(indices)
+
+
+def _slave_masks(graph: "CompiledGraph", slave) -> tuple[list[bool], list[bool]]:
+    """Per-slot "edge satisfies the slave" mask + per-vertex Case-ii flags."""
+    allowed = [slave.satisfied_by(edge.road_type) for edge in graph.edges]
+    offsets = graph.offsets
+    none_allowed = [
+        not any(allowed[offsets[u] : offsets[u + 1]])
+        for u in range(graph.vertex_count)
+    ]
+    return allowed, none_allowed
+
+
+def try_preference(
+    network: "RoadNetwork",
+    source: "VertexId",
+    destination: "VertexId",
+    master_cost,
+    slave,
+) -> list["VertexId"] | None:
+    """Compiled Algorithm 2; raises :class:`PreferenceSearchExhausted` when
+    the (possibly slave-constrained) search runs dry."""
+    if not _recognized(master_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    weights = _weights(graph, master_cost)
+    if weights is None:
+        return None
+    if slave is None:
+        allowed = graph.memo(("slave-none",), lambda: [True] * graph.edge_count)
+        none_allowed = graph.memo(
+            ("slave-none-vertices",), lambda: [False] * graph.vertex_count
+        )
+    else:
+        allowed, none_allowed = graph.memo(
+            ("slave-masks", slave), lambda: _slave_masks(graph, slave)
+        )
+    with graph.borrowed_workspace() as ws:
+        indices = preference_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            allowed,  # type: ignore[arg-type]
+            none_allowed,  # type: ignore[arg-type]
+            graph.index_of[source],
+            graph.index_of[destination],
+            ws,
+        )
+    if indices is None:
+        raise PreferenceSearchExhausted()
+    return graph.path_ids(indices)

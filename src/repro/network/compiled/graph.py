@@ -1,0 +1,255 @@
+"""The compiled (CSR) view of a :class:`~repro.network.road_network.RoadNetwork`.
+
+A :class:`CompiledGraph` flattens the dict-of-dicts adjacency into the classic
+array layout used by every serious routing engine:
+
+* vertex ids are mapped to dense integer indices (in sorted-id order, so heap
+  tie-breaking stays order-isomorphic with the dict-based kernels);
+* the forward adjacency becomes CSR ``offsets`` / ``targets`` arrays whose
+  slots preserve adjacency insertion order;
+* each travel-cost feature becomes one flat numpy array in CSR slot order,
+  with a linear-combination view for preference weight vectors;
+* a reverse CSR (predecessor) layout indexes back into the forward slots so
+  any forward cost array doubles as a backward one.
+
+The object is immutable: :meth:`RoadNetwork.compiled` builds it lazily and
+drops it whenever the network mutates.  Search scratch state lives in
+per-thread :class:`~repro.network.compiled.workspace.SearchWorkspace` objects
+obtained from :meth:`workspace`, so concurrent queries (the service layer fans
+``route_many`` out over a thread pool) never share ``dist`` / ``parent``
+arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Iterator
+
+import numpy as np
+
+from .workspace import SearchWorkspace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..road_network import Edge, RoadNetwork, VertexId
+
+#: Edge attributes compiled into flat cost arrays (the paper's wDI/wTT/wFC).
+EDGE_COST_ATTRIBUTES: tuple[str, ...] = ("distance_m", "travel_time_s", "fuel_ml")
+
+
+#: Cap on memoized derived artifacts (cost arrays, masks, sparse matrices).
+#: Bounds memory on long-lived services where e.g. per-driver cost profiles
+#: would otherwise accrete one flat array each; evicted entries just rebuild.
+DEFAULT_MEMO_SIZE = 128
+
+
+class CompiledGraph:
+    """An immutable CSR snapshot of a road network plus cost arrays."""
+
+    def __init__(self, network: "RoadNetwork", memo_size: int = DEFAULT_MEMO_SIZE) -> None:
+        ids: list["VertexId"] = sorted(network.vertex_ids())
+        index_of: dict["VertexId", int] = {vid: i for i, vid in enumerate(ids)}
+        n = len(ids)
+
+        offsets: list[int] = [0] * (n + 1)
+        targets: list[int] = []
+        edges: list["Edge"] = []
+        slot_of: dict[tuple["VertexId", "VertexId"], int] = {}
+        for i, vid in enumerate(ids):
+            for tid, edge in network.successors(vid).items():
+                slot_of[(vid, tid)] = len(targets)
+                targets.append(index_of[tid])
+                edges.append(edge)
+            offsets[i + 1] = len(targets)
+
+        r_offsets: list[int] = [0] * (n + 1)
+        r_targets: list[int] = []
+        r_slots: list[int] = []
+        for i, vid in enumerate(ids):
+            for sid, edge in network.predecessors(vid).items():
+                r_targets.append(index_of[sid])
+                r_slots.append(slot_of[(sid, vid)])
+            r_offsets[i + 1] = len(r_targets)
+
+        m = len(edges)
+        arrays: dict[str, np.ndarray] = {}
+        for attr in EDGE_COST_ATTRIBUTES:
+            arr = np.fromiter(
+                (getattr(edge, attr) for edge in edges), dtype=np.float64, count=m
+            )
+            arr.flags.writeable = False
+            arrays[attr] = arr
+        road_type_values = np.fromiter(
+            (int(edge.road_type) for edge in edges), dtype=np.int64, count=m
+        )
+        road_type_values.flags.writeable = False
+
+        self.vertex_ids: list["VertexId"] = ids
+        self.index_of = index_of
+        self.offsets = offsets
+        self.targets = targets
+        self.edges = edges
+        self.r_offsets = r_offsets
+        self.r_targets = r_targets
+        self.road_type_values = road_type_values
+        self._slot_of = slot_of
+        self._r_slots = np.asarray(r_slots, dtype=np.int64)
+        self._arrays = arrays
+        self._weight_lists: OrderedDict[Hashable, list[float]] = OrderedDict()
+        self._r_weight_lists: OrderedDict[Hashable, list[float]] = OrderedDict()
+        self._memo: OrderedDict[Hashable, object] = OrderedDict()
+        self._memo_size = max(8, int(memo_size))
+        self._memo_lock = threading.Lock()
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertex_ids)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def slot(self, source: "VertexId", target: "VertexId") -> int | None:
+        """CSR slot of the directed edge ``(source, target)`` or ``None``."""
+        return self._slot_of.get((source, target))
+
+    # ------------------------------------------------------------------ #
+    # Cost arrays
+    # ------------------------------------------------------------------ #
+    def array(self, attribute: str) -> np.ndarray:
+        """The read-only cost array for one compiled edge attribute."""
+        return self._arrays[attribute]
+
+    def _cached(self, cache: OrderedDict, key: Hashable, build: Callable[[], object]) -> object:
+        """LRU get-or-build shared by every per-snapshot cache."""
+        with self._memo_lock:
+            if key in cache:
+                cache.move_to_end(key)
+                return cache[key]
+        built = build()
+        with self._memo_lock:
+            cached = cache.setdefault(key, built)
+            cache.move_to_end(key)
+            while len(cache) > self._memo_size:
+                cache.popitem(last=False)
+        return cached
+
+    def linear_array(self, terms: tuple[tuple[str, float], ...]) -> np.ndarray:
+        """A (memoized) linear combination of cost arrays.
+
+        ``terms`` is an ordered tuple of ``(attribute, weight)`` pairs;
+        accumulation follows that order so the floats match the dict-based
+        ``weighted_cost`` closure bit for bit.
+        """
+
+        def build():
+            acc = np.zeros(self.edge_count, dtype=np.float64)
+            for attribute, weight in terms:
+                acc += self._arrays[attribute] * weight
+            acc.flags.writeable = False
+            return acc
+
+        return self._cached(self._memo, ("linear", terms), build)  # type: ignore[return-value]
+
+    def resolve_cost(self, edge_cost: Callable) -> tuple[Hashable | None, np.ndarray] | None:
+        """Map an edge-cost callable to a flat cost array, if possible.
+
+        Recognized callables carry one of three attributes (see
+        :mod:`repro.routing.costs`): ``cost_attr`` (a single compiled
+        attribute), ``cost_terms`` (an ordered linear combination), or
+        ``build_cost_array`` (a factory receiving this graph).  Returns
+        ``(cache_key, array)`` — the key is ``None`` for uncacheable
+        per-query arrays — or ``None`` when the callable is opaque and the
+        caller must fall back to the dict-based implementation.
+        """
+        attr = getattr(edge_cost, "cost_attr", None)
+        if attr is not None:
+            return ("attr", attr), self._arrays[attr]
+        terms = getattr(edge_cost, "cost_terms", None)
+        if terms is not None:
+            terms = tuple(terms)
+            return ("linear", terms), self.linear_array(terms)
+        builder = getattr(edge_cost, "build_cost_array", None)
+        if builder is not None:
+            built = builder(self)
+            if built is None:
+                return None
+            # Builders whose array is constant per graph snapshot may expose
+            # a ``cost_cache_key`` so weight lists / sparse matrices derived
+            # from the array are memoized too; per-query arrays leave it off.
+            key = getattr(edge_cost, "cost_cache_key", None)
+            if key is not None:
+                key = ("built", key)
+            return key, np.asarray(built, dtype=np.float64)
+        return None
+
+    def forward_weights(self, key: Hashable | None, array: np.ndarray) -> list[float]:
+        """The cost array as a plain list in forward CSR slot order."""
+        if key is None:
+            return array.tolist()
+        return self._cached(self._weight_lists, key, array.tolist)  # type: ignore[return-value]
+
+    def reverse_weights(self, key: Hashable | None, array: np.ndarray) -> list[float]:
+        """The cost array permuted into reverse (predecessor) slot order."""
+
+        def build():
+            return array[self._r_slots].tolist() if len(array) else []
+
+        if key is None:
+            return build()
+        return self._cached(self._r_weight_lists, key, build)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Derived-artifact cache and scratch state
+    # ------------------------------------------------------------------ #
+    def memo(self, key: Hashable, build: Callable[[], object]) -> object:
+        """Cache an arbitrary derived artifact on this graph snapshot.
+
+        Used for slave-preference edge masks, baseline cost arrays, and
+        similar per-graph precomputations.  The cache is LRU-bounded
+        (``memo_size`` entries — evicted artifacts simply rebuild) and dies
+        with the snapshot, so network mutation invalidates everything at
+        once.
+        """
+        return self._cached(self._memo, key, build)
+
+    @contextmanager
+    def borrowed_workspace(self) -> Iterator[SearchWorkspace]:
+        """Check a preallocated workspace out of the calling thread's pool.
+
+        Nested compiled searches (e.g. a heuristic or cost callback that
+        routes on the same network) each borrow their own workspace, so an
+        inner search can never corrupt the generation stamps of an outer one.
+        The pool grows to the maximum nesting depth ever seen per thread.
+        """
+        pool = getattr(self._tls, "pool", None)
+        if pool is None:
+            pool = self._tls.pool = []
+        ws = pool.pop() if pool else SearchWorkspace(self.vertex_count)
+        try:
+            yield ws
+        finally:
+            pool.append(ws)
+
+    def workspace(self) -> SearchWorkspace:
+        """A dedicated workspace sized to this graph.
+
+        For callers that hold search state across their own call boundaries
+        (e.g. contraction-hierarchy construction).  Kernel dispatch uses
+        :meth:`borrowed_workspace`, whose pooled instances must never be
+        retained outside the ``with`` block.
+        """
+        return SearchWorkspace(self.vertex_count)
+
+    def path_ids(self, indices: Iterable[int]) -> list["VertexId"]:
+        """Translate an index path back into original vertex ids."""
+        ids = self.vertex_ids
+        return [ids[i] for i in indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledGraph(vertices={self.vertex_count}, edges={self.edge_count})"

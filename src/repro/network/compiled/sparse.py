@@ -1,0 +1,114 @@
+"""Optional scipy-accelerated SSSP over the compiled CSR arrays.
+
+The :class:`~repro.network.compiled.graph.CompiledGraph` layout (``offsets`` /
+``targets`` / flat cost arrays) *is* scipy's native CSR format, so when scipy
+is installed point-to-point Dijkstra runs ``scipy.sparse.csgraph.dijkstra``
+(a C implementation) for the distance array and reconstructs the path with a
+deterministic backward walk.
+
+The walk picks, at every vertex ``v``, the predecessor ``u`` minimizing
+``(dist[u], u)`` among those with ``dist[u] + w(u, v) == dist[v]`` exactly —
+which is provably the parent the dict-based reference Dijkstra records (the
+first equal-cost relaxer to settle wins there, and settle order is
+``(dist, index)``-lexicographic), so the reconstructed path is identical to
+the reference one, not merely cost-identical.
+
+Everything degrades gracefully: without scipy, with non-positive weights
+(where the backward walk could cycle), or on any reconstruction anomaly the
+caller falls back to the pure-python array kernels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+try:  # scipy is optional; the pure-python kernels cover its absence.
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only without scipy
+    _csr_matrix = None
+    _csgraph_dijkstra = None
+    HAVE_SCIPY = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import CompiledGraph
+
+
+def _matrix(graph: "CompiledGraph", key: Hashable | None, array: np.ndarray):
+    """A scipy CSR matrix over the graph's cost array (memoized per key)."""
+    indptr = graph.memo(
+        ("sparse-indptr",), lambda: np.asarray(graph.offsets, dtype=np.int32)
+    )
+    indices = graph.memo(
+        ("sparse-indices",), lambda: np.asarray(graph.targets, dtype=np.int32)
+    )
+    n = graph.vertex_count
+
+    def build():
+        return _csr_matrix((array, indices, indptr), shape=(n, n))
+
+    if key is None:
+        return build()
+    return graph.memo(("sparse-matrix", key), build)
+
+
+def _all_positive(graph: "CompiledGraph", key: Hashable | None, array: np.ndarray) -> bool:
+    """Strictly positive weights guarantee the backward walk terminates."""
+    if key is None:
+        return bool(array.size == 0 or array.min() > 0.0)
+    return bool(
+        graph.memo(("sparse-positive", key), lambda: array.size == 0 or array.min() > 0.0)
+    )
+
+
+def shortest_path_indices(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    source: int,
+    destination: int,
+) -> list[int] | None | tuple[()]:
+    """Point-to-point shortest path via scipy's C Dijkstra.
+
+    Returns the vertex-index path, the empty tuple ``()`` when the
+    destination is provably unreachable, or ``None`` when this backend cannot
+    answer (scipy missing / non-positive weights / reconstruction anomaly)
+    and the pure-python kernel should run instead.
+    """
+    if not HAVE_SCIPY or not _all_positive(graph, key, array):
+        return None
+    matrix = _matrix(graph, key, array)
+    distances = _csgraph_dijkstra(matrix, indices=source, return_predecessors=False)
+    if not np.isfinite(distances[destination]):
+        return ()
+
+    dist = distances.tolist()
+    r_offsets = graph.r_offsets
+    r_targets = graph.r_targets
+    r_weights = graph.reverse_weights(key, array)
+
+    path = [destination]
+    current = destination
+    for _ in range(graph.vertex_count):
+        if current == source:
+            path.reverse()
+            return path
+        best = -1
+        best_key: tuple[float, int] | None = None
+        dist_v = dist[current]
+        for j in range(r_offsets[current], r_offsets[current + 1]):
+            u = r_targets[j]
+            if dist[u] + r_weights[j] == dist_v:
+                candidate = (dist[u], u)
+                if best_key is None or candidate < best_key:
+                    best_key = candidate
+                    best = u
+        if best < 0:  # pragma: no cover - float anomaly; use the exact kernel
+            return None
+        path.append(best)
+        current = best
+    return None  # pragma: no cover - cycle guard tripped; use the exact kernel

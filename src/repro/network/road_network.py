@@ -16,8 +16,9 @@ conversion helpers to/from networkx are provided for analysis and testing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import networkx as nx
 
@@ -25,11 +26,34 @@ from ..exceptions import EdgeNotFoundError, NetworkError, VertexNotFoundError
 from .road_types import RoadType
 from .spatial import BoundingBox, LonLat, equirectangular_m
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .compiled.graph import CompiledGraph
+
 VertexId = int
 """Vertices are identified by integers."""
 
 
-@dataclass(frozen=True)
+def _slotted_setstate(self, state) -> None:
+    """Unpickle compat: accept both slots-era and pre-slots (dict) states.
+
+    ``Vertex``/``Edge`` gained ``slots=True``; models persisted by earlier
+    versions pickled instance ``__dict__`` states, which the generated
+    dataclass ``__setstate__`` would silently misinterpret (it zips field
+    values positionally).  Restoring by field name keeps old model files
+    loading correctly.
+    """
+    if isinstance(state, dict):  # pre-slots pickle
+        values = [state[name] for name in self.__slots__]
+    elif isinstance(state, tuple) and len(state) == 2:  # (dict, slots) form
+        merged = {**(state[0] or {}), **(state[1] or {})}
+        values = [merged[name] for name in self.__slots__]
+    else:  # list of field values (generated slots __getstate__)
+        values = state
+    for name, value in zip(self.__slots__, values):
+        object.__setattr__(self, name, value)
+
+
+@dataclass(frozen=True, slots=True)
 class Vertex:
     """A road intersection."""
 
@@ -37,12 +61,14 @@ class Vertex:
     lon: float
     lat: float
 
+    __setstate__ = _slotted_setstate
+
     @property
     def lonlat(self) -> LonLat:
         return (self.lon, self.lat)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """A directed road segment with the paper's four weight functions."""
 
@@ -53,6 +79,8 @@ class Edge:
     fuel_ml: float
     road_type: RoadType
     speed_kmh: float
+
+    __setstate__ = _slotted_setstate
 
     @property
     def key(self) -> tuple[VertexId, VertexId]:
@@ -68,6 +96,27 @@ class RoadNetwork:
         self._edges: dict[tuple[VertexId, VertexId], Edge] = {}
         self._adjacency: dict[VertexId, dict[VertexId, Edge]] = {}
         self._reverse: dict[VertexId, dict[VertexId, Edge]] = {}
+        self._compiled: "CompiledGraph | None" = None
+        self._compiled_lock = threading.Lock()
+        self._bounding_box: BoundingBox | None = None
+        self._version = 0
+
+    def __getstate__(self) -> dict:
+        # The compiled view holds thread-local workspaces and is cheap to
+        # rebuild, so it (and the build lock) is dropped from pickles
+        # (model persistence).
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        state.pop("_compiled_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Defaults for pickles written before these fields existed.
+        self.__dict__.setdefault("_compiled", None)
+        self.__dict__.setdefault("_bounding_box", None)
+        self.__dict__.setdefault("_version", 0)
+        self._compiled_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -78,6 +127,7 @@ class RoadNetwork:
         self._vertices[vertex_id] = vertex
         self._adjacency.setdefault(vertex_id, {})
         self._reverse.setdefault(vertex_id, {})
+        self._invalidate(bounding_box=True)
         return vertex
 
     def add_edge(
@@ -131,6 +181,7 @@ class RoadNetwork:
         self._edges[(source, target)] = edge
         self._adjacency[source][target] = edge
         self._reverse[target][source] = edge
+        self._invalidate()
 
         if bidirectional:
             self.add_edge(
@@ -144,6 +195,43 @@ class RoadNetwork:
                 bidirectional=False,
             )
         return edge
+
+    def _invalidate(self, bounding_box: bool = False) -> None:
+        """Drop derived views after a mutation."""
+        self._compiled = None
+        self._version += 1
+        if bounding_box:
+            self._bounding_box = None
+
+    # ------------------------------------------------------------------ #
+    # Compiled view
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by :meth:`add_vertex` / :meth:`add_edge`."""
+        return self._version
+
+    def compiled(self) -> "CompiledGraph":
+        """The lazily-built CSR view used by the array-based search kernels.
+
+        The snapshot is cached until the next mutation; see
+        :mod:`repro.network.compiled`.  Double-checked locking keeps a
+        ``route_many`` thread pool from compiling one snapshot per worker.
+        """
+        view = self._compiled
+        if view is None:
+            with self._compiled_lock:
+                view = self._compiled
+                if view is None:
+                    from .compiled.graph import CompiledGraph
+
+                    version = self._version
+                    view = CompiledGraph(self)
+                    if version == self._version:
+                        self._compiled = view
+                    # else: a concurrent mutation invalidated the snapshot
+                    # mid-build — serve it uncached; the next call rebuilds.
+        return view
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -199,19 +287,41 @@ class RoadNetwork:
 
     def neighbors(self, vertex_id: VertexId) -> set[VertexId]:
         """Union of successors and predecessors (undirected neighbourhood)."""
-        return set(self.successors(vertex_id)) | set(self.predecessors(vertex_id))
+        return set(self.iter_neighbors(vertex_id))
+
+    def iter_neighbors(self, vertex_id: VertexId) -> Iterator[VertexId]:
+        """Lazily iterate the undirected neighbourhood without building a set.
+
+        Search loops (region BFS, clustering) should prefer this over
+        :meth:`neighbors`, which materializes a fresh set per call.
+        """
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        successors = self._adjacency[vertex_id]
+        yield from successors
+        for predecessor in self._reverse[vertex_id]:
+            if predecessor not in successors:
+                yield predecessor
 
     def incident_edges(self, vertex_id: VertexId) -> list[Edge]:
         """All edges incident (either direction) to the vertex."""
-        out_edges = list(self.successors(vertex_id).values())
-        in_edges = list(self.predecessors(vertex_id).values())
-        return out_edges + in_edges
+        return list(self.iter_incident_edges(vertex_id))
+
+    def iter_incident_edges(self, vertex_id: VertexId) -> Iterator[Edge]:
+        """Lazily iterate incident edges (outgoing first, then incoming)."""
+        if vertex_id not in self._vertices:
+            raise VertexNotFoundError(vertex_id)
+        yield from self._adjacency[vertex_id].values()
+        yield from self._reverse[vertex_id].values()
 
     def coordinates(self, vertex_id: VertexId) -> LonLat:
         return self.vertex(vertex_id).lonlat
 
     def bounding_box(self) -> BoundingBox:
-        return BoundingBox.of(v.lonlat for v in self._vertices.values())
+        """Bounding box of all vertices (cached until the next add_vertex)."""
+        if self._bounding_box is None:
+            self._bounding_box = BoundingBox.of(v.lonlat for v in self._vertices.values())
+        return self._bounding_box
 
     # ------------------------------------------------------------------ #
     # Weight functions (paper notation)

@@ -70,7 +70,7 @@ class Region:
         if self._functionality is None or len(self._functionality) != top_k:
             counter: Counter[RoadType] = Counter()
             for vertex in self.vertices:
-                for edge in network.incident_edges(vertex):
+                for edge in network.iter_incident_edges(vertex):
                     counter[edge.road_type] += 1
             ranked = [rt for rt, _ in counter.most_common(top_k)]
             object.__setattr__(self, "_functionality", tuple(ranked))

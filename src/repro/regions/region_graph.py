@@ -287,7 +287,8 @@ class RegionGraph:
         reached: set[RegionId] = set()
         while queue:
             vertex = queue.popleft()
-            for neighbor in self._network.neighbors(vertex):
+            # iter_neighbors avoids materializing a fresh set per BFS pop.
+            for neighbor in self._network.iter_neighbors(vertex):
                 if neighbor in visited:
                     continue
                 visited.add(neighbor)

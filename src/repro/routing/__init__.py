@@ -12,6 +12,8 @@ from .costs import (
 )
 from .path import Path, splice_all
 from .dijkstra import (
+    dict_dijkstra,
+    dict_dijkstra_costs,
     dijkstra,
     dijkstra_costs,
     fastest_path,
@@ -19,8 +21,12 @@ from .dijkstra import (
     most_economical_path,
     shortest_path,
 )
-from .astar import astar, astar_by_feature, heuristic_for
-from .bidirectional import bidirectional_by_feature, bidirectional_dijkstra
+from .astar import astar, astar_by_feature, dict_astar, heuristic_for
+from .bidirectional import (
+    bidirectional_by_feature,
+    bidirectional_dijkstra,
+    dict_bidirectional_dijkstra,
+)
 from .contraction import ContractionHierarchy, build_contraction_hierarchy, ch_shortest_path
 from .preference_dijkstra import preference_dijkstra
 from .fuel import fuel_consumption_ml, fuel_per_km_ml, fuel_rate_ml_per_s, most_economical_speed_kmh
@@ -38,6 +44,10 @@ __all__ = [
     "build_contraction_hierarchy",
     "ch_shortest_path",
     "cost_function",
+    "dict_astar",
+    "dict_bidirectional_dijkstra",
+    "dict_dijkstra",
+    "dict_dijkstra_costs",
     "dijkstra",
     "dijkstra_costs",
     "edge_distance",

@@ -14,6 +14,7 @@ import math
 from typing import Callable
 
 from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.compiled import dispatch as _compiled
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from ..network.road_types import DEFAULT_SPEED_KMH, RoadType
 from .costs import CostFeature, EdgeCost, cost_function
@@ -73,7 +74,34 @@ def astar(
     heuristic: Heuristic,
     edge_filter: Callable[[Edge], bool] | None = None,
 ) -> Path:
-    """A* lowest-cost path; raises :class:`NoPathError` if unreachable."""
+    """A* lowest-cost path; raises :class:`NoPathError` if unreachable.
+
+    Recognized edge costs run on the compiled CSR kernel (which memoizes
+    heuristic values per vertex per query); opaque ones use
+    :func:`dict_astar`, the dict-based reference implementation.
+    """
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    if source == destination:
+        return Path.of([source])
+
+    vertices = _compiled.try_astar(network, source, destination, edge_cost, heuristic, edge_filter)
+    if vertices is not None:
+        return Path.of(vertices)
+    return dict_astar(network, source, destination, edge_cost, heuristic, edge_filter)
+
+
+def dict_astar(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    edge_cost: EdgeCost,
+    heuristic: Heuristic,
+    edge_filter: Callable[[Edge], bool] | None = None,
+) -> Path:
+    """The dict-based reference A* (no compiled dispatch)."""
     if source not in network:
         raise VertexNotFoundError(source)
     if destination not in network:

@@ -12,6 +12,7 @@ import heapq
 import math
 
 from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.compiled import dispatch as _compiled
 from ..network.road_network import RoadNetwork, VertexId
 from .costs import CostFeature, EdgeCost, cost_function
 from .path import Path
@@ -23,7 +24,32 @@ def bidirectional_dijkstra(
     destination: VertexId,
     edge_cost: EdgeCost,
 ) -> Path:
-    """Lowest-cost path via simultaneous forward and backward search."""
+    """Lowest-cost path via simultaneous forward and backward search.
+
+    Recognized edge costs run both frontiers on the compiled CSR (the reverse
+    frontier reuses the forward cost array through the predecessor layout);
+    opaque ones use :func:`dict_bidirectional_dijkstra`.
+    """
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    if source == destination:
+        return Path.of([source])
+
+    vertices = _compiled.try_bidirectional(network, source, destination, edge_cost)
+    if vertices is not None:
+        return Path.of(vertices)
+    return dict_bidirectional_dijkstra(network, source, destination, edge_cost)
+
+
+def dict_bidirectional_dijkstra(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    edge_cost: EdgeCost,
+) -> Path:
+    """The dict-based reference implementation (no compiled dispatch)."""
     if source not in network:
         raise VertexNotFoundError(source)
     if destination not in network:

@@ -148,43 +148,72 @@ def build_contraction_hierarchy(
 
     ``hop_limit`` bounds the witness searches during contraction; smaller
     values make preprocessing faster at the price of a few extra shortcuts.
+
+    The construction runs on the network's compiled view: vertices are dense
+    indices, the initial arc weights come from the precompiled cost arrays
+    (no per-edge Python cost calls for recognized costs), and the
+    O(vertices · degree²) witness searches share generation-stamped distance
+    arrays instead of allocating fresh dicts and sets per search.
     """
     cost_fn = edge_cost or cost_function(feature)
+    graph = network.compiled()
+    n = graph.vertex_count
+    ids = graph.vertex_ids
+    offsets, csr_targets = graph.offsets, graph.targets
 
-    # Working graph: adjacency of weights (min weight per vertex pair).
-    forward: dict[VertexId, dict[VertexId, float]] = {v: {} for v in network.vertex_ids()}
-    backward: dict[VertexId, dict[VertexId, float]] = {v: {} for v in network.vertex_ids()}
-    middle: dict[tuple[VertexId, VertexId], VertexId] = {}
-    for edge in network.edges():
-        weight = cost_fn(edge)
-        if weight < forward[edge.source].get(edge.target, math.inf):
-            forward[edge.source][edge.target] = weight
-            backward[edge.target][edge.source] = weight
+    resolved = graph.resolve_cost(cost_fn)
+    if resolved is not None:
+        slot_weights = graph.forward_weights(*resolved)
+    else:
+        slot_weights = [cost_fn(edge) for edge in graph.edges]
 
-    def witness_cost(start: VertexId, end: VertexId, exclude: VertexId, limit: float) -> float:
+    # Working graph: adjacency of weights (min weight per vertex pair),
+    # indexed by dense vertex index.
+    forward: list[dict[int, float]] = [{} for _ in range(n)]
+    backward: list[dict[int, float]] = [{} for _ in range(n)]
+    middle_idx: dict[tuple[int, int], int] = {}
+    for u in range(n):
+        for i in range(offsets[u], offsets[u + 1]):
+            v = csr_targets[i]
+            weight = slot_weights[i]
+            if weight < forward[u].get(v, math.inf):
+                forward[u][v] = weight
+                backward[v][u] = weight
+
+    # Generation-stamped witness-search scratch state: one dedicated
+    # workspace for the whole build (CH construction is single-threaded and
+    # long-lived, so it gets its own rather than borrowing from the pool).
+    workspace = graph.workspace()
+    dist = workspace.dist
+    stamp = workspace.stamp
+    settled_stamp = workspace.closed
+
+    def witness_cost(start: int, end: int, exclude: int, limit: float) -> float:
         """Cost of the best path start->end avoiding ``exclude`` (bounded)."""
-        dist: dict[VertexId, float] = {start: 0.0}
-        heap: list[tuple[float, VertexId, int]] = [(0.0, start, 0)]
-        settled: set[VertexId] = set()
+        gen = workspace.begin()
+        dist[start] = 0.0
+        stamp[start] = gen
+        heap: list[tuple[float, int, int]] = [(0.0, start, 0)]
         while heap:
             cost_u, u, hops = heapq.heappop(heap)
-            if u in settled:
+            if settled_stamp[u] == gen:
                 continue
-            settled.add(u)
+            settled_stamp[u] = gen
             if u == end:
                 return cost_u
             if cost_u > limit or hops >= hop_limit:
                 continue
             for v, weight in forward[u].items():
-                if v == exclude or v in settled:
+                if v == exclude or settled_stamp[v] == gen:
                     continue
                 candidate = cost_u + weight
-                if candidate < dist.get(v, math.inf):
+                if stamp[v] != gen or candidate < dist[v]:
+                    stamp[v] = gen
                     dist[v] = candidate
                     heapq.heappush(heap, (candidate, v, hops + 1))
         return math.inf
 
-    def edge_difference(vertex: VertexId) -> int:
+    def edge_difference(vertex: int) -> int:
         in_neighbors = list(backward[vertex].items())
         out_neighbors = list(forward[vertex].items())
         shortcuts = 0
@@ -197,16 +226,16 @@ def build_contraction_hierarchy(
                     shortcuts += 1
         return shortcuts - (len(in_neighbors) + len(out_neighbors))
 
-    heap: list[tuple[int, VertexId]] = [(edge_difference(v), v) for v in network.vertex_ids()]
+    heap: list[tuple[int, int]] = [(edge_difference(v), v) for v in range(n)]
     heapq.heapify(heap)
 
     order: dict[VertexId, int] = {}
     rank = 0
-    contracted: set[VertexId] = set()
+    contracted = [False] * n
 
     while heap:
         priority, vertex = heapq.heappop(heap)
-        if vertex in contracted:
+        if contracted[vertex]:
             continue
         # Lazy update: recompute and re-insert if the priority became stale.
         current = edge_difference(vertex)
@@ -214,12 +243,12 @@ def build_contraction_hierarchy(
             heapq.heappush(heap, (current, vertex))
             continue
 
-        order[vertex] = rank
+        order[ids[vertex]] = rank
         rank += 1
-        contracted.add(vertex)
+        contracted[vertex] = True
 
-        in_neighbors = [(u, w) for u, w in backward[vertex].items() if u not in contracted]
-        out_neighbors = [(w, c) for w, c in forward[vertex].items() if w not in contracted]
+        in_neighbors = [(u, w) for u, w in backward[vertex].items() if not contracted[u]]
+        out_neighbors = [(w, c) for w, c in forward[vertex].items() if not contracted[w]]
         for u, w_in in in_neighbors:
             for w, w_out in out_neighbors:
                 if u == w:
@@ -229,7 +258,7 @@ def build_contraction_hierarchy(
                     if through < forward[u].get(w, math.inf):
                         forward[u][w] = through
                         backward[w][u] = through
-                        middle[(u, w)] = vertex
+                        middle_idx[(u, w)] = vertex
         # Remove the contracted vertex from the working graph.
         for u, _ in in_neighbors:
             forward[u].pop(vertex, None)
@@ -238,23 +267,22 @@ def build_contraction_hierarchy(
         forward[vertex] = {}
         backward[vertex] = {}
 
+    middle: dict[tuple[VertexId, VertexId], VertexId] = {
+        (ids[u], ids[w]): ids[via] for (u, w), via in middle_idx.items()
+    }
+
     # Rebuild full arc sets (originals + shortcuts) partitioned by rank.
     upward: dict[VertexId, list[_Shortcut]] = {v: [] for v in network.vertex_ids()}
     downward: dict[VertexId, list[_Shortcut]] = {v: [] for v in network.vertex_ids()}
 
     all_arcs: dict[tuple[VertexId, VertexId], float] = {}
-    for edge in network.edges():
+    for edge, weight in zip(graph.edges, slot_weights):
         key = (edge.source, edge.target)
-        weight = cost_fn(edge)
         if weight < all_arcs.get(key, math.inf):
             all_arcs[key] = weight
-    for (u, w), via in middle.items():
-        # Recompute shortcut weights from the final arc set lazily below; the
-        # stored "through" weights may have been improved, so recompute from
-        # the middle vertex expansion at query time is avoided by storing the
-        # weight at insertion.  We therefore track them in a second pass.
-        pass
-    # Shortcut weights: reconstruct by summing the two halves recursively.
+    # Shortcut weights: the stored "through" weights may have been improved
+    # by later contractions, so reconstruct each one by summing its two
+    # halves recursively from the final arc set.
     def arc_weight(u: VertexId, w: VertexId) -> float:
         via = middle.get((u, w))
         if via is None:

@@ -58,6 +58,21 @@ _COST_FUNCTIONS: dict[CostFeature, EdgeCost] = {
     CostFeature.FUEL: edge_fuel,
 }
 
+FEATURE_EDGE_ATTRIBUTES: dict[CostFeature, str] = {
+    CostFeature.DISTANCE: "distance_m",
+    CostFeature.TRAVEL_TIME: "travel_time_s",
+    CostFeature.FUEL: "fuel_ml",
+}
+"""The :class:`Edge` attribute carrying each feature's weight.
+
+Cost callables are tagged with these names (``cost_attr`` / ``cost_terms``)
+so :class:`repro.network.compiled.CompiledGraph` can swap the per-edge Python
+call for a precompiled flat cost array.
+"""
+
+for _feature, _fn in _COST_FUNCTIONS.items():
+    _fn.cost_attr = FEATURE_EDGE_ATTRIBUTES[_feature]  # type: ignore[attr-defined]
+
 
 def cost_function(feature: CostFeature) -> EdgeCost:
     """Return the edge-cost callable for a travel-cost feature."""
@@ -76,4 +91,9 @@ def weighted_cost(weights: dict[CostFeature, float]) -> EdgeCost:
     def combined(edge: Edge) -> float:
         return sum(fn(edge) * weight for fn, weight in items)
 
+    # Expose the combination to the compiled dispatch layer; term order is
+    # preserved so the vectorized accumulation matches the closure bit-for-bit.
+    combined.cost_terms = tuple(  # type: ignore[attr-defined]
+        (FEATURE_EDGE_ATTRIBUTES[feature], float(weight)) for feature, weight in weights.items()
+    )
     return combined

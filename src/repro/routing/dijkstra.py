@@ -3,6 +3,11 @@
 This is the workhorse single-source shortest-path routine used by the
 Shortest / Fastest baselines, by preference learning (lowest-cost paths per
 cost feature), and as a building block inside the L2R pipeline.
+
+Queries whose edge cost maps onto a compiled cost array run on the array-based
+CSR kernel (:mod:`repro.network.compiled`); opaque edge-cost callables fall
+back to :func:`dict_dijkstra`, the dict-based reference implementation.  Both
+produce identical paths.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import math
 from typing import Callable, Iterable
 
 from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.compiled import dispatch as _compiled
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from .costs import CostFeature, EdgeCost, cost_function
 from .path import Path
@@ -29,6 +35,31 @@ def dijkstra(
     ``edge_cost`` maps an :class:`Edge` to a non-negative cost; an optional
     ``edge_filter`` restricts the search to edges for which it returns True.
     Raises :class:`NoPathError` when the destination is unreachable.
+    """
+    if source not in network:
+        raise VertexNotFoundError(source)
+    if destination not in network:
+        raise VertexNotFoundError(destination)
+    if source == destination:
+        return Path.of([source])
+
+    vertices = _compiled.try_dijkstra(network, source, destination, edge_cost, edge_filter)
+    if vertices is not None:
+        return Path.of(vertices)
+    return dict_dijkstra(network, source, destination, edge_cost, edge_filter)
+
+
+def dict_dijkstra(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    edge_cost: EdgeCost,
+    edge_filter: Callable[[Edge], bool] | None = None,
+) -> Path:
+    """The dict-based reference implementation (no compiled dispatch).
+
+    Kept as the fallback for opaque edge costs and as the ground truth the
+    equivalence tests and benchmarks compare the compiled kernel against.
     """
     if source not in network:
         raise VertexNotFoundError(source)
@@ -76,6 +107,22 @@ def dijkstra_costs(
     """
     if source not in network:
         raise VertexNotFoundError(source)
+    targets = list(targets) if targets is not None else None
+    result = _compiled.try_dijkstra_costs(network, source, edge_cost, targets)
+    if result is not None:
+        return result
+    return dict_dijkstra_costs(network, source, edge_cost, targets)
+
+
+def dict_dijkstra_costs(
+    network: RoadNetwork,
+    source: VertexId,
+    edge_cost: EdgeCost,
+    targets: Iterable[VertexId] | None = None,
+) -> dict[VertexId, float]:
+    """Dict-based reference implementation of :func:`dijkstra_costs`."""
+    if source not in network:
+        raise VertexNotFoundError(source)
     remaining = set(targets) if targets is not None else None
     dist: dict[VertexId, float] = {source: 0.0}
     visited: set[VertexId] = set()
@@ -101,7 +148,8 @@ def dijkstra_costs(
                 heapq.heappush(heap, (candidate, v))
 
     if targets is not None:
-        return {t: result[t] for t in result if targets is None or t in set(targets)}
+        target_set = set(targets)
+        return {t: result[t] for t in result if t in target_set}
     return result
 
 

@@ -16,6 +16,7 @@ import math
 from typing import TYPE_CHECKING
 
 from ..exceptions import NoPathError, VertexNotFoundError
+from ..network.compiled import dispatch as _compiled
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from .costs import cost_function
 from .path import Path
@@ -45,6 +46,33 @@ def preference_dijkstra(
     if source == destination:
         return Path.of([source])
 
+    master_cost = cost_function(preference.master)
+    slave = preference.slave
+
+    try:
+        vertices = _compiled.try_preference(network, source, destination, master_cost, slave)
+    except _compiled.PreferenceSearchExhausted:
+        # The compiled kernel ran and the (slave-constrained) search was
+        # exhausted; apply the paper's best-effort fallback.
+        if slave is not None:
+            from .dijkstra import dijkstra
+
+            return dijkstra(network, source, destination, master_cost)
+        raise NoPathError(
+            source, destination, reason="preference-constrained search exhausted"
+        ) from None
+    if vertices is not None:
+        return Path.of(vertices)
+    return _dict_preference_search(network, source, destination, preference)
+
+
+def _dict_preference_search(
+    network: RoadNetwork,
+    source: VertexId,
+    destination: VertexId,
+    preference: "PreferenceVector",
+) -> Path:
+    """Dict-based reference implementation of Algorithm 2."""
     master_cost = cost_function(preference.master)
     slave = preference.slave
 

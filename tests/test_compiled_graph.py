@@ -1,0 +1,412 @@
+"""Equivalence and invalidation tests for the compiled CSR graph kernels.
+
+The compiled kernels (:mod:`repro.network.compiled`) must be drop-in
+replacements for the dict-based reference implementations: identical paths
+(not merely cost-identical), identical exceptions, across random graphs, all
+cost features, weighted combinations, edge filters, and unreachable pairs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NoPathError
+from repro.network import RoadNetwork, RoadType, compiled_disabled, grid_city_network
+from repro.network.compiled import CompiledGraph, SearchWorkspace
+from repro.preferences import PreferenceVector
+from repro.preferences.features import MAJOR_ROADS, LOCAL_ROADS, single_type_feature
+from repro.routing import (
+    ALL_COST_FEATURES,
+    CostFeature,
+    astar,
+    bidirectional_dijkstra,
+    cost_function,
+    dict_astar,
+    dict_bidirectional_dijkstra,
+    dict_dijkstra,
+    dict_dijkstra_costs,
+    dijkstra,
+    dijkstra_costs,
+    heuristic_for,
+    preference_dijkstra,
+    weighted_cost,
+)
+from repro.routing.preference_dijkstra import _dict_preference_search
+
+
+# --------------------------------------------------------------------------- #
+# Random-graph strategy
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_networks(draw) -> RoadNetwork:
+    """Small random directed networks with mixed road types.
+
+    Built from a drawn seed so hypothesis explores many topologies, including
+    disconnected ones (unreachable pairs are part of the contract).
+    """
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=2, max_value=12))
+    density = draw(st.floats(min_value=0.1, max_value=0.6))
+    rng = random.Random(seed)
+    network = RoadNetwork(name=f"random-{seed}")
+    for i in range(n):
+        network.add_vertex(i, lon=10.0 + rng.random() * 0.1, lat=56.0 + rng.random() * 0.1)
+    road_types = list(RoadType)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < density:
+                network.add_edge(u, v, road_type=rng.choice(road_types))
+    return network
+
+
+def _pair(network: RoadNetwork, seed: int) -> tuple[int, int]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    return rng.choice(ids), rng.choice(ids)
+
+
+def _both(fn_compiled, fn_dict):
+    """Run the compiled and dict variants, normalizing NoPathError."""
+    try:
+        compiled_result = fn_compiled()
+    except NoPathError:
+        compiled_result = "no-path"
+    try:
+        dict_result = fn_dict()
+    except NoPathError:
+        dict_result = "no-path"
+    return compiled_result, dict_result
+
+
+HYPOTHESIS_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDijkstraEquivalence:
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_all_cost_features(self, network, pair_seed):
+        source, destination = _pair(network, pair_seed)
+        for feature in ALL_COST_FEATURES:
+            cost = cost_function(feature)
+            compiled_path, dict_path = _both(
+                lambda: dijkstra(network, source, destination, cost),
+                lambda: dict_dijkstra(network, source, destination, cost),
+            )
+            if compiled_path == "no-path":
+                assert dict_path == "no-path"
+            else:
+                assert compiled_path.vertices == dict_path.vertices
+
+    @HYPOTHESIS_SETTINGS
+    @given(
+        random_networks(),
+        st.integers(min_value=0, max_value=1_000),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_weighted_combination(self, network, pair_seed, w_distance, w_time):
+        source, destination = _pair(network, pair_seed)
+        cost = weighted_cost(
+            {
+                CostFeature.DISTANCE: w_distance,
+                CostFeature.TRAVEL_TIME: w_time,
+                CostFeature.FUEL: 1.0,
+            }
+        )
+        compiled_path, dict_path = _both(
+            lambda: dijkstra(network, source, destination, cost),
+            lambda: dict_dijkstra(network, source, destination, cost),
+        )
+        if compiled_path == "no-path":
+            assert dict_path == "no-path"
+        else:
+            assert compiled_path.vertices == dict_path.vertices
+
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_edge_filter(self, network, pair_seed):
+        source, destination = _pair(network, pair_seed)
+        cost = cost_function(CostFeature.DISTANCE)
+
+        def no_motorways(edge):
+            return edge.road_type is not RoadType.MOTORWAY
+
+        compiled_path, dict_path = _both(
+            lambda: dijkstra(network, source, destination, cost, edge_filter=no_motorways),
+            lambda: dict_dijkstra(network, source, destination, cost, edge_filter=no_motorways),
+        )
+        if compiled_path == "no-path":
+            assert dict_path == "no-path"
+        else:
+            assert compiled_path.vertices == dict_path.vertices
+            assert all(
+                network.edge(u, v).road_type is not RoadType.MOTORWAY
+                for u, v in compiled_path.edge_keys
+            )
+
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_dijkstra_costs(self, network, pair_seed):
+        source, _ = _pair(network, pair_seed)
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        assert dijkstra_costs(network, source, cost) == dict_dijkstra_costs(
+            network, source, cost
+        )
+
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_dijkstra_costs_with_targets(self, network, pair_seed):
+        source, target = _pair(network, pair_seed)
+        targets = [target, source]
+        cost = cost_function(CostFeature.DISTANCE)
+        assert dijkstra_costs(network, source, cost, targets=targets) == (
+            dict_dijkstra_costs(network, source, cost, targets=targets)
+        )
+
+    def test_opaque_cost_falls_back_to_dict(self, demo_network):
+        """Un-tagged callables still work (dict fallback) and agree."""
+
+        def quirky(edge):
+            return edge.distance_m + 7.0
+
+        path = dijkstra(demo_network, 0, 35, quirky)
+        reference = dict_dijkstra(demo_network, 0, 35, quirky)
+        assert path.vertices == reference.vertices
+
+
+class TestOtherKernels:
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_astar(self, network, pair_seed):
+        source, destination = _pair(network, pair_seed)
+        for feature in ALL_COST_FEATURES:
+            cost = cost_function(feature)
+            heuristic = heuristic_for(network, destination, feature)
+            compiled_path, dict_path = _both(
+                lambda: astar(network, source, destination, cost, heuristic),
+                lambda: dict_astar(network, source, destination, cost, heuristic),
+            )
+            if compiled_path == "no-path":
+                assert dict_path == "no-path"
+            else:
+                assert compiled_path.vertices == dict_path.vertices
+
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000))
+    def test_bidirectional(self, network, pair_seed):
+        source, destination = _pair(network, pair_seed)
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        compiled_path, dict_path = _both(
+            lambda: bidirectional_dijkstra(network, source, destination, cost),
+            lambda: dict_bidirectional_dijkstra(network, source, destination, cost),
+        )
+        if compiled_path == "no-path":
+            assert dict_path == "no-path"
+        else:
+            assert compiled_path.vertices == dict_path.vertices
+
+    @HYPOTHESIS_SETTINGS
+    @given(random_networks(), st.integers(min_value=0, max_value=1_000), st.integers(0, 7))
+    def test_preference_dijkstra(self, network, pair_seed, slave_index):
+        source, destination = _pair(network, pair_seed)
+        slaves = [None, MAJOR_ROADS, LOCAL_ROADS] + [
+            single_type_feature(rt) for rt in RoadType
+        ]
+        slave = slaves[slave_index % len(slaves)]
+        preference = PreferenceVector(master=CostFeature.TRAVEL_TIME, slave=slave)
+        if source == destination:
+            return
+        compiled_path, dict_path = _both(
+            lambda: preference_dijkstra(network, source, destination, preference),
+            lambda: _dict_preference_search(network, source, destination, preference),
+        )
+        if compiled_path == "no-path":
+            assert dict_path == "no-path"
+        else:
+            assert compiled_path.vertices == dict_path.vertices
+
+    def test_reentrant_search_inside_heuristic(self):
+        """A heuristic that routes on the same network must not corrupt the
+        outer search's workspace (nested searches borrow their own)."""
+        network = grid_city_network(rows=8, cols=8, seed=3)
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        plain_heuristic = heuristic_for(network, 63, CostFeature.TRAVEL_TIME)
+
+        def nosy_heuristic(vertex):
+            dijkstra_costs(network, vertex, cost, targets=[63])  # nested search
+            return plain_heuristic(vertex)
+
+        for source in (0, 7, 56, 27):
+            nested = astar(network, source, 63, cost, nosy_heuristic)
+            reference = dict_astar(network, source, 63, cost, plain_heuristic)
+            assert nested.vertices == reference.vertices
+
+    def test_workspace_reuse_is_stateless(self, grid_network):
+        """Interleaved queries on the shared workspace stay reproducible."""
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        rng = random.Random(4)
+        ids = sorted(grid_network.vertex_ids())
+        pairs = [(rng.choice(ids), rng.choice(ids)) for _ in range(25)]
+        first = [dijkstra(grid_network, a, b, cost).vertices for a, b in pairs]
+        second = [dijkstra(grid_network, a, b, cost).vertices for a, b in pairs]
+        with compiled_disabled():
+            reference = [dijkstra(grid_network, a, b, cost).vertices for a, b in pairs]
+        assert first == second == reference
+
+
+class TestCompiledView:
+    def test_lazy_and_cached(self, demo_network):
+        view = demo_network.compiled()
+        assert view is demo_network.compiled()
+        assert isinstance(view, CompiledGraph)
+        assert view.vertex_count == demo_network.vertex_count
+        assert view.edge_count == demo_network.edge_count
+
+    def test_mutation_invalidates_compiled_view(self):
+        network = grid_city_network(rows=4, cols=4, seed=1)
+        before = network.compiled()
+        version = network.version
+        network.add_edge(0, 5, road_type=RoadType.MOTORWAY)
+        assert network.version > version
+        after = network.compiled()
+        assert after is not before
+        assert after.edge_count == before.edge_count + 1
+
+    def test_mutation_changes_routes(self):
+        network = RoadNetwork()
+        for i in range(4):
+            network.add_vertex(i, lon=10.0 + i * 0.01, lat=56.0)
+        for i in range(3):
+            network.add_edge(i, i + 1, distance_m=1_000.0)
+        long_way = dijkstra(network, 0, 3, cost_function(CostFeature.DISTANCE))
+        assert long_way.vertices == (0, 1, 2, 3)
+        network.add_edge(0, 3, distance_m=10.0)  # drops the compiled view
+        direct = dijkstra(network, 0, 3, cost_function(CostFeature.DISTANCE))
+        assert direct.vertices == (0, 3)
+
+    def test_add_vertex_invalidates_bounding_box(self):
+        network = RoadNetwork()
+        network.add_vertex(0, lon=10.0, lat=56.0)
+        network.add_vertex(1, lon=10.1, lat=56.1)
+        box = network.bounding_box()
+        assert box is network.bounding_box()  # cached
+        network.add_vertex(2, lon=11.0, lat=57.0)
+        grown = network.bounding_box()
+        assert grown.max_lon == pytest.approx(11.0)
+        assert grown.max_lat == pytest.approx(57.0)
+
+    def test_workspace_sized_to_graph(self, demo_network):
+        view = demo_network.compiled()
+        workspace = view.workspace()
+        assert isinstance(workspace, SearchWorkspace)
+        assert workspace.size == view.vertex_count
+        # Pooled workspaces are reused per thread once released...
+        with view.borrowed_workspace() as first:
+            pass
+        with view.borrowed_workspace() as second:
+            assert second is first
+        # ... but nested borrows get their own instance.
+        with view.borrowed_workspace() as outer:
+            with view.borrowed_workspace() as inner:
+                assert inner is not outer
+
+    def test_unpickles_pre_slots_states(self):
+        """Models persisted before Vertex/Edge gained slots still load."""
+        from repro.network import Edge, Vertex
+
+        vertex = Vertex.__new__(Vertex)
+        vertex.__setstate__({"vertex_id": 7, "lon": 10.5, "lat": 56.25})
+        assert vertex == Vertex(vertex_id=7, lon=10.5, lat=56.25)
+
+        edge = Edge.__new__(Edge)
+        edge.__setstate__(
+            {
+                "source": 1,
+                "target": 2,
+                "distance_m": 100.0,
+                "travel_time_s": 9.0,
+                "fuel_ml": 8.0,
+                "road_type": RoadType.PRIMARY,
+                "speed_kmh": 40.0,
+            }
+        )
+        assert edge.key == (1, 2)
+        assert edge.road_type is RoadType.PRIMARY
+        # Current-format pickles still round-trip through the compat path.
+        assert pickle.loads(pickle.dumps(vertex)) == vertex
+        assert pickle.loads(pickle.dumps(edge)) == edge
+
+    def test_memo_cache_is_bounded(self, demo_network):
+        view = demo_network.compiled()
+        for i in range(view._memo_size + 50):
+            view.memo(("stress", i), lambda: object())
+        assert len(view._memo) <= view._memo_size
+
+    def test_pickle_drops_compiled_view(self, demo_network):
+        demo_network.compiled()
+        clone = pickle.loads(pickle.dumps(demo_network))
+        assert clone._compiled is None
+        assert clone.vertex_count == demo_network.vertex_count
+        # ... and rebuilds on demand with identical structure.
+        assert clone.compiled().edge_count == demo_network.compiled().edge_count
+
+    def test_iter_neighbors_matches_neighbors(self, demo_network):
+        for vertex in demo_network.vertex_ids():
+            lazy = list(demo_network.iter_neighbors(vertex))
+            assert len(lazy) == len(set(lazy))  # no duplicates
+            assert set(lazy) == demo_network.neighbors(vertex)
+
+    def test_iter_incident_edges_matches_incident_edges(self, demo_network):
+        for vertex in demo_network.vertex_ids():
+            assert list(demo_network.iter_incident_edges(vertex)) == (
+                demo_network.incident_edges(vertex)
+            )
+
+
+class TestPipelineEquivalence:
+    """The acceptance bar: identical routes through the full stack."""
+
+    def test_l2r_and_baselines_identical_routes(self, tiny, tiny_split, fitted_l2r):
+        from repro.baselines import (
+            DomBaseline,
+            FastestBaseline,
+            PopularRouteBaseline,
+            ShortestBaseline,
+            TripBaseline,
+        )
+
+        network = tiny.network
+        algorithms = [
+            fitted_l2r,
+            ShortestBaseline(network),
+            FastestBaseline(network),
+            DomBaseline(network, tiny_split.train, max_trajectories_per_driver=4),
+            TripBaseline(network, tiny_split.train),
+            PopularRouteBaseline(network, tiny_split.train),
+        ]
+        rng = random.Random(11)
+        ids = sorted(network.vertex_ids())
+        queries = [(rng.choice(ids), rng.choice(ids)) for _ in range(12)]
+
+        def run_all():
+            routes = {}
+            for algorithm in algorithms:
+                for source, destination in queries:
+                    try:
+                        path = algorithm.route(source, destination)
+                        routes[(type(algorithm).__name__, source, destination)] = path.vertices
+                    except NoPathError:
+                        routes[(type(algorithm).__name__, source, destination)] = "no-path"
+            return routes
+
+        compiled_routes = run_all()
+        with compiled_disabled():
+            dict_routes = run_all()
+        assert compiled_routes == dict_routes
