@@ -1,0 +1,219 @@
+"""Benchmark: live-traffic cost updates vs full CompiledGraph rebuilds.
+
+Measures, on synthetic city grids:
+
+* **update-apply latency** — one ``TrafficFeed.apply`` batch patching the
+  live :class:`~repro.network.compiled.graph.CostStore` in place, vs the cost
+  of a full ``CompiledGraph`` recompilation (what every mutation paid before
+  the topology/cost split);
+* **post-update query latency** — compiled point-to-point Dijkstra right
+  after a patch (stamped caches rebuild lazily) vs steady state;
+
+and asserts along the way that compiled answers after the updates are
+path-for-path identical to the dict-based reference search on the mutated
+network.  Results are merged into the routing benchmark JSON (default
+``BENCH_routing.json``) under a ``"traffic"`` key so the CI regression guard
+(``check_bench_regression.py``) tracks the patch-vs-recompile speedup across
+PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_traffic_updates.py
+    PYTHONPATH=src python benchmarks/bench_traffic_updates.py --smoke          # CI
+    PYTHONPATH=src python benchmarks/bench_traffic_updates.py --min-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.network import compiled_disabled, grid_city_network
+from repro.network.compiled.graph import CompiledGraph
+from repro.routing import CostFeature, cost_function, dijkstra
+from repro.traffic import TrafficFeed, synthetic_congestion
+
+FULL_GRIDS = [(30, 30), (60, 60)]
+SMOKE_GRIDS = [(12, 12)]
+
+
+def _queries(network, count: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    pairs = []
+    while len(pairs) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            pairs.append((a, b))
+    return pairs
+
+
+def _time_queries(network, queries, cost) -> float:
+    start = time.perf_counter()
+    for source, destination in queries:
+        dijkstra(network, source, destination, cost)
+    return time.perf_counter() - start
+
+
+def bench_grid(
+    rows: int,
+    cols: int,
+    *,
+    batch_fraction: float,
+    repeats: int,
+    query_count: int,
+    seed: int,
+) -> dict:
+    network = grid_city_network(rows=rows, cols=cols, seed=seed)
+    cost = cost_function(CostFeature.TRAVEL_TIME)
+    queries = _queries(network, query_count, seed + 1)
+    network.compiled()
+
+    # Full rebuild cost: what a cost change paid before the CostStore split.
+    rebuild_times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        CompiledGraph(network)
+        rebuild_times.append(time.perf_counter() - start)
+    recompile_seconds = sum(rebuild_times) / len(rebuild_times)
+
+    # Incremental patch cost: one congestion batch through the feed.
+    feed = TrafficFeed(network)
+    batches = list(
+        synthetic_congestion(
+            network, seed=seed + 2, fraction=batch_fraction, peak_factor=3.0, steps=repeats
+        )
+    )
+    patch_times = []
+    for batch in batches:
+        start = time.perf_counter()
+        feed.apply(batch)
+        patch_times.append(time.perf_counter() - start)
+    patch_seconds = sum(patch_times) / len(patch_times)
+
+    # Query latency: steady state, then immediately after one more patch
+    # (the first post-update queries rebuild the stamped weight lists).
+    _time_queries(network, queries, cost)  # warm
+    steady_seconds = _time_queries(network, queries, cost)
+    feed.apply(batches[0])
+    post_update_seconds = _time_queries(network, queries, cost)
+
+    # Correctness: compiled answers on the mutated network must equal the
+    # dict-based reference exactly.
+    for source, destination in queries[: min(10, len(queries))]:
+        compiled_path = dijkstra(network, source, destination, cost).vertices
+        with compiled_disabled():
+            reference = dijkstra(network, source, destination, cost).vertices
+        if compiled_path != reference:
+            raise AssertionError(
+                f"{rows}x{cols}: compiled and dict kernels disagree after "
+                f"traffic updates on query ({source}, {destination})"
+            )
+
+    return {
+        "rows": rows,
+        "cols": cols,
+        "vertices": network.vertex_count,
+        "edges": network.edge_count,
+        "batch_edges": len(batches[0]),
+        "batches": len(batches),
+        "recompile_seconds": round(recompile_seconds, 6),
+        "patch_seconds": round(patch_seconds, 6),
+        "patch_vs_recompile_speedup": (
+            round(recompile_seconds / patch_seconds, 3) if patch_seconds else None
+        ),
+        "queries": len(queries),
+        "query_seconds_steady": round(steady_seconds, 6),
+        "query_seconds_post_update": round(post_update_seconds, 6),
+        "cost_version": network.cost_version,
+    }
+
+
+def merge_report(output: FilePath, traffic_report: dict) -> dict:
+    """Merge the traffic section into the (possibly existing) routing JSON."""
+    if output.exists():
+        report = json.loads(output.read_text())
+    else:
+        report = {"benchmark": "bench_traffic_updates"}
+    report["traffic"] = traffic_report
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="one small grid (CI)")
+    parser.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.01,
+        help="fraction of edges touched per traffic batch (one live-traffic "
+        "tick; patch cost is O(touched edges), rebuild cost O(network))",
+    )
+    parser.add_argument("--repeats", type=int, default=10, help="timing repetitions")
+    parser.add_argument("--queries", type=int, default=25, help="OD pairs per grid")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless patching beats a full recompile by this factor on "
+        "the largest grid (0 = report only); the acceptance bar is 10",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    repeats = min(args.repeats, 5) if args.smoke else args.repeats
+
+    traffic_report = {
+        "mode": "smoke" if args.smoke else "full",
+        "batch_fraction": args.batch_fraction,
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(f"benchmarking traffic updates on {rows}x{cols} grid...", flush=True)
+        grid_report = bench_grid(
+            rows,
+            cols,
+            batch_fraction=args.batch_fraction,
+            repeats=repeats,
+            query_count=args.queries,
+            seed=args.seed,
+        )
+        traffic_report["grids"].append(grid_report)
+        print(
+            f"  batch of {grid_report['batch_edges']} edges: "
+            f"patch {grid_report['patch_seconds'] * 1e3:.3f}ms  "
+            f"recompile {grid_report['recompile_seconds'] * 1e3:.3f}ms  "
+            f"speedup {grid_report['patch_vs_recompile_speedup']}x"
+        )
+        print(
+            f"  {grid_report['queries']} queries: steady "
+            f"{grid_report['query_seconds_steady'] * 1e3:.2f}ms  post-update "
+            f"{grid_report['query_seconds_post_update'] * 1e3:.2f}ms"
+        )
+
+    largest = traffic_report["grids"][-1]
+    speedup = largest["patch_vs_recompile_speedup"]
+    traffic_report["largest_grid_patch_speedup"] = speedup
+
+    output = FilePath(args.output)
+    report = merge_report(output, traffic_report)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"merged traffic section into {output} (largest-grid patch speedup: {speedup}x)")
+
+    if args.min_speedup and (speedup or 0.0) < args.min_speedup:
+        print(
+            f"FAIL: patch speedup {speedup}x below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

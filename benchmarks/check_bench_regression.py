@@ -1,0 +1,96 @@
+"""CI guard: fail when a benchmark speedup ratio regresses past tolerance.
+
+Compares a freshly produced routing benchmark JSON against a committed
+baseline and fails when any *speedup ratio* — compiled-vs-dict per kernel
+(``bench_compiled_graph.py``) or patch-vs-recompile for traffic updates
+(``bench_traffic_updates.py``) — drops by more than ``--max-slowdown``
+(default 30%).  Ratios, not absolute timings, are compared: both sides of a
+ratio come from the same machine and run, which makes the guard robust to CI
+hardware variance.  Only grids present in both reports (matched by
+``rows x cols``) are compared, so a smoke baseline guards smoke runs.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline benchmarks/BENCH_baseline_smoke.json \
+        --fresh BENCH_routing.json --max-slowdown 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def collect_ratios(report: dict) -> dict[str, float]:
+    """Flatten every named speedup ratio of one benchmark report."""
+    ratios: dict[str, float] = {}
+    for grid in report.get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        for kernel, numbers in grid.get("kernels", {}).items():
+            speedup = numbers.get("speedup")
+            if speedup:
+                ratios[f"{label}/{kernel}"] = float(speedup)
+    for grid in report.get("traffic", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        speedup = grid.get("patch_vs_recompile_speedup")
+        if speedup:
+            ratios[f"traffic/{label}/patch_vs_recompile"] = float(speedup)
+    return ratios
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--fresh", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.30,
+        help="tolerated fractional drop of any speedup ratio (0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = collect_ratios(json.loads(Path(args.baseline).read_text()))
+    fresh = collect_ratios(json.loads(Path(args.fresh).read_text()))
+
+    comparable = sorted(set(baseline) & set(fresh))
+    if not comparable:
+        print(
+            f"ERROR: no comparable speedup ratios between {args.baseline} "
+            f"({sorted(baseline)}) and {args.fresh} ({sorted(fresh)}); "
+            "the baseline grids must match the fresh run's grids",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = []
+    for key in comparable:
+        floor = baseline[key] * (1.0 - args.max_slowdown)
+        status = "ok" if fresh[key] >= floor else "REGRESSED"
+        print(
+            f"  {key:>40}: baseline {baseline[key]:7.3f}x  fresh {fresh[key]:7.3f}x  "
+            f"floor {floor:6.3f}x  {status}"
+        )
+        if fresh[key] < floor:
+            failures.append(key)
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print(f"note: ratios only in baseline (not compared): {missing}")
+
+    if failures:
+        print(
+            f"FAIL: {len(failures)} speedup ratio(s) dropped more than "
+            f"{args.max_slowdown:.0%} below baseline: {failures}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench regression guard passed ({len(comparable)} ratios within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ subpackages for the full API:
 * :mod:`repro.datasets` - canned D1-like and D2-like scenarios
 * :mod:`repro.service` - the RoutingService serving layer (engines, batching,
   caching, model persistence)
+* :mod:`repro.traffic` - live-traffic cost updates (TrafficFeed, synthetic
+  congestion) with delta-aware cache invalidation
 """
 
 from .core import L2RConfig, LearnToRoute, RegionRouter
@@ -35,6 +37,7 @@ from .service import (
     load_model,
     save_model,
 )
+from .traffic import TrafficFeed, TrafficUpdate, TrafficUpdateResult
 from .exceptions import ReproError
 
 __version__ = "1.1.0"
@@ -56,6 +59,9 @@ __all__ = [
     "RoutingEngine",
     "RoutingService",
     "ServiceStats",
+    "TrafficFeed",
+    "TrafficUpdate",
+    "TrafficUpdateResult",
     "Trajectory",
     "TrajectoryGenerator",
     "TransferConfig",

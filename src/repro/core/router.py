@@ -228,6 +228,7 @@ class RegionRouter:
                         dtype=bool,
                         count=graph.edge_count,
                     ),
+                    cost_dependent=False,  # road types never change under traffic
                 )
                 weights[~satisfied] *= 1.5
             slot = graph.slot

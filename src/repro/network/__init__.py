@@ -18,7 +18,7 @@ from .spatial import (
     project_point_to_segment,
 )
 from .spatial_index import SpatialIndex
-from .compiled import CompiledGraph, SearchWorkspace, compiled_disabled
+from .compiled import CompiledGraph, CostStore, SearchWorkspace, Topology, compiled_disabled
 from .generators import (
     CitySpec,
     chengdu_like_network,
@@ -34,6 +34,7 @@ __all__ = [
     "BoundingBox",
     "CitySpec",
     "CompiledGraph",
+    "CostStore",
     "DEFAULT_SPEED_KMH",
     "Edge",
     "LocalProjection",
@@ -43,6 +44,7 @@ __all__ = [
     "RoadType",
     "SearchWorkspace",
     "SpatialIndex",
+    "Topology",
     "Vertex",
     "VertexId",
     "centroid",

@@ -2,9 +2,11 @@
 
 The subsystem has three layers:
 
-* :mod:`~repro.network.compiled.graph` — :class:`CompiledGraph`, the immutable
-  CSR snapshot of a :class:`~repro.network.road_network.RoadNetwork` with one
-  flat numpy cost array per travel-cost feature;
+* :mod:`~repro.network.compiled.graph` — :class:`CompiledGraph`, the CSR
+  snapshot of a :class:`~repro.network.road_network.RoadNetwork`: an immutable
+  :class:`Topology` plus a monotonically-versioned :class:`CostStore` holding
+  one flat numpy cost array per travel-cost feature (patched in place by
+  live-traffic updates, see :mod:`repro.traffic`);
 * :mod:`~repro.network.compiled.kernels` — array-based Dijkstra / A* /
   bidirectional / Algorithm-2 kernels over preallocated, generation-stamped
   :class:`SearchWorkspace` state;
@@ -25,11 +27,13 @@ from .kernels import (
     preference_kernel,
 )
 from .dispatch import PreferenceSearchExhausted, compiled_disabled, is_enabled
-from .graph import EDGE_COST_ATTRIBUTES, CompiledGraph
+from .graph import EDGE_COST_ATTRIBUTES, CompiledGraph, CostStore, Topology
 
 __all__ = [
     "CompiledGraph",
+    "CostStore",
     "EDGE_COST_ATTRIBUTES",
+    "Topology",
     "PreferenceSearchExhausted",
     "SearchWorkspace",
     "astar_kernel",

@@ -88,8 +88,8 @@ def _weights(graph: "CompiledGraph", edge_cost) -> list[float] | None:
     resolved = graph.resolve_cost(edge_cost)
     if resolved is None:
         return None
-    key, array = resolved
-    return graph.forward_weights(key, array)
+    key, array, version = resolved
+    return graph.forward_weights(key, array, version)
 
 
 def try_dijkstra(
@@ -108,7 +108,7 @@ def try_dijkstra(
     resolved = graph.resolve_cost(edge_cost)
     if resolved is None:
         return None
-    key, array = resolved
+    key, array, version = resolved
     source_index = graph.index_of[source]
     destination_index = graph.index_of[destination]
     if edge_filter is None and key is not None:
@@ -119,13 +119,13 @@ def try_dijkstra(
         # per-query arrays (key None, e.g. corridor costs) do better on the
         # early-exiting python kernel below.
         result = sparse.shortest_path_indices(
-            graph, key, array, source_index, destination_index
+            graph, key, array, source_index, destination_index, version
         )
         if result == ():
             raise NoPathError(source, destination)
         if result is not None:
             return graph.path_ids(result)
-    weights = graph.forward_weights(key, array)
+    weights = graph.forward_weights(key, array, version)
     with graph.borrowed_workspace() as ws:
         indices = dijkstra_kernel(
             graph.offsets,
@@ -233,9 +233,9 @@ def try_bidirectional(
     resolved = graph.resolve_cost(edge_cost)
     if resolved is None:
         return None
-    key, array = resolved
-    weights = graph.forward_weights(key, array)
-    r_weights = graph.reverse_weights(key, array)
+    key, array, version = resolved
+    weights = graph.forward_weights(key, array, version)
+    r_weights = graph.reverse_weights(key, array, version)
     with graph.borrowed_workspace() as ws:
         indices = bidirectional_kernel(
             graph.offsets,
@@ -281,14 +281,22 @@ def try_preference(
     weights = _weights(graph, master_cost)
     if weights is None:
         return None
+    # The slave masks depend on road types only, which cost updates can
+    # never change — they survive live-traffic patches (cost_dependent=False).
     if slave is None:
-        allowed = graph.memo(("slave-none",), lambda: [True] * graph.edge_count)
+        allowed = graph.memo(
+            ("slave-none",), lambda: [True] * graph.edge_count, cost_dependent=False
+        )
         none_allowed = graph.memo(
-            ("slave-none-vertices",), lambda: [False] * graph.vertex_count
+            ("slave-none-vertices",),
+            lambda: [False] * graph.vertex_count,
+            cost_dependent=False,
         )
     else:
         allowed, none_allowed = graph.memo(
-            ("slave-masks", slave), lambda: _slave_masks(graph, slave)
+            ("slave-masks", slave),
+            lambda: _slave_masks(graph, slave),
+            cost_dependent=False,
         )
     with graph.borrowed_workspace() as ws:
         indices = preference_kernel(

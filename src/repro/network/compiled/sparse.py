@@ -38,13 +38,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from .graph import CompiledGraph
 
 
-def _matrix(graph: "CompiledGraph", key: Hashable | None, array: np.ndarray):
+def _matrix(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    version: int | None,
+):
     """A scipy CSR matrix over the graph's cost array (memoized per key)."""
     indptr = graph.memo(
-        ("sparse-indptr",), lambda: np.asarray(graph.offsets, dtype=np.int32)
+        ("sparse-indptr",),
+        lambda: np.asarray(graph.offsets, dtype=np.int32),
+        cost_dependent=False,
     )
     indices = graph.memo(
-        ("sparse-indices",), lambda: np.asarray(graph.targets, dtype=np.int32)
+        ("sparse-indices",),
+        lambda: np.asarray(graph.targets, dtype=np.int32),
+        cost_dependent=False,
     )
     n = graph.vertex_count
 
@@ -53,15 +62,24 @@ def _matrix(graph: "CompiledGraph", key: Hashable | None, array: np.ndarray):
 
     if key is None:
         return build()
-    return graph.memo(("sparse-matrix", key), build)
+    return graph.memo(("sparse-matrix", key), build, version=version)
 
 
-def _all_positive(graph: "CompiledGraph", key: Hashable | None, array: np.ndarray) -> bool:
+def _all_positive(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    version: int | None,
+) -> bool:
     """Strictly positive weights guarantee the backward walk terminates."""
     if key is None:
         return bool(array.size == 0 or array.min() > 0.0)
     return bool(
-        graph.memo(("sparse-positive", key), lambda: array.size == 0 or array.min() > 0.0)
+        graph.memo(
+            ("sparse-positive", key),
+            lambda: array.size == 0 or array.min() > 0.0,
+            version=version,
+        )
     )
 
 
@@ -71,17 +89,21 @@ def shortest_path_indices(
     array: np.ndarray,
     source: int,
     destination: int,
+    version: int | None = None,
 ) -> list[int] | None | tuple[()]:
     """Point-to-point shortest path via scipy's C Dijkstra.
 
-    Returns the vertex-index path, the empty tuple ``()`` when the
-    destination is provably unreachable, or ``None`` when this backend cannot
-    answer (scipy missing / non-positive weights / reconstruction anomaly)
-    and the pure-python kernel should run instead.
+    ``version`` is the cost version ``array`` was resolved under; it stamps
+    the memoized matrix / positivity artifacts so a patch racing the query
+    cannot leave pre-update data cached as current.  Returns the vertex-index
+    path, the empty tuple ``()`` when the destination is provably
+    unreachable, or ``None`` when this backend cannot answer (scipy missing /
+    non-positive weights / reconstruction anomaly) and the pure-python kernel
+    should run instead.
     """
-    if not HAVE_SCIPY or not _all_positive(graph, key, array):
+    if not HAVE_SCIPY or not _all_positive(graph, key, array, version):
         return None
-    matrix = _matrix(graph, key, array)
+    matrix = _matrix(graph, key, array, version)
     distances = _csgraph_dijkstra(matrix, indices=source, return_predecessors=False)
     if not np.isfinite(distances[destination]):
         return ()
@@ -89,7 +111,7 @@ def shortest_path_indices(
     dist = distances.tolist()
     r_offsets = graph.r_offsets
     r_targets = graph.r_targets
-    r_weights = graph.reverse_weights(key, array)
+    r_weights = graph.reverse_weights(key, array, version)
 
     path = [destination]
     current = destination

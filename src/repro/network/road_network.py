@@ -16,6 +16,7 @@ conversion helpers to/from networkx are provided for analysis and testing.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
@@ -100,6 +101,7 @@ class RoadNetwork:
         self._compiled_lock = threading.Lock()
         self._bounding_box: BoundingBox | None = None
         self._version = 0
+        self._cost_version = 0
 
     def __getstate__(self) -> dict:
         # The compiled view holds thread-local workspaces and is cheap to
@@ -116,6 +118,7 @@ class RoadNetwork:
         self.__dict__.setdefault("_compiled", None)
         self.__dict__.setdefault("_bounding_box", None)
         self.__dict__.setdefault("_version", 0)
+        self.__dict__.setdefault("_cost_version", 0)
         self._compiled_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -197,19 +200,143 @@ class RoadNetwork:
         return edge
 
     def _invalidate(self, bounding_box: bool = False) -> None:
-        """Drop derived views after a mutation."""
+        """Drop derived views after a *topology* mutation.
+
+        Cost-only mutations go through :meth:`update_edge_costs`, which
+        patches the live compiled view instead of dropping it.
+        """
         self._compiled = None
         self._version += 1
         if bounding_box:
             self._bounding_box = None
 
     # ------------------------------------------------------------------ #
+    # Live-traffic cost updates
+    # ------------------------------------------------------------------ #
+    def update_edge_costs(
+        self,
+        updates: Mapping[tuple[VertexId, VertexId], Mapping[str, float]],
+    ) -> frozenset[tuple[VertexId, VertexId]]:
+        """Bulk-update travel costs of existing edges without a recompile.
+
+        ``updates`` maps directed edge keys to ``{attribute: new value}``
+        dictionaries; the patchable attributes are exactly the compiled cost
+        features (``distance_m`` / ``travel_time_s`` / ``fuel_ml``).  Values
+        must be finite and strictly positive.  Caution: the A* heuristics
+        (:mod:`repro.routing.astar`) are geometric lower bounds assuming
+        ``distance_m`` >= straight-line distance and ``travel_time_s`` >=
+        straight-line time at motorway speed — pushing an edge *below* those
+        bounds (as :meth:`add_edge` also allows) makes A* inadmissible and
+        its routes possibly suboptimal; congestion-style updates (costs at or
+        above free flow) are always safe, and the Dijkstra family is
+        unaffected either way.
+
+        The whole batch is validated before anything is touched, so a bad
+        entry leaves the network unchanged (transactional semantics — the
+        :class:`~repro.traffic.TrafficFeed` relies on this).  On success the
+        edge objects are replaced, :attr:`version` and :attr:`cost_version`
+        are bumped, and — unlike a topology mutation — a cached compiled view
+        is patched in place through
+        :meth:`~repro.network.compiled.graph.CompiledGraph.apply_cost_updates`
+        rather than dropped, so live-traffic updates cost O(touched edges)
+        instead of a full CSR rebuild.
+
+        Returns the keys of the edges whose costs actually *changed* —
+        values equal to the current ones are validated but skipped, so an
+        idempotent batch (e.g. a de-congestion tick back to current levels)
+        changes nothing, bumps nothing, and triggers no cache invalidation
+        downstream.
+        """
+        from .compiled.graph import EDGE_COST_ATTRIBUTES
+
+        allowed = frozenset(EDGE_COST_ATTRIBUTES)
+        isfinite = math.isfinite
+        known_edges = self._edges
+        resolved: dict[tuple[VertexId, VertexId], dict[str, float]] = {}
+        for key, changes in updates.items():
+            old = known_edges.get(key)
+            if old is None:
+                raise EdgeNotFoundError(*key)
+            clean: dict[str, float] = {}
+            for attribute, value in changes.items():
+                if attribute not in allowed:
+                    raise NetworkError(
+                        f"cannot update edge attribute {attribute!r}; patchable "
+                        f"cost attributes are {EDGE_COST_ATTRIBUTES}"
+                    )
+                value = float(value)
+                if not isfinite(value) or value <= 0.0:
+                    raise NetworkError(
+                        f"edge {key} attribute {attribute!r} must be "
+                        f"a finite positive number, got {value!r}"
+                    )
+                if value != getattr(old, attribute):  # skip no-op writes
+                    clean[attribute] = value
+            if clean:
+                resolved[key] = clean
+        if not resolved:
+            return frozenset()
+
+        # The compiled-view lock serializes cost patches against snapshot
+        # builds: a build in progress finishes (and caches) before the patch
+        # lands, so the cached snapshot and the dicts never diverge.
+        with self._compiled_lock:
+            compiled = self._compiled
+            slot_for = compiled.topology.slot_of.get if compiled is not None else None
+            slot_changes: dict[int, dict[str, float]] = {}
+            slot_edges: dict[int, Edge] = {}
+            edges = self._edges
+            adjacency = self._adjacency
+            reverse = self._reverse
+            for key, clean in resolved.items():
+                old = edges[key]
+                # Direct construction instead of dataclasses.replace(): this
+                # loop is the live-traffic hot path, and replace() costs ~3x
+                # as much per edge through the dataclass machinery.
+                edge = Edge(
+                    old.source,
+                    old.target,
+                    clean.get("distance_m", old.distance_m),
+                    clean.get("travel_time_s", old.travel_time_s),
+                    clean.get("fuel_ml", old.fuel_ml),
+                    old.road_type,
+                    old.speed_kmh,
+                )
+                edges[key] = edge
+                adjacency[key[0]][key[1]] = edge
+                reverse[key[1]][key[0]] = edge
+                if slot_for is not None:
+                    slot = slot_for(key)
+                    if slot is None:  # pragma: no cover - snapshot out of sync
+                        compiled = None
+                        slot_for = None
+                        self._compiled = None
+                    else:
+                        slot_changes[slot] = clean
+                        slot_edges[slot] = edge
+            self._version += 1
+            self._cost_version += 1
+            if compiled is not None:
+                compiled.apply_cost_updates(slot_changes, slot_edges)
+        return frozenset(resolved)
+
+    # ------------------------------------------------------------------ #
     # Compiled view
     # ------------------------------------------------------------------ #
     @property
     def version(self) -> int:
-        """Mutation counter; bumped by :meth:`add_vertex` / :meth:`add_edge`."""
+        """Mutation counter; bumped by every mutation (topology or cost)."""
         return self._version
+
+    @property
+    def cost_version(self) -> int:
+        """Monotonic cost-update counter; bumped by :meth:`update_edge_costs`.
+
+        Topology mutations do *not* bump it — they drop the compiled view
+        entirely, which invalidates every cost-derived artifact anyway.
+        Restored by pickling (old pickles default to 0).
+        """
+        return self._cost_version
 
     def compiled(self) -> "CompiledGraph":
         """The lazily-built CSR view used by the array-based search kernels.

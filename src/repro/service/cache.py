@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Collection
 
 from ..core.config import PeakHours
 from .api import RouteRequest, RouteResponse
@@ -145,6 +145,39 @@ class RouteCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:
                 self._entries.popitem(last=False)
+
+    def invalidate_edges(
+        self,
+        edges: Collection[tuple[object, object]],
+        threshold: int | None = None,
+    ) -> int:
+        """Drop cached routes that cross any of the given directed edges.
+
+        The delta-aware remedy for live-traffic cost updates: a cached
+        answer stays valid exactly while none of its hops changed cost, so
+        only responses whose path crosses a touched edge are evicted.  When
+        the batch touches more than ``threshold`` edges the per-entry path
+        scan stops paying for itself and the whole cache is dropped instead
+        (service-wide invalidation, same effect as :meth:`clear` but with
+        the hit/miss counters kept).  Returns the number of entries dropped.
+        """
+        touched = set(edges)
+        if not touched:
+            return 0
+        with self._lock:
+            if threshold is not None and len(touched) > threshold:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            stale = [
+                key
+                for key, response in self._entries.items()
+                if response.path is not None
+                and any(hop in touched for hop in response.path.edge_keys)
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def invalidate_engine(self, engine: str) -> int:
         """Drop every entry cached for *or produced by* ``engine``.

@@ -33,7 +33,12 @@ class RoutingService:
         cache_size: int = 2048,
         peak_hours: PeakHours | None = None,
         enable_cache: bool = True,
+        traffic_invalidate_threshold: int = 64,
     ) -> None:
+        """``traffic_invalidate_threshold`` bounds the delta-aware cache scan:
+        a live-traffic batch touching more edges than this drops the whole
+        route cache instead of checking every cached path (see
+        :meth:`on_traffic_update`)."""
         self._engines: dict[str, RoutingEngine] = {}
         self._fallbacks: dict[str, str] = {}
         self._default_engine: str | None = None
@@ -41,7 +46,9 @@ class RoutingService:
             RouteCache(max_size=cache_size, peak_hours=peak_hours) if enable_cache else None
         )
         self._peak_hours_pinned = peak_hours is not None
+        self._traffic_invalidate_threshold = traffic_invalidate_threshold
         self._engine_generation: dict[str, int] = {}
+        self._traffic_generation = 0
         self._stats = StatsAccumulator()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_workers = 0
@@ -179,13 +186,19 @@ class RoutingService:
 
         # Snapshot generations before computing: the guard rejects the insert
         # if either the requested engine or the engine that actually answered
-        # (a fallback) was re-registered while this request was in flight.
+        # (a fallback) was re-registered — or any live-traffic batch landed —
+        # while this request was in flight.  Without the traffic check, a
+        # response computed with pre-update costs could be inserted *after*
+        # on_traffic_update evicted the stale entries, and then be replayed
+        # forever.  The veto is coarse (the path may not cross a touched
+        # edge) but a missed insert only costs one recompute.
         generations = dict(self._engine_generation)
+        traffic_generation = self._traffic_generation
         response = self._route_with_fallbacks(name, request)
         if self._cache is not None:
 
             def _still_current() -> bool:
-                return all(
+                return self._traffic_generation == traffic_generation and all(
                     self._engine_generation.get(involved, 0) == generations.get(involved, 0)
                     for involved in (name, response.engine)
                 )
@@ -351,6 +364,40 @@ class RoutingService:
                 f"(fallback {unresolved!r} is not registered)",
             )
         return first_failure
+
+    # ------------------------------------------------------------------ #
+    # Live traffic
+    # ------------------------------------------------------------------ #
+    def on_traffic_update(
+        self,
+        touched_edges: Iterable[tuple[VertexId, VertexId]],
+        cost_version: int | None = None,
+    ) -> int:
+        """React to a live-traffic cost update; returns routes evicted.
+
+        Called by a :class:`~repro.traffic.TrafficFeed` subscription (wire it
+        with ``TrafficFeed(network, services=[service])``).  Cached
+        responses are invalidated *delta-aware*: only answers whose path
+        crosses a touched edge are dropped.  Batches touching more than the
+        service's ``traffic_invalidate_threshold`` edges fall back to
+        dropping the whole route cache — scanning every cached path per
+        entry would cost more than the misses it saves.  The batch count,
+        touched-edge count, evictions, and the reported cost version all
+        surface in :meth:`stats`.
+        """
+        touched = set(touched_edges)
+        evicted = 0
+        # Bump before evicting: an in-flight route() that snapshotted the old
+        # generation is then vetoed at put() time (guard under the cache
+        # lock), and anything it managed to insert earlier is dropped by the
+        # eviction below — either way no pre-update answer survives.
+        self._traffic_generation += 1
+        if self._cache is not None and touched:
+            evicted = self._cache.invalidate_edges(
+                touched, threshold=self._traffic_invalidate_threshold
+            )
+        self._stats.record_traffic(len(touched), evicted, cost_version or 0)
+        return evicted
 
     # ------------------------------------------------------------------ #
     # Monitoring

@@ -41,6 +41,14 @@ class ServiceStats:
     latency_p50_s: float = 0.0
     latency_p95_s: float = 0.0
     latency_mean_s: float = 0.0
+    traffic_updates: int = 0
+    """Live-traffic update batches observed via ``on_traffic_update``."""
+    traffic_touched_edges: int = 0
+    """Total edges touched across all observed traffic batches."""
+    traffic_evicted_routes: int = 0
+    """Cached routes evicted by delta-aware traffic invalidation."""
+    cost_version: int = 0
+    """Latest network cost version reported by the traffic feed."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -66,6 +74,10 @@ class StatsAccumulator:
         self._latencies: list[float] = []
         self._latency_seen = 0
         self._max_latency_samples = max_latency_samples
+        self._traffic_updates = 0
+        self._traffic_touched = 0
+        self._traffic_evicted = 0
+        self._cost_version = 0
 
     def record(self, response: RouteResponse) -> None:
         with self._lock:
@@ -88,6 +100,16 @@ class StatsAccumulator:
                 )
             self._latency_seen += 1
 
+    def record_traffic(self, touched: int, evicted: int, cost_version: int) -> None:
+        """Count one applied live-traffic batch and its cache evictions."""
+        with self._lock:
+            self._traffic_updates += 1
+            self._traffic_touched += touched
+            self._traffic_evicted += evicted
+            # Versions are monotonic per network; keep the newest observed
+            # (feeds over different networks just report the latest bump).
+            self._cost_version = max(self._cost_version, cost_version)
+
     def snapshot(self, cache: CacheStats) -> ServiceStats:
         with self._lock:
             latencies = list(self._latencies)
@@ -101,6 +123,10 @@ class StatsAccumulator:
                 latency_p50_s=percentile(latencies, 0.50),
                 latency_p95_s=percentile(latencies, 0.95),
                 latency_mean_s=sum(latencies) / len(latencies) if latencies else 0.0,
+                traffic_updates=self._traffic_updates,
+                traffic_touched_edges=self._traffic_touched,
+                traffic_evicted_routes=self._traffic_evicted,
+                cost_version=self._cost_version,
             )
 
     def reset(self) -> None:
@@ -112,3 +138,8 @@ class StatsAccumulator:
             self._cases.clear()
             self._latencies.clear()
             self._latency_seen = 0
+            self._traffic_updates = 0
+            self._traffic_touched = 0
+            self._traffic_evicted = 0
+            # _cost_version is deliberately kept: it mirrors network state,
+            # not a monitoring-window counter.

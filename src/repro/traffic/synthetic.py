@@ -1,0 +1,71 @@
+"""Synthetic congestion for benchmarks and load tests.
+
+:func:`synthetic_congestion` yields batches of
+:class:`~repro.traffic.updates.TrafficUpdate` objects that mimic rush-hour
+waves: each step picks a random subset of edges and sets their travel time
+(and, attenuated, fuel consumption) to a congestion multiple of the *free
+flow* values captured when the generator was created.  Working from absolute
+free-flow baselines keeps repeated steps bounded — congestion levels move
+around instead of compounding multiplicatively forever.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..exceptions import NetworkError
+from ..network.road_network import RoadNetwork
+from .updates import TrafficUpdate
+
+
+def synthetic_congestion(
+    network: RoadNetwork,
+    *,
+    seed: int = 0,
+    fraction: float = 0.1,
+    peak_factor: float = 3.0,
+    fuel_sensitivity: float = 0.4,
+    steps: int | None = None,
+) -> Iterator[list[TrafficUpdate]]:
+    """Yield batches of congestion updates against free-flow baselines.
+
+    ``fraction`` of the network's edges are touched per step (at least one);
+    each touched edge gets a travel time of ``free_flow * factor`` with
+    ``factor`` drawn uniformly from ``[1, peak_factor]``, and a fuel
+    consumption scaled by ``1 + (factor - 1) * fuel_sensitivity`` (stop-and-go
+    traffic burns more fuel, sub-linearly).  ``steps=None`` yields forever.
+
+    The free-flow baselines are snapshotted up front, so the generator must
+    not outlive topology mutations of the network (new edges would be
+    unknown to it — they are simply never congested).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise NetworkError(f"fraction must be in (0, 1], got {fraction}")
+    if peak_factor < 1.0:
+        raise NetworkError(f"peak_factor must be >= 1, got {peak_factor}")
+    free_flow = {
+        edge.key: (edge.travel_time_s, edge.fuel_ml) for edge in network.edges()
+    }
+    if not free_flow:
+        raise NetworkError("cannot generate congestion for a network with no edges")
+    keys = sorted(free_flow)
+    rng = random.Random(seed)
+    per_step = max(1, round(len(keys) * fraction))
+
+    step = 0
+    while steps is None or step < steps:
+        batch = []
+        for source, target in rng.sample(keys, per_step):
+            travel_time_s, fuel_ml = free_flow[(source, target)]
+            factor = 1.0 + rng.random() * (peak_factor - 1.0)
+            batch.append(
+                TrafficUpdate.set(
+                    source,
+                    target,
+                    travel_time_s=travel_time_s * factor,
+                    fuel_ml=fuel_ml * (1.0 + (factor - 1.0) * fuel_sensitivity),
+                )
+            )
+        yield batch
+        step += 1

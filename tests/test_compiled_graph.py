@@ -269,6 +269,85 @@ class TestCompiledView:
         assert view.vertex_count == demo_network.vertex_count
         assert view.edge_count == demo_network.edge_count
 
+    def test_mutation_during_compilation_serves_uncached_snapshot(self, monkeypatch):
+        """A topology mutation racing a compile must not poison the cache.
+
+        The builder thread is paused *after* the CSR snapshot is built but
+        before ``compiled()`` decides whether to cache it; a concurrent
+        ``add_edge`` then invalidates it.  The stale snapshot is served to
+        the builder uncached, and the next accessor gets a fresh, correct
+        one (previously only the comment in ``road_network.py`` promised
+        this).
+        """
+        import threading
+
+        from repro.network.compiled import graph as graph_module
+
+        network = grid_city_network(rows=5, cols=5, seed=2)
+        original_init = graph_module.CompiledGraph.__init__
+        build_done = threading.Event()
+        mutated = threading.Event()
+        first_build = []
+
+        def racy_init(self, net, *args, **kwargs):
+            original_init(self, net, *args, **kwargs)
+            if not first_build:
+                first_build.append(True)
+                build_done.set()
+                assert mutated.wait(timeout=10.0)
+
+        monkeypatch.setattr(graph_module.CompiledGraph, "__init__", racy_init)
+        results = {}
+        builder = threading.Thread(target=lambda: results.update(view=network.compiled()))
+        builder.start()
+        assert build_done.wait(timeout=10.0)
+        network.add_edge(0, 6, road_type=RoadType.MOTORWAY)  # mid-build mutation
+        mutated.set()
+        builder.join(timeout=10.0)
+        assert not builder.is_alive()
+
+        stale = results["view"]
+        assert stale.slot(0, 6) is None  # predates the mutation
+        assert network._compiled is None  # ... and was not cached
+        fresh = network.compiled()
+        assert fresh is not stale
+        assert fresh.slot(0, 6) is not None
+        assert fresh.edge_count == network.edge_count
+        assert network.compiled() is fresh  # the fresh snapshot is cached
+        path = dijkstra(network, 0, 6, cost_function(CostFeature.DISTANCE))
+        assert path.vertices == (0, 6)
+
+    def test_cost_update_blocks_until_concurrent_build_caches(self):
+        """update_edge_costs serializes with compiled() builds on the same
+        lock, so a patch can never land in the middle of a build: the build
+        caches first, then the patch updates the cached snapshot."""
+        import threading
+
+        network = grid_city_network(rows=6, cols=6, seed=3)
+        errors = []
+
+        def hammer_costs():
+            try:
+                for i in range(30):
+                    network.update_edge_costs(
+                        {(0, 1): {"travel_time_s": 10.0 + i}}
+                    )
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer_costs) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        views = [network.compiled() for _ in range(10)]
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert network.cost_version == 90
+        final = network.compiled()
+        slot = final.slot(0, 1)
+        assert final.array("travel_time_s")[slot] == network.edge(0, 1).travel_time_s
+        assert views  # builds interleaved with patches never crashed
+
     def test_mutation_invalidates_compiled_view(self):
         network = grid_city_network(rows=4, cols=4, seed=1)
         before = network.compiled()
@@ -345,9 +424,10 @@ class TestCompiledView:
 
     def test_memo_cache_is_bounded(self, demo_network):
         view = demo_network.compiled()
-        for i in range(view._memo_size + 50):
+        store = view.costs
+        for i in range(store._memo_size + 50):
             view.memo(("stress", i), lambda: object())
-        assert len(view._memo) <= view._memo_size
+        assert len(store._memo) <= store._memo_size
 
     def test_pickle_drops_compiled_view(self, demo_network):
         demo_network.compiled()
