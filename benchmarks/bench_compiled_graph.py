@@ -27,7 +27,7 @@ import sys
 import time
 from pathlib import Path as FilePath
 
-from repro.network import compiled_disabled, grid_city_network
+from repro.network import alt_disabled, compiled_disabled, grid_city_network
 from repro.network.compiled import sparse
 from repro.preferences import PreferenceVector
 from repro.preferences.features import MAJOR_ROADS
@@ -114,8 +114,12 @@ def bench_grid(rows: int, cols: int, query_count: int, seed: int) -> dict:
 
     runners = _kernel_runners(network)
     for name, runner in runners.items():
-        runner(*queries[0])  # warm caches (cost arrays, sparse matrices)
-        compiled_seconds, compiled_paths = _time_queries(runner, queries)
+        # This benchmark measures the *plain* compiled kernels, whose paths
+        # are identical to the references (ALT goal-directed search is only
+        # cost-identical; bench_alt_landmarks.py covers it).
+        with alt_disabled():
+            runner(*queries[0])  # warm caches (cost arrays, sparse matrices)
+            compiled_seconds, compiled_paths = _time_queries(runner, queries)
         with compiled_disabled():
             dict_seconds, dict_paths = _time_queries(runner, queries)
         if compiled_paths != dict_paths:

@@ -38,6 +38,18 @@ def collect_ratios(report: dict) -> dict[str, float]:
         speedup = grid.get("patch_vs_recompile_speedup")
         if speedup:
             ratios[f"traffic/{label}/patch_vs_recompile"] = float(speedup)
+    for grid in report.get("alt", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        for name, short in (
+            ("alt_vs_plain_astar_speedup", "astar"),
+            ("alt_vs_plain_bidirectional_speedup", "bidirectional"),
+        ):
+            speedup = grid.get(name)
+            if speedup:
+                ratios[f"alt/{label}/{short}"] = float(speedup)
+        batch = grid.get("route_many", {}).get("shared_source_batched_vs_threaded_speedup")
+        if batch:
+            ratios[f"alt/{label}/route_many_shared_source"] = float(batch)
     return ratios
 
 

@@ -8,6 +8,7 @@ network — the behaviour of a traditional routing service with static weights.
 from __future__ import annotations
 
 from ..network.road_network import RoadNetwork, VertexId
+from ..routing.costs import CostFeature
 from ..routing.dijkstra import fastest_path, shortest_path
 from ..routing.path import Path
 from .base import RoutingAlgorithm
@@ -17,6 +18,9 @@ class ShortestBaseline(RoutingAlgorithm):
     """Distance-minimal routing (the paper's *Shortest*)."""
 
     name = "Shortest"
+    #: Single-feature policy tag: lets the service layer batch these queries
+    #: (``dijkstra_many``) and answer them goal-directed (ALT) on request.
+    cost_feature = CostFeature.DISTANCE
 
     def route(
         self,
@@ -32,6 +36,7 @@ class FastestBaseline(RoutingAlgorithm):
     """Travel-time-minimal routing (the paper's *Fastest*)."""
 
     name = "Fastest"
+    cost_feature = CostFeature.TRAVEL_TIME
 
     def route(
         self,

@@ -45,6 +45,23 @@ class NoPathError(ReproError):
         self.destination = destination
 
 
+class StaleHierarchyError(ReproError):
+    """A contraction hierarchy was queried after its network changed.
+
+    CH shortcut weights are frozen at build time; answering from a stale
+    hierarchy would silently return pre-update (e.g. pre-traffic) routes.
+    """
+
+    def __init__(self, built_version: int, current_version: int) -> None:
+        super().__init__(
+            f"contraction hierarchy was built at network version {built_version} "
+            f"but the network is now at version {current_version}; rebuild it "
+            "(or query with on_stale='rebuild' / 'ignore')"
+        )
+        self.built_version = built_version
+        self.current_version = current_version
+
+
 class TrajectoryError(ReproError):
     """Problems with trajectory data (too few records, unmatched points...)."""
 

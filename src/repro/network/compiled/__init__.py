@@ -12,10 +12,18 @@ The subsystem has three layers:
   :class:`SearchWorkspace` state;
 * :mod:`~repro.network.compiled.dispatch` — the bridge the public routing
   functions call: eligible queries run on the kernels, opaque ones fall back
-  to the dict-based reference implementations.
+  to the dict-based reference implementations;
+* :mod:`~repro.network.compiled.landmarks` — ALT landmark lower bounds
+  (:class:`LandmarkTable`): topology-stamped, cost-version-aware artifacts
+  that make the compiled A* / bidirectional kernels goal-directed;
+* :mod:`~repro.network.compiled.batch` — :func:`dijkstra_many`, batched
+  multi-source SSSP over the shared CSR arrays (one scipy C call for a whole
+  batch) feeding both the landmark builds and ``RoutingService.route_many``.
 
 Use :func:`compiled_disabled` to force the reference implementations (the
-equivalence tests and the ``bench_compiled_graph`` benchmark do).
+equivalence tests and the ``bench_compiled_graph`` benchmark do), and
+:func:`alt_disabled` to keep the compiled kernels but turn off goal-directed
+ALT search (exact path-identity with the references).
 """
 
 from .workspace import SearchWorkspace
@@ -26,21 +34,36 @@ from .kernels import (
     dijkstra_kernel,
     preference_kernel,
 )
-from .dispatch import PreferenceSearchExhausted, compiled_disabled, is_enabled
+from .dispatch import (
+    PreferenceSearchExhausted,
+    alt_disabled,
+    alt_is_enabled,
+    compiled_disabled,
+    is_enabled,
+)
 from .graph import EDGE_COST_ATTRIBUTES, CompiledGraph, CostStore, Topology
+from .batch import dijkstra_many, shortest_paths_many
+from .landmarks import DEFAULT_LANDMARK_COUNT, LandmarkTable, build_landmark_table
 
 __all__ = [
     "CompiledGraph",
     "CostStore",
+    "DEFAULT_LANDMARK_COUNT",
     "EDGE_COST_ATTRIBUTES",
+    "LandmarkTable",
     "Topology",
     "PreferenceSearchExhausted",
     "SearchWorkspace",
+    "alt_disabled",
+    "alt_is_enabled",
     "astar_kernel",
     "bidirectional_kernel",
+    "build_landmark_table",
     "compiled_disabled",
     "dijkstra_costs_kernel",
     "dijkstra_kernel",
+    "dijkstra_many",
     "is_enabled",
     "preference_kernel",
+    "shortest_paths_many",
 ]

@@ -1,0 +1,152 @@
+"""Batched multi-source SSSP over the compiled CSR arrays.
+
+``dijkstra_many`` answers *k* independent single-source shortest-path
+problems over one shared CSR cost view in a single call: with scipy
+installed it runs ``scipy.sparse.csgraph.dijkstra`` (one C call for the
+whole batch, no GIL between sources); without it, the pure-python array
+kernel fills the same distance matrix one source at a time.  Both backends
+produce exact Dijkstra distances, so the deterministic backward walk in
+:mod:`~repro.network.compiled.sparse` reconstructs reference-identical
+paths from the rows.
+
+``shortest_paths_many`` builds on that: a batch of ``(source, destination)``
+pairs shares one distance row per distinct source, which is how
+:meth:`~repro.service.RoutingService.route_many` turns a thread-per-request
+fan-out into a handful of batched kernel calls.  The landmark tables in
+:mod:`~repro.network.compiled.landmarks` use ``dijkstra_many`` for their
+per-landmark forward/backward distance rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from . import sparse
+from .kernels import dijkstra_costs_kernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import CompiledGraph
+
+
+def _reverse_matrix(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    version: int | None,
+):
+    """A scipy CSR matrix of the reverse (predecessor) graph (memoized)."""
+    indptr = graph.memo(
+        ("sparse-r-indptr",),
+        lambda: np.asarray(graph.r_offsets, dtype=np.int32),
+        cost_dependent=False,
+    )
+    indices = graph.memo(
+        ("sparse-r-indices",),
+        lambda: np.asarray(graph.r_targets, dtype=np.int32),
+        cost_dependent=False,
+    )
+    n = graph.vertex_count
+
+    def build():
+        return sparse._csr_matrix(
+            (array[graph.topology.r_slots], indices, indptr), shape=(n, n)
+        )
+
+    if key is None:
+        return build()
+    return graph.memo(("sparse-rmatrix", key), build, version=version)
+
+
+def dijkstra_many(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    version: int | None,
+    sources: Sequence[int],
+    reverse: bool = False,
+) -> np.ndarray:
+    """Distances from every source index at once: a ``(len(sources), n)`` matrix.
+
+    ``reverse=True`` searches the predecessor graph (distances *to* each
+    source in the forward graph) — what the backward landmark tables need.
+    Unreachable vertices hold ``inf``.  The scipy backend handles the whole
+    batch in one C call; the fallback runs the python array kernel per
+    source into the same matrix.
+    """
+    n = graph.vertex_count
+    matrix_sources = list(sources)
+    if sparse.HAVE_SCIPY and (array.size == 0 or array.min() >= 0.0):
+        if reverse:
+            matrix = _reverse_matrix(graph, key, array, version)
+        else:
+            matrix = sparse._matrix(graph, key, array, version)
+        distances = sparse._csgraph_dijkstra(
+            matrix, indices=matrix_sources, return_predecessors=False
+        )
+        return np.atleast_2d(np.asarray(distances, dtype=np.float64))
+
+    if reverse:
+        offsets, targets = graph.r_offsets, graph.r_targets
+        weights = graph.reverse_weights(key, array, version)
+    else:
+        offsets, targets = graph.offsets, graph.targets
+        weights = graph.forward_weights(key, array, version)
+    out = np.full((len(matrix_sources), n), np.inf, dtype=np.float64)
+    with graph.borrowed_workspace() as ws:
+        for row, source in enumerate(matrix_sources):
+            for vertex, cost in dijkstra_costs_kernel(
+                offsets, targets, weights, source, None, ws
+            ):
+                out[row, vertex] = cost
+    return out
+
+
+def shortest_paths_many(
+    graph: "CompiledGraph",
+    key: Hashable | None,
+    array: np.ndarray,
+    version: int | None,
+    pairs: Sequence[tuple[int, int]],
+) -> list[list[int] | tuple[()] | None] | None:
+    """Point-to-point paths for a batch of index pairs sharing cost view.
+
+    Pairs are grouped by source so each distinct source pays one SSSP; the
+    deterministic backward walk then reconstructs each destination's
+    reference-identical path from its source's distance row.  Returns
+    ``None`` when this backend cannot answer at all (non-positive weights,
+    where the walk could cycle); otherwise a list aligned with ``pairs``
+    whose entries are index paths, the empty tuple ``()`` for a provably
+    unreachable destination, or ``None`` for a pair the caller must answer
+    with the per-query kernel (reconstruction anomaly).
+    """
+    if not pairs:
+        return []
+    if not sparse._all_positive(graph, key, array, version):
+        return None
+
+    by_source: dict[int, int] = {}
+    for source, _ in pairs:
+        if source not in by_source:
+            by_source[source] = len(by_source)
+    unique_sources = list(by_source)
+    distances = dijkstra_many(graph, key, array, version, unique_sources)
+
+    r_weights = graph.reverse_weights(key, array, version)
+    rows: dict[int, list[float]] = {}
+    results: list[list[int] | tuple[()] | None] = []
+    for source, destination in pairs:
+        row = rows.get(source)
+        if row is None:
+            row = rows[source] = distances[by_source[source]].tolist()
+        if source == destination:
+            results.append([source])
+            continue
+        if not np.isfinite(row[destination]):
+            results.append(())
+            continue
+        results.append(
+            sparse.reconstruct_path_indices(graph, row, r_weights, source, destination)
+        )
+    return results

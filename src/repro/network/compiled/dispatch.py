@@ -20,6 +20,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
+import numpy as np
+
 from ...exceptions import NoPathError
 from . import sparse
 from .kernels import (
@@ -35,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .graph import CompiledGraph
 
 _enabled = True
+_alt_enabled = True
 
 
 class PreferenceSearchExhausted(Exception):
@@ -60,6 +63,28 @@ def compiled_disabled() -> Iterator[None]:
         yield
     finally:
         _enabled = previous
+
+
+def alt_is_enabled() -> bool:
+    """Whether goal-directed (ALT landmark) search is the compiled default."""
+    return _alt_enabled
+
+
+@contextmanager
+def alt_disabled() -> Iterator[None]:
+    """Force the plain (non-goal-directed) compiled kernels.
+
+    ALT-A* and ALT-bidirectional answers are cost-optimal but may pick a
+    different equal-cost path than the dict-based references; the exact
+    path-identity tests and benchmarks run under this context.
+    """
+    global _alt_enabled
+    previous = _alt_enabled
+    _alt_enabled = False
+    try:
+        yield
+    finally:
+        _alt_enabled = previous
 
 
 def _recognized(edge_cost) -> bool:
@@ -172,59 +197,32 @@ def try_dijkstra_costs(
     return {ids[i]: cost for i, cost in settled}
 
 
+def _alt_table(graph: "CompiledGraph", key, array, version):
+    """The landmark table for this cost view, or ``None`` when ALT is off."""
+    if not _alt_enabled or key is None:
+        return None
+    return graph.landmark_table(key, array, version)
+
+
 def try_astar(
     network: "RoadNetwork",
     source: "VertexId",
     destination: "VertexId",
     edge_cost,
-    heuristic: Callable[["VertexId"], float],
+    heuristic: Callable[["VertexId"], float] | None,
     edge_filter: Callable[["Edge"], bool] | None = None,
 ) -> list["VertexId"] | None:
-    """Compiled A*; caches heuristic values per vertex per query."""
-    if not _recognized(edge_cost):
-        return None
-    graph = _view(network)
-    if graph is None:
-        return None
-    weights = _weights(graph, edge_cost)
-    if weights is None:
-        return None
-    ids = graph.vertex_ids
-    with graph.borrowed_workspace() as ws:
-        gen = ws.begin()
-        hval = ws.hval
-        hstamp = ws.hstamp
+    """Compiled A*.
 
-        def cached_heuristic(index: int) -> float:
-            if hstamp[index] != gen:
-                hval[index] = heuristic(ids[index])
-                hstamp[index] = gen
-            return hval[index]
-
-        indices = astar_kernel(
-            graph.offsets,
-            graph.targets,
-            weights,
-            graph.index_of[source],
-            graph.index_of[destination],
-            cached_heuristic,
-            ws,
-            gen,
-            graph.edges,
-            edge_filter,
-        )
-    if indices is None:
-        raise NoPathError(source, destination)
-    return graph.path_ids(indices)
-
-
-def try_bidirectional(
-    network: "RoadNetwork",
-    source: "VertexId",
-    destination: "VertexId",
-    edge_cost,
-) -> list["VertexId"] | None:
-    """Compiled bidirectional Dijkstra over the forward and reverse CSR."""
+    The goal-directed default: when the cost view is cacheable and ALT is
+    enabled, the per-vertex heuristic becomes one vectorized landmark-bound
+    pass plus pure list lookups inside the kernel — this applies when the
+    caller passed no heuristic at all or one of the built-in geometric
+    bounds (tagged ``alt_replaceable``), both of which ALT dominates while
+    staying admissible.  Custom heuristics are honoured unchanged via the
+    per-vertex callback path.  With ALT unavailable and no heuristic given,
+    returns ``None`` so the caller picks its own fallback.
+    """
     if not _recognized(edge_cost):
         return None
     graph = _view(network)
@@ -235,6 +233,151 @@ def try_bidirectional(
         return None
     key, array, version = resolved
     weights = graph.forward_weights(key, array, version)
+    source_index = graph.index_of[source]
+    destination_index = graph.index_of[destination]
+
+    table = None
+    if heuristic is None or getattr(heuristic, "alt_replaceable", False):
+        table = _alt_table(graph, key, array, version)
+    if table is None and heuristic is None:
+        return None
+
+    with graph.borrowed_workspace() as ws:
+        gen = ws.begin()
+        if table is not None:
+            bounds: list[float] = table.bounds_to(destination_index).tolist()
+            kernel_heuristic: Callable[[int], float] = bounds.__getitem__
+        else:
+            ids = graph.vertex_ids
+            hval = ws.hval
+            hstamp = ws.hstamp
+
+            def kernel_heuristic(index: int) -> float:
+                if hstamp[index] != gen:
+                    hval[index] = heuristic(ids[index])
+                    hstamp[index] = gen
+                return hval[index]
+
+        indices = astar_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            source_index,
+            destination_index,
+            kernel_heuristic,
+            ws,
+            gen,
+            graph.edges,
+            edge_filter,
+        )
+    if indices is None:
+        raise NoPathError(source, destination)
+    return graph.path_ids(indices)
+
+
+#: Sentinel: the ALT-bidirectional path could not run (fall through to plain).
+_ALT_SKIP = object()
+
+#: ALT-bidirectional pays O(edges) per query up front (reduced-cost arrays +
+#: list conversions, since the potentials depend on the endpoints).  Past
+#: this edge count that setup can outweigh the pruning on queries whose
+#: frontiers settle only a small fraction of the graph, so the plain kernel
+#: runs instead.  ALT-A* is unaffected: its per-query work is O(k * vertices)
+#: numpy plus one O(vertices) list conversion.
+ALT_BIDIRECTIONAL_MAX_EDGES = 200_000
+
+
+def _bidirectional_alt_indices(
+    graph: "CompiledGraph", key, array, version, table, source_index, destination_index
+):
+    """Goal-directed bidirectional search via consistent average potentials.
+
+    With ``p(v) = (pi_t(v) - pi_s(v)) / 2`` the forward and backward reduced
+    edge costs coincide (``w'(u,v) = w(u,v) - p(u) + p(v) >= 0`` by
+    consistency of the landmark bounds), so the *plain* bidirectional
+    kernel — stopping rule included — runs unchanged on the reduced arrays
+    and returns a path that is optimal under the true costs.  Returns the
+    index path, ``None`` for unreachable, or :data:`_ALT_SKIP` when the
+    potentials are unusable (non-finite entries on partially reachable
+    graphs) and the caller should run the plain kernel.
+    """
+    pi_t = table.bounds_to(destination_index)
+    pi_s = table.bounds_from(source_index)
+    with np.errstate(invalid="ignore"):  # inf - inf on partially reachable graphs
+        potentials = 0.5 * (pi_t - pi_s)
+    if not np.isfinite(potentials).all():
+        return _ALT_SKIP
+    slot_sources = graph.memo(
+        ("csr-slot-sources",),
+        lambda: np.repeat(
+            np.arange(graph.vertex_count, dtype=np.int64),
+            np.diff(np.asarray(graph.offsets, dtype=np.int64)),
+        ),
+        cost_dependent=False,
+    )
+    slot_targets = graph.memo(
+        ("csr-slot-targets",),
+        lambda: np.asarray(graph.targets, dtype=np.int64),
+        cost_dependent=False,
+    )
+    reduced = array - potentials[slot_sources] + potentials[slot_targets]
+    # Mathematically >= 0; clip the float-rounding dust so Dijkstra's
+    # invariant holds (the perturbation is ~ulp-sized and cost-neutral).
+    np.maximum(reduced, 0.0, out=reduced)
+    weights = reduced.tolist()
+    r_weights = reduced[graph.topology.r_slots].tolist() if reduced.size else []
+    with graph.borrowed_workspace() as ws:
+        return bidirectional_kernel(
+            graph.offsets,
+            graph.targets,
+            weights,
+            graph.r_offsets,
+            graph.r_targets,
+            r_weights,
+            source_index,
+            destination_index,
+            ws,
+        )
+
+
+def try_bidirectional(
+    network: "RoadNetwork",
+    source: "VertexId",
+    destination: "VertexId",
+    edge_cost,
+) -> list["VertexId"] | None:
+    """Compiled bidirectional Dijkstra over the forward and reverse CSR.
+
+    With ALT enabled and a cacheable cost view, both frontiers run on
+    landmark-reduced costs (goal-directed from each end); otherwise — and
+    whenever the potentials cannot cover the whole graph — the plain
+    mirror-of-the-reference kernel runs.
+    """
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array, version = resolved
+    source_index = graph.index_of[source]
+    destination_index = graph.index_of[destination]
+
+    table = None
+    if graph.edge_count <= ALT_BIDIRECTIONAL_MAX_EDGES:
+        table = _alt_table(graph, key, array, version)
+    if table is not None:
+        indices = _bidirectional_alt_indices(
+            graph, key, array, version, table, source_index, destination_index
+        )
+        if indices is not _ALT_SKIP:
+            if indices is None:
+                raise NoPathError(source, destination)
+            return graph.path_ids(indices)
+
+    weights = graph.forward_weights(key, array, version)
     r_weights = graph.reverse_weights(key, array, version)
     with graph.borrowed_workspace() as ws:
         indices = bidirectional_kernel(
@@ -244,13 +387,62 @@ def try_bidirectional(
             graph.r_offsets,
             graph.r_targets,
             r_weights,
-            graph.index_of[source],
-            graph.index_of[destination],
+            source_index,
+            destination_index,
             ws,
         )
     if indices is None:
         raise NoPathError(source, destination)
     return graph.path_ids(indices)
+
+
+def try_route_many(
+    network: "RoadNetwork",
+    pairs: list[tuple["VertexId", "VertexId"]],
+    edge_cost,
+) -> list[list["VertexId"] | tuple[()] | None] | None:
+    """Batch point-to-point search over one shared cost view.
+
+    Returns ``None`` when the batch backend cannot run at all (opaque cost,
+    compiled search disabled, non-positive weights); otherwise a list
+    aligned with ``pairs``: a vertex-id path, the empty tuple ``()`` for a
+    provably unreachable pair, or ``None`` for a pair that must fall back
+    to the per-request path (unknown vertex / reconstruction anomaly).
+    Paths are reference-identical to per-query compiled Dijkstra.
+    """
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array, version = resolved
+
+    from . import batch
+
+    index_of = graph.index_of
+    index_pairs: list[tuple[int, int]] = []
+    positions: list[int] = []
+    results: list[list["VertexId"] | tuple[()] | None] = [None] * len(pairs)
+    for position, (source, destination) in enumerate(pairs):
+        s = index_of.get(source)
+        t = index_of.get(destination)
+        if s is None or t is None:
+            continue  # unknown vertex: the per-request path raises properly
+        index_pairs.append((s, t))
+        positions.append(position)
+
+    answered = batch.shortest_paths_many(graph, key, array, version, index_pairs)
+    if answered is None:
+        return None
+    for position, answer in zip(positions, answered):
+        if isinstance(answer, list):
+            results[position] = graph.path_ids(answer)
+        elif answer == ():
+            results[position] = ()
+    return results
 
 
 def _slave_masks(graph: "CompiledGraph", slave) -> tuple[list[bool], list[bool]]:

@@ -355,6 +355,11 @@ class CompiledGraph:
         self.r_offsets = topology.r_offsets
         self.r_targets = topology.r_targets
         self._tls = threading.local()
+        # ALT landmark tables, keyed by cost cache key.  Deliberately *not*
+        # in the version-stamped memo: a cost-version bump must revalidate
+        # (rescale) a table rather than evict it — rebuilding costs 2k SSSPs.
+        self._landmark_tables: dict[Hashable, object] = {}
+        self._landmark_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Shape
@@ -492,6 +497,71 @@ class CompiledGraph:
         :meth:`resolve_cost`).
         """
         return self.costs.memo(key, build, cost_dependent=cost_dependent, version=version)
+
+    # ------------------------------------------------------------------ #
+    # ALT landmark tables
+    # ------------------------------------------------------------------ #
+    def landmark_table(
+        self,
+        key: Hashable | None,
+        array: np.ndarray,
+        version: int | None,
+        count: int | None = None,
+        strategy: str | None = None,
+    ):
+        """The (lazily built) ALT landmark table for one cacheable cost view.
+
+        ``key`` / ``array`` / ``version`` are a :meth:`resolve_cost` result;
+        per-query arrays (``key is None``) get no table.  The table is
+        revalidated against ``array`` whenever the cost version moved since
+        it was last served: bounds are rescaled while that keeps them
+        admissible and worth serving, rebuilt otherwise (see
+        :mod:`~repro.network.compiled.landmarks`).  ``count`` / ``strategy``
+        force a rebuild when they differ from the cached table's
+        configuration (used by ``RoadNetwork.prepare_landmarks``); left at
+        ``None`` they accept whatever is cached.
+        """
+        if key is None:
+            return None
+        from .landmarks import build_landmark_table
+
+        current_version = version if version is not None else self.costs.version
+        rebuild_count = count
+        rebuild_strategy = strategy
+        with self._landmark_lock:
+            table = self._landmark_tables.get(key)
+            if table is not None:
+                # Compare against what was *requested*, not what selection
+                # yielded: a fragmented graph may cap the landmark count, and
+                # re-requesting the same number must not rebuild forever.
+                if (
+                    count is not None
+                    and table.requested_count != min(count, self.vertex_count)
+                ) or (strategy is not None and table.strategy != strategy):
+                    table = None
+                else:
+                    # A degraded table rebuilds with *its own* configuration:
+                    # an operator-tuned count/strategy survives self-eviction.
+                    rebuild_count = count if count is not None else table.requested_count
+                    rebuild_strategy = strategy if strategy is not None else table.strategy
+                    revalidated = table.revalidated(array, current_version)
+                    if revalidated is not None and revalidated is not table:
+                        self._landmark_tables[key] = revalidated
+                    table = revalidated
+            if table is not None:
+                return table
+        # Build outside the lock: ~2k SSSPs must not stall concurrent ALT
+        # queries on other (already built) cost views.  Racing builders at
+        # worst duplicate the work; the insert below is last-writer-wins and
+        # either result is admissible for its caller's resolved arrays.
+        table = build_landmark_table(
+            self, key, array, version, count=rebuild_count, strategy=rebuild_strategy
+        )
+        if table is None:
+            return None
+        with self._landmark_lock:
+            self._landmark_tables[key] = table
+        return table
 
     @contextmanager
     def borrowed_workspace(self) -> Iterator[SearchWorkspace]:

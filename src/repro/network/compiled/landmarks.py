@@ -1,0 +1,426 @@
+"""ALT landmark lower bounds (A*, Landmarks, Triangle inequality) on the CSR.
+
+A :class:`LandmarkTable` turns goal-directed search from "one Python
+heuristic call per relaxation" into pure array lookups: for a handful of
+landmark vertices it precomputes the forward (``d(L, v)``) and backward
+(``d(v, L)``) distance rows with the batched compiled Dijkstra
+(:func:`~repro.network.compiled.batch.dijkstra_many`), and the triangle
+inequality then yields per-query lower bounds
+
+    ``d(v, t) >= max_L max( d(L, t) - d(L, v),  d(v, L) - d(t, L) )``
+
+computed vectorized over all vertices in one numpy pass.  The resulting
+bounds are *consistent* (each inequality is tight along shortest paths of
+the build metric), so the closed-set A* kernel stays exact.
+
+Tables are **topology-stamped** artifacts: they live on one
+:class:`~repro.network.compiled.graph.CompiledGraph` snapshot and die with
+it on any structural mutation.  Against live-traffic *cost* updates they
+are **cost-version-aware** instead of merely evicting:
+
+* while costs only move **up** from the build-time values (congestion over
+  free flow), the build-time bounds remain admissible unchanged;
+* when some edge drops **below** its build-time cost by factor ``r``, every
+  build-time shortest path still costs at least ``r`` times its build-time
+  cost, so the bounds are *rescaled* by ``min(1, r)`` and stay admissible;
+* when the rescaling factor falls under :data:`REBUILD_RATIO` the bounds
+  have degraded enough that the table self-evicts and is rebuilt against
+  the current cost arrays.
+
+Landmark selection runs on the CSR arrays only.  ``farthest`` iteratively
+adds the vertex maximizing the minimum distance from the chosen set (cheap,
+deterministic, good spread); ``avoid`` (Goldberg & Werneck) grows a
+shortest-path tree from a random root, weighs each vertex by the gap
+between its true distance and the current landmark bound, and descends the
+heaviest unclaimed subtree to a leaf — targeted at regions the existing
+landmarks cover poorly.  ``random`` exists as a baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from . import batch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import CompiledGraph
+
+#: Landmarks per table: enough for tight grid/city bounds, cheap to build
+#: (two batched SSSPs per landmark) and to scan per query (k*n numpy max).
+DEFAULT_LANDMARK_COUNT = 8
+
+#: Default selection strategy (see module docstring).
+DEFAULT_STRATEGY = "farthest"
+
+#: Rescaled tables whose admissibility scale falls below this are rebuilt:
+#: bounds shrunk past it prune too little to be worth keeping.
+REBUILD_RATIO = 0.5
+
+_STRATEGIES = ("farthest", "avoid", "random")
+
+
+class LandmarkTable:
+    """Per-landmark distance rows plus the cost-version admissibility state."""
+
+    __slots__ = (
+        "key",
+        "strategy",
+        "indices",
+        "dist_from",
+        "dist_to",
+        "build_array",
+        "build_version",
+        "requested_count",
+        "scale",
+        "validated_version",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        strategy: str,
+        indices: list[int],
+        dist_from: np.ndarray,
+        dist_to: np.ndarray,
+        build_array: np.ndarray,
+        build_version: int,
+        requested_count: int | None = None,
+    ) -> None:
+        self.key = key
+        self.strategy = strategy
+        self.indices = indices
+        self.dist_from = dist_from  # (k, n): d(landmark, v) on the build metric
+        self.dist_to = dist_to  # (k, n): d(v, landmark) on the build metric
+        self.build_array = build_array
+        self.build_version = build_version
+        # Selection may legitimately yield fewer landmarks than asked for
+        # (tiny or fragmented graphs); remembering the *request* keeps a
+        # repeated prepare_landmarks(count=k) from rebuilding forever.
+        self.requested_count = requested_count if requested_count is not None else len(indices)
+        self.scale = 1.0
+        self.validated_version = build_version
+
+    @property
+    def count(self) -> int:
+        return len(self.indices)
+
+    # ------------------------------------------------------------------ #
+    # Cost-version admissibility
+    # ------------------------------------------------------------------ #
+    def revalidated(self, current_array: np.ndarray, current_version: int):
+        """This table re-established against the caller's cost array.
+
+        Returns ``self`` when nothing changed, a *copy-on-write* twin
+        (sharing the distance matrices, carrying the new scale) when the
+        bounds had to be rescaled, or ``None`` when they degraded past
+        :data:`REBUILD_RATIO` and the table must be rebuilt.  Served tables
+        are never mutated: a query that resolved its cost arrays under an
+        older version keeps the scale that is admissible for *those* arrays,
+        exactly like the cost store's copy-on-patch arrays.  Cheap: one
+        vectorized ratio pass, and only when the cost version actually moved
+        since the last validation.
+        """
+        if current_version == self.validated_version:
+            return self if self.scale >= REBUILD_RATIO else None
+        build = self.build_array
+        ratio = 1.0
+        if current_array is not build and build.size:
+            # Only edges with a positive build-time cost constrain the
+            # rescaling: a zero-cost edge contributes zero to every bound,
+            # which any non-negative current cost still dominates.
+            mask = build > 0.0
+            if mask.any():
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratio = float(np.min(current_array[mask] / build[mask]))
+        scale = min(1.0, ratio)
+        if scale < REBUILD_RATIO:
+            return None
+        if scale == self.scale:
+            self.validated_version = current_version
+            return self
+        twin = LandmarkTable(
+            self.key,
+            self.strategy,
+            self.indices,
+            self.dist_from,
+            self.dist_to,
+            build,
+            self.build_version,
+            requested_count=self.requested_count,
+        )
+        twin.scale = scale
+        twin.validated_version = current_version
+        return twin
+
+    # ------------------------------------------------------------------ #
+    # Triangle-inequality bounds (vectorized over all vertices)
+    # ------------------------------------------------------------------ #
+    def _bounds(self, fwd_ref: np.ndarray, bwd_ref: np.ndarray, sign: int) -> np.ndarray:
+        # ``inf - inf`` (both sides unreachable from a landmark) is NaN and
+        # carries no information; np.fmax drops NaNs in favour of any real
+        # bound, and the final fmax against 0.0 maps all-NaN columns to 0.
+        lf = self.dist_from
+        lt = self.dist_to
+        with np.errstate(invalid="ignore"):
+            if sign > 0:
+                b = np.fmax(fwd_ref[:, None] - lf, lt - bwd_ref[:, None])
+            else:
+                b = np.fmax(lf - fwd_ref[:, None], bwd_ref[:, None] - lt)
+            h = np.fmax.reduce(b, axis=0)
+        h = np.fmax(h, 0.0)
+        if self.scale != 1.0:
+            h *= self.scale
+        return h
+
+    def bounds_to(self, target: int) -> np.ndarray:
+        """Lower bounds on ``d(v, target)`` for every vertex ``v`` at once.
+
+        ``inf`` entries are exact: a finite landmark row proving ``target``
+        unreachable from ``v`` transfers through the triangle inequality.
+        """
+        return self._bounds(self.dist_from[:, target], self.dist_to[:, target], +1)
+
+    def bounds_from(self, source: int) -> np.ndarray:
+        """Lower bounds on ``d(source, v)`` — the backward-search potential."""
+        return self._bounds(self.dist_from[:, source], self.dist_to[:, source], -1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LandmarkTable(landmarks={self.count}, strategy={self.strategy!r}, "
+            f"scale={self.scale:.3f}, build_version={self.build_version})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Landmark selection
+# ---------------------------------------------------------------------- #
+def _sssp_rows(graph, key, array, version, sources: list[int]) -> np.ndarray:
+    return batch.dijkstra_many(graph, key, array, version, sources)
+
+
+def _seed_index(graph: "CompiledGraph") -> int:
+    """A deterministic seed vertex that actually has outgoing edges.
+
+    Index 0 may be a sink (one-way cul-de-sac), whose SSSP row would be
+    all-``inf`` and derail the greedy selection before it starts.
+    """
+    offsets = graph.offsets
+    for v in range(graph.vertex_count):
+        if offsets[v + 1] > offsets[v]:
+            return v
+    return 0
+
+
+def _uncovered_seed(graph: "CompiledGraph", min_dist: np.ndarray, chosen: list[int]) -> int:
+    """A vertex no chosen landmark reaches (another weak component), or -1."""
+    offsets = graph.offsets
+    chosen_set = set(chosen)
+    for v in range(len(min_dist)):
+        if (
+            not np.isfinite(min_dist[v])
+            and v not in chosen_set
+            and offsets[v + 1] > offsets[v]
+        ):
+            return v
+    return -1
+
+
+def _greedy_extend(
+    graph: "CompiledGraph",
+    key: Hashable,
+    array: np.ndarray,
+    version: int | None,
+    chosen: list[int],
+    rows: list[np.ndarray],
+    min_dist: np.ndarray,
+    count: int,
+) -> None:
+    """Grow ``chosen`` to ``count`` by greedy max-min distance (in place).
+
+    When no reachable candidate remains (the covered component is
+    exhausted), the next landmark jumps to an uncovered component so
+    disconnected graphs still get bounds everywhere a search can run.
+    """
+    while len(chosen) < count:
+        candidates = np.where(np.isfinite(min_dist), min_dist, -1.0)
+        candidates[chosen] = -1.0
+        nxt = int(np.argmax(candidates))
+        if candidates[nxt] <= 0.0:
+            nxt = _uncovered_seed(graph, min_dist, chosen)
+            if nxt < 0:
+                break  # every reachable vertex is a landmark (or at one)
+        chosen.append(nxt)
+        row = _sssp_rows(graph, key, array, version, [nxt])[0]
+        rows.append(row)
+        np.minimum(min_dist, row, out=min_dist)
+
+
+def _select_farthest(
+    graph: "CompiledGraph",
+    key: Hashable,
+    array: np.ndarray,
+    version: int | None,
+    count: int,
+) -> tuple[list[int], np.ndarray]:
+    """Greedy max-min-distance selection; returns indices + forward rows."""
+    seed = _seed_index(graph)
+    seed_row = _sssp_rows(graph, key, array, version, [seed])[0]
+    finite = np.where(np.isfinite(seed_row), seed_row, -1.0)
+    first = int(np.argmax(finite))
+    chosen = [first]
+    rows = [_sssp_rows(graph, key, array, version, [first])[0]]
+    min_dist = rows[0].copy()
+    _greedy_extend(graph, key, array, version, chosen, rows, min_dist, count)
+    return chosen, np.vstack(rows)
+
+
+def _sssp_with_parents(
+    graph: "CompiledGraph", weights: list[float], source: int
+) -> tuple[list[float], list[int], list[int]]:
+    """Full forward SSSP returning ``(dist, parent, settle order)`` lists."""
+    n = graph.vertex_count
+    offsets, targets = graph.offsets, graph.targets
+    dist_out = [float("inf")] * n
+    parent_out = [-1] * n
+    order: list[int] = []
+    with graph.borrowed_workspace() as ws:
+        gen = ws.begin()
+        dist = ws.dist
+        parent = ws.parent
+        stamp = ws.stamp
+        dist[source] = 0.0
+        parent[source] = -1
+        stamp[source] = gen
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            cost_u, u = heappop(heap)
+            if cost_u > dist[u] or dist_out[u] != float("inf"):
+                continue
+            dist_out[u] = cost_u
+            parent_out[u] = parent[u]
+            order.append(u)
+            for i in range(offsets[u], offsets[u + 1]):
+                v = targets[i]
+                candidate = cost_u + weights[i]
+                if stamp[v] != gen:
+                    stamp[v] = gen
+                    dist[v] = candidate
+                    parent[v] = u
+                    heappush(heap, (candidate, v))
+                elif candidate < dist[v]:
+                    dist[v] = candidate
+                    parent[v] = u
+                    heappush(heap, (candidate, v))
+    return dist_out, parent_out, order
+
+
+def _select_avoid(
+    graph: "CompiledGraph",
+    key: Hashable,
+    array: np.ndarray,
+    version: int | None,
+    count: int,
+) -> tuple[list[int], np.ndarray]:
+    """Goldberg–Werneck *avoid* selection; returns indices + forward rows.
+
+    Each round roots a shortest-path tree at a (seeded) random vertex,
+    weighs vertices by how far the current landmark bounds fall short of
+    the true distance, and plants the next landmark at a leaf of the
+    heaviest subtree that contains no landmark yet.
+    """
+    chosen, rows_matrix = _select_farthest(graph, key, array, version, 1)
+    rows = [rows_matrix[0]]
+    n = graph.vertex_count
+    weights = graph.forward_weights(key, array, version)
+    rng = random.Random(0x5EED ^ n)
+    attempts = 0
+    while len(chosen) < count and attempts < 4 * count:
+        attempts += 1
+        root = rng.randrange(n)
+        if root in chosen:
+            continue
+        dist_r, parent_r, order = _sssp_with_parents(graph, weights, root)
+        if len(order) < 2:
+            continue
+        # Bound d(root, v) with the landmarks chosen so far (forward rows
+        # only — a valid, if looser, subset of the final table's bounds).
+        fwd = np.vstack(rows)
+        with np.errstate(invalid="ignore"):
+            pi = np.fmax.reduce(fwd - fwd[:, root][:, None], axis=0)
+        pi = np.fmax(pi, 0.0)
+        gap = np.asarray(dist_r) - pi
+        gap[~np.isfinite(gap)] = 0.0
+
+        children: list[list[int]] = [[] for _ in range(n)]
+        for v in order:
+            if parent_r[v] >= 0:
+                children[parent_r[v]].append(v)
+        size = [0.0] * n
+        blocked = [False] * n
+        landmark_set = set(chosen)
+        for v in reversed(order):
+            in_blocked = v in landmark_set
+            total = float(gap[v])
+            for child in children[v]:
+                if blocked[child]:
+                    in_blocked = True
+                total += size[child]
+            blocked[v] = in_blocked
+            size[v] = 0.0 if in_blocked else total
+
+        best = max(order, key=lambda v: size[v])
+        if size[best] <= 0.0:
+            continue
+        while children[best]:
+            heaviest = max(children[best], key=lambda c: size[c])
+            if size[heaviest] <= 0.0:
+                break
+            best = heaviest
+        if best in landmark_set:
+            continue
+        chosen.append(best)
+        rows.append(_sssp_rows(graph, key, array, version, [best])[0])
+    # Random roots can run dry on tiny graphs; top up with farthest picks.
+    if len(chosen) < count:
+        min_dist = np.minimum.reduce(rows)
+        _greedy_extend(graph, key, array, version, chosen, rows, min_dist, count)
+    return chosen, np.vstack(rows)
+
+
+def build_landmark_table(
+    graph: "CompiledGraph",
+    key: Hashable,
+    array: np.ndarray,
+    version: int | None,
+    count: int | None = None,
+    strategy: str | None = None,
+) -> LandmarkTable | None:
+    """Select landmarks and precompute their distance rows for one cost view."""
+    n = graph.vertex_count
+    if n == 0 or key is None:
+        return None
+    count = min(count or DEFAULT_LANDMARK_COUNT, n)
+    strategy = strategy or DEFAULT_STRATEGY
+    if strategy not in _STRATEGIES:
+        raise ConfigurationError(
+            f"unknown landmark strategy {strategy!r}; choose one of {_STRATEGIES}"
+        )
+    if strategy == "farthest":
+        chosen, dist_from = _select_farthest(graph, key, array, version, count)
+    elif strategy == "avoid":
+        chosen, dist_from = _select_avoid(graph, key, array, version, count)
+    else:
+        rng = random.Random(0x5EED ^ n)
+        chosen = rng.sample(range(n), count)
+        dist_from = _sssp_rows(graph, key, array, version, chosen)
+    dist_to = batch.dijkstra_many(graph, key, array, version, chosen, reverse=True)
+    build_version = version if version is not None else graph.costs.version
+    return LandmarkTable(
+        key, strategy, chosen, dist_from, dist_to, array, build_version,
+        requested_count=count,
+    )

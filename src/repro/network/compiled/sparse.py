@@ -83,6 +83,49 @@ def _all_positive(
     )
 
 
+def reconstruct_path_indices(
+    graph: "CompiledGraph",
+    dist: list[float],
+    r_weights: list[float],
+    source: int,
+    destination: int,
+) -> list[int] | None:
+    """The deterministic backward walk over an exact distance array.
+
+    ``dist`` is the full single-source distance list from ``source`` (any
+    exact Dijkstra backend — scipy's C implementation or the python array
+    kernel — produces suitable values) and ``r_weights`` the cost array in
+    reverse CSR slot order.  Returns the reference-identical vertex-index
+    path, or ``None`` on a float anomaly (the caller falls back to the
+    exact per-query kernel).  Weights must be strictly positive or the walk
+    could cycle — callers guard with :func:`_all_positive`.
+    """
+    r_offsets = graph.r_offsets
+    r_targets = graph.r_targets
+
+    path = [destination]
+    current = destination
+    for _ in range(graph.vertex_count):
+        if current == source:
+            path.reverse()
+            return path
+        best = -1
+        best_key: tuple[float, int] | None = None
+        dist_v = dist[current]
+        for j in range(r_offsets[current], r_offsets[current + 1]):
+            u = r_targets[j]
+            if dist[u] + r_weights[j] == dist_v:
+                candidate = (dist[u], u)
+                if best_key is None or candidate < best_key:
+                    best_key = candidate
+                    best = u
+        if best < 0:  # pragma: no cover - float anomaly; use the exact kernel
+            return None
+        path.append(best)
+        current = best
+    return None  # pragma: no cover - cycle guard tripped; use the exact kernel
+
+
 def shortest_path_indices(
     graph: "CompiledGraph",
     key: Hashable | None,
@@ -109,28 +152,5 @@ def shortest_path_indices(
         return ()
 
     dist = distances.tolist()
-    r_offsets = graph.r_offsets
-    r_targets = graph.r_targets
     r_weights = graph.reverse_weights(key, array, version)
-
-    path = [destination]
-    current = destination
-    for _ in range(graph.vertex_count):
-        if current == source:
-            path.reverse()
-            return path
-        best = -1
-        best_key: tuple[float, int] | None = None
-        dist_v = dist[current]
-        for j in range(r_offsets[current], r_offsets[current + 1]):
-            u = r_targets[j]
-            if dist[u] + r_weights[j] == dist_v:
-                candidate = (dist[u], u)
-                if best_key is None or candidate < best_key:
-                    best_key = candidate
-                    best = u
-        if best < 0:  # pragma: no cover - float anomaly; use the exact kernel
-            return None
-        path.append(best)
-        current = best
-    return None  # pragma: no cover - cycle guard tripped; use the exact kernel
+    return reconstruct_path_indices(graph, dist, r_weights, source, destination)

@@ -360,6 +360,40 @@ class RoadNetwork:
                     # mid-build — serve it uncached; the next call rebuilds.
         return view
 
+    def prepare_landmarks(
+        self,
+        edge_cost: object | None = None,
+        *,
+        count: int | None = None,
+        strategy: str | None = None,
+    ):
+        """Eagerly build (or re-configure) the ALT landmark table for a cost.
+
+        Goal-directed search builds its landmark tables lazily on the first
+        A* / bidirectional query per cost view; call this to pay that cost
+        up front (e.g. before opening a service to traffic) or to pick a
+        non-default landmark ``count`` / selection ``strategy`` (``"farthest"``,
+        ``"avoid"``, or ``"random"``).  ``edge_cost`` defaults to the
+        travel-time feature; any callable recognized by the compiled
+        dispatch (``cost_attr`` / ``cost_terms`` / cacheable
+        ``build_cost_array``) works.  Returns the
+        :class:`~repro.network.compiled.landmarks.LandmarkTable`, or ``None``
+        when the cost cannot be compiled to a cacheable array.  The table
+        lives on the current compiled snapshot: it dies with any topology
+        mutation and rescales/rebuilds itself across live-traffic cost
+        updates.
+        """
+        if edge_cost is None:
+            from ..routing.costs import CostFeature, cost_function
+
+            edge_cost = cost_function(CostFeature.TRAVEL_TIME)
+        graph = self.compiled()
+        resolved = graph.resolve_cost(edge_cost)
+        if resolved is None:
+            return None
+        key, array, version = resolved
+        return graph.landmark_table(key, array, version, count=count, strategy=strategy)
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ from ..exceptions import NoPathError, VertexNotFoundError
 from ..network.compiled import dispatch as _compiled
 from ..network.road_network import Edge, RoadNetwork, VertexId
 from ..network.road_types import DEFAULT_SPEED_KMH, RoadType
-from .costs import CostFeature, EdgeCost, cost_function
+from .costs import FEATURE_EDGE_ATTRIBUTES, CostFeature, EdgeCost, cost_function
 from .fuel import fuel_per_km_ml, most_economical_speed_kmh
 from .path import Path
 from ..network.spatial import equirectangular_m
@@ -32,6 +32,9 @@ def euclidean_heuristic(network: RoadNetwork, destination: VertexId) -> Heuristi
     def h(vertex: VertexId) -> float:
         return equirectangular_m(network.coordinates(vertex), goal)
 
+    # Built-in geometric bounds are dominated by the ALT landmark bounds,
+    # so the compiled dispatch may substitute those (see try_astar).
+    h.alt_replaceable = True  # type: ignore[attr-defined]
     return h
 
 
@@ -43,6 +46,7 @@ def travel_time_heuristic(network: RoadNetwork, destination: VertexId) -> Heuris
     def h(vertex: VertexId) -> float:
         return equirectangular_m(network.coordinates(vertex), goal) / max_speed_ms
 
+    h.alt_replaceable = True  # type: ignore[attr-defined]
     return h
 
 
@@ -54,6 +58,7 @@ def fuel_heuristic(network: RoadNetwork, destination: VertexId) -> Heuristic:
     def h(vertex: VertexId) -> float:
         return equirectangular_m(network.coordinates(vertex), goal) * best_rate_per_m
 
+    h.alt_replaceable = True  # type: ignore[attr-defined]
     return h
 
 
@@ -66,19 +71,46 @@ def heuristic_for(network: RoadNetwork, destination: VertexId, feature: CostFeat
     return fuel_heuristic(network, destination)
 
 
+def default_heuristic(
+    network: RoadNetwork, destination: VertexId, edge_cost: EdgeCost
+) -> Heuristic:
+    """An admissible heuristic inferred from a tagged edge-cost callable.
+
+    Single-feature costs get their geometric bound; anything else gets the
+    zero heuristic (A* then degenerates to Dijkstra — correct, not fast).
+    """
+    attr = getattr(edge_cost, "cost_attr", None)
+    for feature, feature_attr in FEATURE_EDGE_ATTRIBUTES.items():
+        if attr == feature_attr:
+            return heuristic_for(network, destination, feature)
+
+    def zero(vertex: VertexId) -> float:
+        return 0.0
+
+    zero.alt_replaceable = True  # type: ignore[attr-defined]
+    return zero
+
+
 def astar(
     network: RoadNetwork,
     source: VertexId,
     destination: VertexId,
     edge_cost: EdgeCost,
-    heuristic: Heuristic,
+    heuristic: Heuristic | None = None,
     edge_filter: Callable[[Edge], bool] | None = None,
 ) -> Path:
     """A* lowest-cost path; raises :class:`NoPathError` if unreachable.
 
-    Recognized edge costs run on the compiled CSR kernel (which memoizes
-    heuristic values per vertex per query); opaque ones use
-    :func:`dict_astar`, the dict-based reference implementation.
+    Recognized edge costs run on the compiled CSR kernel, goal-directed by
+    default: cacheable cost views use precomputed ALT landmark lower bounds
+    (pure array lookups per relaxation) whenever ``heuristic`` is omitted or
+    is one of the built-in geometric bounds, which the landmark bounds
+    dominate.  The answer is always cost-optimal, but ALT may pick a
+    different equal-cost path than :func:`dict_astar` — wrap calls in
+    ``repro.network.compiled.alt_disabled()`` for the exact mirror.  Opaque
+    costs (and custom heuristics on opaque costs) use :func:`dict_astar`,
+    the dict-based reference implementation; with ``heuristic=None`` an
+    admissible default is inferred from the cost callable's feature tag.
     """
     if source not in network:
         raise VertexNotFoundError(source)
@@ -87,6 +119,12 @@ def astar(
     if source == destination:
         return Path.of([source])
 
+    if heuristic is None:
+        # Resolve the default up front so that when ALT is unavailable the
+        # query still runs on the compiled kernel (with the inferred
+        # geometric bound) rather than the dict reference; the default is
+        # alt_replaceable, so ALT takes precedence whenever it exists.
+        heuristic = default_heuristic(network, destination, edge_cost)
     vertices = _compiled.try_astar(network, source, destination, edge_cost, heuristic, edge_filter)
     if vertices is not None:
         return Path.of(vertices)
@@ -98,7 +136,7 @@ def dict_astar(
     source: VertexId,
     destination: VertexId,
     edge_cost: EdgeCost,
-    heuristic: Heuristic,
+    heuristic: Heuristic | None = None,
     edge_filter: Callable[[Edge], bool] | None = None,
 ) -> Path:
     """The dict-based reference A* (no compiled dispatch)."""
@@ -108,6 +146,8 @@ def dict_astar(
         raise VertexNotFoundError(destination)
     if source == destination:
         return Path.of([source])
+    if heuristic is None:
+        heuristic = default_heuristic(network, destination, edge_cost)
 
     g_score: dict[VertexId, float] = {source: 0.0}
     parent: dict[VertexId, VertexId] = {}

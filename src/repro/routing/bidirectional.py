@@ -28,7 +28,11 @@ def bidirectional_dijkstra(
 
     Recognized edge costs run both frontiers on the compiled CSR (the reverse
     frontier reuses the forward cost array through the predecessor layout);
-    opaque ones use :func:`dict_bidirectional_dijkstra`.
+    opaque ones use :func:`dict_bidirectional_dijkstra`.  Cacheable cost
+    views are additionally goal-directed by default: both frontiers search
+    on ALT landmark-reduced costs, which is cost-optimal but may pick a
+    different equal-cost path than the reference — wrap calls in
+    ``repro.network.compiled.alt_disabled()`` for the exact mirror.
     """
     if source not in network:
         raise VertexNotFoundError(source)

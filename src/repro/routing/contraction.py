@@ -17,7 +17,7 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
-from ..exceptions import NoPathError, VertexNotFoundError
+from ..exceptions import NoPathError, StaleHierarchyError, VertexNotFoundError
 from ..network.road_network import RoadNetwork, VertexId
 from .costs import CostFeature, EdgeCost, cost_function
 from .path import Path
@@ -34,12 +34,46 @@ class _Shortcut:
 
 @dataclass
 class ContractionHierarchy:
-    """A contracted search structure for one edge-cost function."""
+    """A contracted search structure for one edge-cost function.
+
+    The hierarchy is frozen at build time: its shortcut weights embed the
+    network's costs as of construction.  ``built_version`` /
+    ``built_cost_version`` record that moment so queries through
+    :func:`ch_shortest_path` can detect live-traffic (or topology) drift
+    instead of silently answering with pre-update costs.
+    """
 
     order: dict[VertexId, int]
     upward: dict[VertexId, list[_Shortcut]]
     downward: dict[VertexId, list[_Shortcut]]
     middle: dict[tuple[VertexId, VertexId], VertexId] = field(default_factory=dict)
+    built_version: int | None = None
+    """``network.version`` at build time (``None`` on hand-built hierarchies:
+    staleness then goes unchecked, matching the pre-guard behaviour)."""
+    built_cost_version: int | None = None
+    """``network.cost_version`` at build time (monitoring / diagnostics)."""
+    build_args: tuple | None = None
+    """``(feature, edge_cost, hop_limit)`` for :meth:`refresh` rebuilds."""
+
+    def is_stale(self, network: RoadNetwork) -> bool:
+        """Whether ``network`` mutated (topology or costs) since the build."""
+        return self.built_version is not None and network.version != self.built_version
+
+    def refresh(self, network: RoadNetwork) -> "ContractionHierarchy":
+        """Rebuild *in place* against the network's current state.
+
+        Re-runs the original construction (same feature / edge cost / hop
+        limit) and adopts the result, so every holder of this hierarchy
+        object sees current answers.  Returns ``self`` for chaining.
+        """
+        if self.build_args is None:
+            raise StaleHierarchyError(self.built_version or 0, network.version)
+        feature, edge_cost, hop_limit = self.build_args
+        fresh = build_contraction_hierarchy(
+            network, feature=feature, edge_cost=edge_cost, hop_limit=hop_limit
+        )
+        self.__dict__.update(fresh.__dict__)
+        return self
 
     def query_cost(self, source: VertexId, destination: VertexId) -> float:
         """Shortest-path cost between two vertices (``inf`` if unreachable)."""
@@ -156,6 +190,8 @@ def build_contraction_hierarchy(
     arrays instead of allocating fresh dicts and sets per search.
     """
     cost_fn = edge_cost or cost_function(feature)
+    built_version = network.version
+    built_cost_version = network.cost_version
     graph = network.compiled()
     n = graph.vertex_count
     ids = graph.vertex_ids
@@ -301,7 +337,15 @@ def build_contraction_hierarchy(
         else:
             downward[w].append(_Shortcut(target=u, weight=weight, via=middle.get((u, w))))
 
-    return ContractionHierarchy(order=order, upward=upward, downward=downward, middle=middle)
+    return ContractionHierarchy(
+        order=order,
+        upward=upward,
+        downward=downward,
+        middle=middle,
+        built_version=built_version,
+        built_cost_version=built_cost_version,
+        build_args=(feature, edge_cost, hop_limit),
+    )
 
 
 def ch_shortest_path(
@@ -309,10 +353,27 @@ def ch_shortest_path(
     source: VertexId,
     destination: VertexId,
     hierarchy: ContractionHierarchy,
+    on_stale: str = "raise",
 ) -> Path:
-    """Query a prebuilt hierarchy for the path from ``source`` to ``destination``."""
+    """Query a prebuilt hierarchy for the path from ``source`` to ``destination``.
+
+    The hierarchy's shortcut weights are frozen at build time, so a network
+    that mutated since (live-traffic cost updates included) would silently
+    yield pre-update routes.  ``on_stale`` picks the remedy: ``"raise"``
+    (default) raises :class:`~repro.exceptions.StaleHierarchyError`,
+    ``"rebuild"`` refreshes the hierarchy in place against the current
+    network and then answers, ``"ignore"`` knowingly answers from the
+    frozen structure.
+    """
     if source not in network:
         raise VertexNotFoundError(source)
     if destination not in network:
         raise VertexNotFoundError(destination)
+    if on_stale not in ("raise", "rebuild", "ignore"):
+        raise ValueError(f"on_stale must be 'raise', 'rebuild', or 'ignore', not {on_stale!r}")
+    if hierarchy.is_stale(network):
+        if on_stale == "raise":
+            raise StaleHierarchyError(hierarchy.built_version or 0, network.version)
+        if on_stale == "rebuild":
+            hierarchy.refresh(network)
     return hierarchy.query(source, destination)

@@ -37,6 +37,11 @@ class RouteRequest:
     cost_override: CostFeature | None = None
     """Per-request preference override: when set, the engine answers with the
     single-cost optimal path for this feature instead of its own policy."""
+    goal_directed: bool | None = None
+    """Per-request opt-in to goal-directed (ALT landmark) search for requests
+    that reduce to a single-cost query.  ``None`` defers to the engine's (or
+    the service's) configuration.  Goal-directed answers are cost-optimal but
+    may pick a different equal-cost path than the Dijkstra reference."""
     request_id: str | None = None
     """Caller-chosen correlation id, echoed back unchanged."""
 
@@ -59,6 +64,11 @@ class RouteResponse:
     cache_hit: bool = False
     fallback_used: bool = False
     """True when the answer came from a fallback engine, not the one asked."""
+    batched: bool = False
+    """True when the answer was computed by a batched ``route_many`` kernel
+    call rather than a single-request engine invocation.  ``latency_s`` is
+    then the batch's wall-clock time amortized over its requests, and the
+    service accounts it separately (see ``ServiceStats``)."""
     error: str | None = None
     """Error description for failed requests (``path`` is ``None`` then)."""
 

@@ -77,15 +77,28 @@ class RouteCache:
             else:
                 self._time_dependent.discard(engine)
 
+    def _bucket(self, engine: str, request: RouteRequest) -> str:
+        """Peak bucket derivation; the caller must hold the lock."""
+        if engine not in self._time_dependent or request.departure_time is None:
+            return "any"
+        if self._peak_hours.is_peak(request.departure_time):
+            return "peak"
+        return "offpeak"
+
+    def bucket_for(self, engine: str, request: RouteRequest) -> str:
+        """The peak bucket this request's answer is cached under.
+
+        Exposed so the service's batch partitioning can group requests by
+        the same time dimension the cache keys on, without reaching into
+        the key tuple's layout.
+        """
+        with self._lock:
+            return self._bucket(engine, request)
+
     def _key(self, engine: str, request: RouteRequest) -> CacheKey:
         """Key derivation; the caller must hold the lock (peak windows can
         be swapped concurrently by :meth:`set_peak_hours`)."""
-        if engine not in self._time_dependent or request.departure_time is None:
-            bucket = "any"
-        elif self._peak_hours.is_peak(request.departure_time):
-            bucket = "peak"
-        else:
-            bucket = "offpeak"
+        bucket = self._bucket(engine, request)
         return (
             engine,
             request.source,
@@ -93,6 +106,7 @@ class RouteCache:
             bucket,
             request.driver_id,
             request.cost_override,
+            request.goal_directed,
         )
 
     def key_for(self, engine: str, request: RouteRequest) -> CacheKey:
@@ -121,7 +135,9 @@ class RouteCache:
             self._hits += 1
             if probe and self._misses > 0:
                 self._misses -= 1
-        return cached.with_request(request, cache_hit=True, latency_s=0.0)
+        # A replay is a cache answer whatever computed the entry: clearing
+        # ``batched`` keeps the batch counters at one count per computation.
+        return cached.with_request(request, cache_hit=True, latency_s=0.0, batched=False)
 
     def put(
         self,

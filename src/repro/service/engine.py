@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 from ..core.router import RouteDiagnostics
 from ..exceptions import ReproError
 from ..network.road_network import RoadNetwork
+from ..routing.astar import astar
+from ..routing.costs import cost_function
 from ..routing.dijkstra import lowest_cost_path
 from ..routing.path import Path
 from .api import RouteRequest, RouteResponse
@@ -55,12 +57,22 @@ class BaseEngine(abc.ABC):
 
     name: str = "engine"
 
-    def __init__(self, network: RoadNetwork) -> None:
+    def __init__(self, network: RoadNetwork, goal_directed: bool = False) -> None:
         self._network = network
+        self.goal_directed = goal_directed
+        """Default for requests that reduce to a single-cost query: answer
+        with goal-directed ALT-A* instead of plain Dijkstra.  Cost-optimal
+        either way; ALT may pick a different equal-cost path.  Per-request
+        ``RouteRequest.goal_directed`` overrides this default."""
 
     @property
     def network(self) -> RoadNetwork:
         return self._network
+
+    def _wants_goal_directed(self, request: RouteRequest) -> bool:
+        if request.goal_directed is not None:
+            return request.goal_directed
+        return self.goal_directed
 
     def route(self, request: RouteRequest) -> RouteResponse:
         """Answer ``request``, timing the computation.
@@ -72,9 +84,13 @@ class BaseEngine(abc.ABC):
         started = time.perf_counter()
         try:
             if request.cost_override is not None:
-                path = lowest_cost_path(
-                    self._network, request.source, request.destination, request.cost_override
-                )
+                cost = cost_function(request.cost_override)
+                if self._wants_goal_directed(request):
+                    path = astar(self._network, request.source, request.destination, cost)
+                else:
+                    path = lowest_cost_path(
+                        self._network, request.source, request.destination, request.cost_override
+                    )
                 diagnostics: RouteDiagnostics | None = RouteDiagnostics(case="cost-override")
             else:
                 path, diagnostics = self._answer(request)
@@ -94,6 +110,27 @@ class BaseEngine(abc.ABC):
     def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
         """Compute the path (and optional diagnostics) for one request."""
 
+    def _static_cost(self):
+        """The fixed single-feature edge cost this engine routes with.
+
+        ``None`` (the default) marks the engine's policy as not reducible to
+        one Dijkstra per request — such engines never batch.
+        """
+        return None
+
+    def batch_cost(self, request: RouteRequest):
+        """Edge-cost callable when ``request`` reduces to one Dijkstra.
+
+        The service's ``route_many`` partitions requests whose engine
+        resolves the *same* callable here into one batched
+        ``dijkstra_many`` kernel call.  Returns ``None`` for requests that
+        must run through :meth:`route` (personalized / multi-phase
+        policies).
+        """
+        if request.cost_override is not None:
+            return cost_function(request.cost_override)
+        return self._static_cost()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -101,8 +138,13 @@ class BaseEngine(abc.ABC):
 class AlgorithmEngine(BaseEngine):
     """Adapter exposing a legacy :class:`RoutingAlgorithm` as an engine."""
 
-    def __init__(self, algorithm: "RoutingAlgorithm", name: str | None = None) -> None:
-        super().__init__(algorithm.network)
+    def __init__(
+        self,
+        algorithm: "RoutingAlgorithm",
+        name: str | None = None,
+        goal_directed: bool = False,
+    ) -> None:
+        super().__init__(algorithm.network, goal_directed=goal_directed)
         self._algorithm = algorithm
         self.name = name or algorithm.name
 
@@ -119,7 +161,20 @@ class AlgorithmEngine(BaseEngine):
             return config.peak_hours
         return None
 
+    def _static_cost(self):
+        """Cost-centric algorithms advertise their feature for batching."""
+        feature = getattr(self._algorithm, "cost_feature", None)
+        if feature is None:
+            return None
+        return cost_function(feature)
+
     def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        if self._wants_goal_directed(request):
+            cost = self._static_cost()
+            if cost is not None:
+                # Single-cost policy: answer goal-directed (ALT-A*) instead
+                # of running the algorithm's plain Dijkstra.
+                return astar(self._network, request.source, request.destination, cost), None
         path = self._algorithm.route(
             request.source,
             request.destination,
@@ -134,8 +189,13 @@ class L2REngine(BaseEngine):
 
     name = "L2R"
 
-    def __init__(self, pipeline: "LearnToRoute", name: str | None = None) -> None:
-        super().__init__(pipeline.network)
+    def __init__(
+        self,
+        pipeline: "LearnToRoute",
+        name: str | None = None,
+        goal_directed: bool = False,
+    ) -> None:
+        super().__init__(pipeline.network, goal_directed=goal_directed)
         self._pipeline = pipeline
         if name is not None:
             self.name = name

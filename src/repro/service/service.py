@@ -14,11 +14,14 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Iterable, Sequence
 
 from ..core.config import PeakHours
 from ..exceptions import ConfigurationError, ReproError
+from ..network.compiled import dispatch as _compiled
 from ..network.road_network import VertexId
+from ..routing.path import Path
 from .api import RouteRequest, RouteResponse
 from .cache import CacheStats, RouteCache
 from .engine import RoutingEngine
@@ -34,11 +37,18 @@ class RoutingService:
         peak_hours: PeakHours | None = None,
         enable_cache: bool = True,
         traffic_invalidate_threshold: int = 64,
+        goal_directed: bool | None = None,
+        batch_min_size: int = 8,
     ) -> None:
         """``traffic_invalidate_threshold`` bounds the delta-aware cache scan:
         a live-traffic batch touching more edges than this drops the whole
         route cache instead of checking every cached path (see
-        :meth:`on_traffic_update`)."""
+        :meth:`on_traffic_update`).  ``goal_directed`` (when not ``None``)
+        becomes the default for requests that leave their own
+        ``goal_directed`` field unset — the service-wide opt-in to ALT
+        landmark search for single-cost queries.  ``batch_min_size`` is the
+        smallest group of compatible ``route_many`` requests worth a batched
+        ``dijkstra_many`` call; smaller groups use the thread pool."""
         self._engines: dict[str, RoutingEngine] = {}
         self._fallbacks: dict[str, str] = {}
         self._default_engine: str | None = None
@@ -47,6 +57,8 @@ class RoutingService:
         )
         self._peak_hours_pinned = peak_hours is not None
         self._traffic_invalidate_threshold = traffic_invalidate_threshold
+        self._goal_directed = goal_directed
+        self._batch_min_size = max(2, batch_min_size)
         self._engine_generation: dict[str, int] = {}
         self._traffic_generation = 0
         self._stats = StatsAccumulator()
@@ -161,21 +173,29 @@ class RoutingService:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
-    def route(self, request: RouteRequest, engine: str | None = None) -> RouteResponse:
+    def route(
+        self,
+        request: RouteRequest,
+        engine: str | None = None,
+        _probe_cache: bool = False,
+    ) -> RouteResponse:
         """Answer one request with the named (or default) engine.
 
         The answer is served from the route cache when possible; on failure
         the engine's fallback chain is followed.  The returned response always
         reports the engine that actually produced the path, the latency, and
-        the cache-hit flag.
+        the cache-hit flag.  ``_probe_cache`` (internal) marks the cache
+        lookup as a follow-up to one ``route_many`` already counted, keeping
+        the hit/miss counters at one outcome per logical request.
         """
         name = engine or self._default_engine
         if name is None:
             raise ConfigurationError("no engines registered with this RoutingService")
         self.engine(name)  # validates the name before cache lookup
+        request = self._effective_request(request)
 
         if self._cache is not None:
-            cached = self._cache.get(name, request)
+            cached = self._cache.get(name, request, probe=_probe_cache)
             if cached is not None:
                 # A replay from the requested engine's own key did not run the
                 # fallback chain this time, whatever produced the entry.
@@ -225,27 +245,163 @@ class RoutingService:
         )
         return self.route(request, engine=engine)
 
+    def _effective_request(self, request: RouteRequest) -> RouteRequest:
+        """Fill service-level defaults into an incoming request."""
+        if request.goal_directed is None and self._goal_directed is not None:
+            return replace(request, goal_directed=self._goal_directed)
+        return request
+
     def route_many(
         self,
         requests: Sequence[RouteRequest] | Iterable[RouteRequest],
         engine: str | None = None,
         max_workers: int = 4,
+        batch_min_size: int | None = None,
     ) -> list[RouteResponse]:
         """Answer a batch of requests, preserving order.
 
-        Requests fan out over a thread pool; a failed request yields an error
-        response in its slot instead of aborting the batch.
+        Compatible requests — same engine, the same resolved single-cost
+        view, and the same peak bucket — are partitioned into batched
+        ``dijkstra_many`` kernel calls (one C-level multi-source SSSP per
+        distinct source, no per-request GIL bouncing); everything else fans
+        out over the thread pool as before.  Cache hits are served first,
+        batch-computed answers land in the cache under the same in-flight
+        guards as single requests, and failures (including unreachable
+        pairs discovered *inside* a batch) re-run individually so the
+        per-request fallback chains apply unchanged.  A failed request
+        yields an error response in its slot instead of aborting the batch.
+
+        ``batch_min_size`` overrides the service default: compatible groups
+        smaller than this are not worth the batch setup and stay threaded.
         """
-        batch = list(requests)
+        batch = [self._effective_request(request) for request in requests]
         if not batch:
             return []
-        if max_workers <= 1 or len(batch) == 1:
-            return [self.route(request, engine=engine) for request in batch]
-        pool = self._acquire_executor(max_workers)
-        try:
-            return list(pool.map(lambda request: self.route(request, engine=engine), batch))
-        finally:
-            self._release_executor(pool)
+        name = engine or self._default_engine
+        if name is None:
+            raise ConfigurationError("no engines registered with this RoutingService")
+        self.engine(name)
+        threshold = self._batch_min_size if batch_min_size is None else max(2, batch_min_size)
+
+        responses: list[RouteResponse | None] = [None] * len(batch)
+        unbatched = self._route_batched(batch, name, responses, threshold)
+
+        if unbatched:
+            # These requests already took their cache miss in the first
+            # pass; _probe_cache keeps the counters at one outcome each
+            # (and reclassifies the miss if a concurrent insert landed).
+            if max_workers <= 1 or len(unbatched) == 1:
+                for position in unbatched:
+                    responses[position] = self.route(
+                        batch[position], engine=name, _probe_cache=True
+                    )
+            else:
+                pool = self._acquire_executor(max_workers)
+                try:
+                    computed = pool.map(
+                        lambda position: self.route(
+                            batch[position], engine=name, _probe_cache=True
+                        ),
+                        unbatched,
+                    )
+                    for position, response in zip(unbatched, computed):
+                        responses[position] = response
+                finally:
+                    self._release_executor(pool)
+        return responses  # type: ignore[return-value]
+
+    def _route_batched(
+        self,
+        batch: list[RouteRequest],
+        name: str,
+        responses: list[RouteResponse | None],
+        threshold: int,
+    ) -> list[int]:
+        """Serve what the cache and the batch kernels can; return the rest.
+
+        Fills ``responses`` in place for cache hits and batch-answered
+        requests and returns the positions that still need the per-request
+        path (uncacheable engines, too-small groups, failures needing the
+        fallback chain).
+        """
+        pending: list[int] = []
+        for position, request in enumerate(batch):
+            if self._cache is not None:
+                cached = self._cache.get(name, request)
+                if cached is not None:
+                    if cached.fallback_used:
+                        cached = cached.with_request(request, fallback_used=False)
+                    self._stats.record(cached)
+                    responses[position] = cached
+                    continue
+            pending.append(position)
+        if not pending:
+            return []
+
+        engine_obj = self._engines[name]
+        resolver = getattr(engine_obj, "batch_cost", None)
+        network = getattr(engine_obj, "network", None)
+        if resolver is None or network is None:
+            return pending
+
+        # Partition by cost *object* (cost_function returns per-feature
+        # singletons, so identity is the cost view) and by peak bucket, the
+        # same time dimension the cache keys on.
+        groups: dict[tuple, tuple[object, list[int]]] = {}
+        leftovers: list[int] = []
+        for position in pending:
+            request = batch[position]
+            cost = resolver(request)
+            if cost is None:
+                leftovers.append(position)
+                continue
+            bucket = (
+                self._cache.bucket_for(name, request) if self._cache is not None else None
+            )
+            group_key = (id(cost), bucket)
+            if group_key in groups:
+                groups[group_key][1].append(position)
+            else:
+                groups[group_key] = (cost, [position])
+
+        for cost, group in groups.values():
+            if len(group) < threshold:
+                leftovers.extend(group)
+                continue
+            generations = dict(self._engine_generation)
+            traffic_generation = self._traffic_generation
+            started = time.perf_counter()
+            pairs = [(batch[i].source, batch[i].destination) for i in group]
+            answers = _compiled.try_route_many(network, pairs, cost)
+            elapsed = time.perf_counter() - started
+            if answers is None:
+                leftovers.extend(group)
+                continue
+            per_request = elapsed / len(group)
+
+            def _still_current() -> bool:
+                return self._traffic_generation == traffic_generation and (
+                    self._engine_generation.get(name, 0) == generations.get(name, 0)
+                )
+
+            for position, answer in zip(group, answers):
+                if not isinstance(answer, list):
+                    # Unreachable (or unknown vertex): run the per-request
+                    # path so the engine's error and fallback chain apply.
+                    leftovers.append(position)
+                    continue
+                response = RouteResponse(
+                    request=batch[position],
+                    path=Path.of(answer),
+                    engine=name,
+                    latency_s=per_request,
+                    batched=True,
+                )
+                if self._cache is not None:
+                    self._cache.put(name, response, guard=_still_current)
+                self._stats.record(response)
+                responses[position] = response
+        return leftovers
 
     def _acquire_executor(self, max_workers: int) -> ThreadPoolExecutor:
         """The shared worker pool, grown (never shrunk) on demand.

@@ -39,8 +39,18 @@ class ServiceStats:
     case_histogram: dict[str, int] = field(default_factory=dict)
     """Routing-diagnostics case -> count (cache hits replay the cached case)."""
     latency_p50_s: float = 0.0
+    """p50 over *single-request* latencies (cache hits included).  Responses
+    computed by a batched ``route_many`` kernel call carry amortized
+    latencies that would skew these percentiles, so they are tracked
+    separately below."""
     latency_p95_s: float = 0.0
     latency_mean_s: float = 0.0
+    batched_requests: int = 0
+    """Requests answered by batched ``route_many`` kernel calls."""
+    batched_latency_p50_s: float = 0.0
+    """p50 over the amortized per-request latencies of batched answers."""
+    batched_latency_p95_s: float = 0.0
+    batched_latency_mean_s: float = 0.0
     traffic_updates: int = 0
     """Live-traffic update batches observed via ``on_traffic_update``."""
     traffic_touched_edges: int = 0
@@ -69,10 +79,15 @@ class StatsAccumulator:
         self._fallbacks = 0
         self._by_engine: Counter[str] = Counter()
         self._cases: Counter[str] = Counter()
-        # Ring buffer of the most recent latencies: percentiles track current
+        # Ring buffers of the most recent latencies: percentiles track current
         # behaviour on a long-lived service instead of freezing at startup.
+        # Batched answers carry amortized latencies and get their own buffer
+        # so single-request p50/p95 stay meaningful.
         self._latencies: list[float] = []
         self._latency_seen = 0
+        self._batched = 0
+        self._batch_latencies: list[float] = []
+        self._batch_latency_seen = 0
         self._max_latency_samples = max_latency_samples
         self._traffic_updates = 0
         self._traffic_touched = 0
@@ -92,13 +107,23 @@ class StatsAccumulator:
                 self._fallbacks += 1
             if response.diagnostics is not None:
                 self._cases[response.diagnostics.case] += 1
-            if len(self._latencies) < self._max_latency_samples:
-                self._latencies.append(response.latency_s)
-            else:
-                self._latencies[self._latency_seen % self._max_latency_samples] = (
-                    response.latency_s
+            if response.batched:
+                self._batched += 1
+                self._batch_latency_seen = self._push_latency(
+                    self._batch_latencies, self._batch_latency_seen, response.latency_s
                 )
-            self._latency_seen += 1
+            else:
+                self._latency_seen = self._push_latency(
+                    self._latencies, self._latency_seen, response.latency_s
+                )
+
+    def _push_latency(self, buffer: list[float], seen: int, value: float) -> int:
+        """Append to a bounded ring buffer; returns the new seen-count."""
+        if len(buffer) < self._max_latency_samples:
+            buffer.append(value)
+        else:
+            buffer[seen % self._max_latency_samples] = value
+        return seen + 1
 
     def record_traffic(self, touched: int, evicted: int, cost_version: int) -> None:
         """Count one applied live-traffic batch and its cache evictions."""
@@ -113,6 +138,7 @@ class StatsAccumulator:
     def snapshot(self, cache: CacheStats) -> ServiceStats:
         with self._lock:
             latencies = list(self._latencies)
+            batch_latencies = list(self._batch_latencies)
             return ServiceStats(
                 requests=self._requests,
                 errors=self._errors,
@@ -123,6 +149,12 @@ class StatsAccumulator:
                 latency_p50_s=percentile(latencies, 0.50),
                 latency_p95_s=percentile(latencies, 0.95),
                 latency_mean_s=sum(latencies) / len(latencies) if latencies else 0.0,
+                batched_requests=self._batched,
+                batched_latency_p50_s=percentile(batch_latencies, 0.50),
+                batched_latency_p95_s=percentile(batch_latencies, 0.95),
+                batched_latency_mean_s=(
+                    sum(batch_latencies) / len(batch_latencies) if batch_latencies else 0.0
+                ),
                 traffic_updates=self._traffic_updates,
                 traffic_touched_edges=self._traffic_touched,
                 traffic_evicted_routes=self._traffic_evicted,
@@ -138,6 +170,9 @@ class StatsAccumulator:
             self._cases.clear()
             self._latencies.clear()
             self._latency_seen = 0
+            self._batched = 0
+            self._batch_latencies.clear()
+            self._batch_latency_seen = 0
             self._traffic_updates = 0
             self._traffic_touched = 0
             self._traffic_evicted = 0

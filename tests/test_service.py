@@ -403,7 +403,10 @@ class TestRoutingService:
         assert service.route(request, engine="l2r-v2").cache_hit
 
     def test_route_many_reuses_the_worker_pool(self, tiny, fitted_l2r, requests):
-        service = RoutingService()
+        # No cache: repeat batches must actually reach the worker pool
+        # (with the cache on, the second batch is all hits and the pool —
+        # correctly — is never touched).
+        service = RoutingService(enable_cache=False)
         service.register("L2R", L2REngine(fitted_l2r))
         service.route_many(requests, max_workers=4)
         pool = service._executor
