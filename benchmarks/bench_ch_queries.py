@@ -1,0 +1,290 @@
+"""Benchmark: compiled contraction-hierarchy queries and live re-weighting.
+
+Measures, on synthetic city grids:
+
+* **CH-CSR vs dict-CH vs compiled Dijkstra query latency** — the same
+  queries answered through the compiled hierarchy (elimination-tree hub
+  labels over the customizable arc sets), through the dict-of-``_Shortcut``
+  walker (``compiled_disabled()``), and through the compiled point-to-point
+  Dijkstra for context; asserts along the way that every answer is
+  cost-identical to reference Dijkstra;
+* **shortcut re-weight vs full rebuild under TrafficUpdate batches** — the
+  cost of absorbing a live-traffic batch by re-customizing the compiled
+  hierarchy in place (``refresh``) against re-running the witness-search
+  construction from scratch, with post-re-weight answers re-verified.
+
+Results are merged into the routing benchmark JSON (default
+``BENCH_routing.json``) under a ``"ch"`` key so the CI regression guard
+(``check_bench_regression.py``) tracks the speedups across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ch_queries.py
+    PYTHONPATH=src python benchmarks/bench_ch_queries.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/bench_ch_queries.py \
+        --min-query-speedup 3 --min-reweight-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.network import compiled_disabled, grid_city_network
+from repro.routing import (
+    CostFeature,
+    build_contraction_hierarchy,
+    ch_shortest_path,
+    cost_function,
+    dijkstra,
+)
+from repro.traffic import TrafficFeed, TrafficUpdate
+
+# The acceptance grid is 60x60; smoke keeps it (the CI gates are defined on
+# it) but trims the query count.
+FULL_GRIDS = [(30, 30), (60, 60)]
+SMOKE_GRIDS = [(60, 60)]
+
+COST = cost_function(CostFeature.TRAVEL_TIME)
+
+
+def _queries(network, count: int, seed: int) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    pairs = []
+    while len(pairs) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            pairs.append((a, b))
+    return pairs
+
+
+def _path_cost(network, path) -> float:
+    return sum(COST(edge) for edge in network.path_edges(path.vertices))
+
+
+def _assert_cost_identical(network, hierarchy, queries, label: str) -> None:
+    for source, destination in queries:
+        candidate = ch_shortest_path(network, source, destination, hierarchy)
+        reference = dijkstra(network, source, destination, COST)
+        expected = _path_cost(network, reference)
+        got = _path_cost(network, candidate)
+        if abs(got - expected) > 1e-6 * max(1.0, expected):
+            raise AssertionError(
+                f"{label}: CH answer costs {got}, reference {expected} "
+                f"on query ({source}, {destination})"
+            )
+
+
+def _congestion_batch(network, fraction: float, seed: int) -> list[TrafficUpdate]:
+    rng = random.Random(seed)
+    count = max(4, int(network.edge_count * fraction))
+    edges = rng.sample(list(network.edges()), count)
+    return [
+        TrafficUpdate.scale_by(
+            edge.source, edge.target, travel_time_s=rng.uniform(1.2, 3.0)
+        )
+        for edge in edges
+    ]
+
+
+def bench_grid(
+    rows: int, cols: int, *, query_count: int, batch_fraction: float, seed: int
+) -> dict:
+    network = grid_city_network(rows=rows, cols=cols, seed=seed)
+    queries = _queries(network, query_count, seed + 1)
+
+    build_start = time.perf_counter()
+    hierarchy = network.prepare_hierarchy(CostFeature.TRAVEL_TIME)
+    build_seconds = time.perf_counter() - build_start
+
+    # First compiled query pays contraction + customization + warm labels.
+    compile_start = time.perf_counter()
+    ch_shortest_path(network, queries[0][0], queries[0][1], hierarchy)
+    compile_seconds = time.perf_counter() - compile_start
+
+    # Correctness first, on both the compiled path and the dict walker.
+    _assert_cost_identical(network, hierarchy, queries[: min(15, len(queries))], f"{rows}x{cols}")
+    with compiled_disabled():
+        _assert_cost_identical(
+            network, hierarchy, queries[: min(5, len(queries))], f"{rows}x{cols} dict"
+        )
+
+    for source, destination in queries:  # warm label caches
+        ch_shortest_path(network, source, destination, hierarchy)
+    start = time.perf_counter()
+    for source, destination in queries:
+        ch_shortest_path(network, source, destination, hierarchy)
+    csr_seconds = time.perf_counter() - start
+
+    with compiled_disabled():
+        start = time.perf_counter()
+        for source, destination in queries:
+            ch_shortest_path(network, source, destination, hierarchy)
+        dict_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for source, destination in queries:
+        dijkstra(network, source, destination, COST)
+    dijkstra_seconds = time.perf_counter() - start
+
+    # Live traffic: re-weight in place vs rebuild from scratch.
+    feed = TrafficFeed(network)
+    reweight_times = []
+    for round_ in range(3):
+        feed.apply(_congestion_batch(network, batch_fraction, seed + 10 + round_))
+        start = time.perf_counter()
+        hierarchy.refresh(network)
+        reweight_times.append(time.perf_counter() - start)
+    _assert_cost_identical(
+        network, hierarchy, queries[: min(10, len(queries))], f"{rows}x{cols} post-reweight"
+    )
+    reweight_seconds = sum(reweight_times) / len(reweight_times)
+
+    start = time.perf_counter()
+    build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+    rebuild_seconds = time.perf_counter() - start
+
+    compiled = hierarchy._compiled
+    return {
+        "rows": rows,
+        "cols": cols,
+        "vertices": network.vertex_count,
+        "edges": network.edge_count,
+        "queries": len(queries),
+        "build_seconds": round(build_seconds, 6),
+        "ch_compile_seconds": round(compile_seconds, 6),
+        "ch_arcs": compiled.arc_count if compiled is not None else None,
+        "csr_seconds": round(csr_seconds, 6),
+        "dict_ch_seconds": round(dict_seconds, 6),
+        "dijkstra_seconds": round(dijkstra_seconds, 6),
+        "csr_vs_dict_ch_speedup": (
+            round(dict_seconds / csr_seconds, 3) if csr_seconds else None
+        ),
+        "csr_vs_dijkstra_speedup": (
+            round(dijkstra_seconds / csr_seconds, 3) if csr_seconds else None
+        ),
+        "reweight_batches": len(reweight_times),
+        "reweight_seconds": round(reweight_seconds, 6),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "reweight_vs_rebuild_speedup": (
+            round(rebuild_seconds / reweight_seconds, 3) if reweight_seconds else None
+        ),
+        "hierarchy_reweights": hierarchy.reweight_count,
+    }
+
+
+def merge_report(output: FilePath, ch_report: dict) -> dict:
+    """Merge the CH section into the (possibly existing) routing JSON."""
+    if output.exists():
+        report = json.loads(output.read_text())
+    else:
+        report = {"benchmark": "bench_ch_queries"}
+    report["ch"] = ch_report
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="60x60 grid only, fewer queries (CI)")
+    parser.add_argument("--queries", type=int, default=60, help="OD pairs per grid")
+    parser.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.01,
+        help="fraction of edges touched per TrafficUpdate batch",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--min-query-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless CH-CSR beats the dict-CH walker by this factor on "
+        "the largest grid (0 = report only); the acceptance bar and the CI "
+        "smoke gate are 3",
+    )
+    parser.add_argument(
+        "--min-reweight-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the in-place shortcut re-weight beats a full "
+        "rebuild by this factor on the largest grid (0 = report only); the "
+        "acceptance bar and the CI smoke gate are 5",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    queries = min(args.queries, 30) if args.smoke else args.queries
+
+    ch_report = {
+        "mode": "smoke" if args.smoke else "full",
+        "batch_fraction": args.batch_fraction,
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(f"benchmarking CH on {rows}x{cols} grid ({queries} queries)...", flush=True)
+        grid_report = bench_grid(
+            rows,
+            cols,
+            query_count=queries,
+            batch_fraction=args.batch_fraction,
+            seed=args.seed,
+        )
+        ch_report["grids"].append(grid_report)
+        print(
+            f"  build {grid_report['build_seconds']:.2f}s  "
+            f"compile {grid_report['ch_compile_seconds']:.2f}s  "
+            f"arcs {grid_report['ch_arcs']}"
+        )
+        print(
+            f"  queries: CSR {grid_report['csr_seconds']:.4f}s  "
+            f"dict-CH {grid_report['dict_ch_seconds']:.4f}s  "
+            f"dijkstra {grid_report['dijkstra_seconds']:.4f}s  "
+            f"(CSR vs dict {grid_report['csr_vs_dict_ch_speedup']}x, "
+            f"vs dijkstra {grid_report['csr_vs_dijkstra_speedup']}x)"
+        )
+        print(
+            f"  traffic: reweight {grid_report['reweight_seconds'] * 1e3:.1f}ms  "
+            f"rebuild {grid_report['rebuild_seconds']:.2f}s  "
+            f"({grid_report['reweight_vs_rebuild_speedup']}x)"
+        )
+
+    largest = ch_report["grids"][-1]
+    query_speedup = largest["csr_vs_dict_ch_speedup"]
+    reweight_speedup = largest["reweight_vs_rebuild_speedup"]
+    ch_report["largest_grid_query_speedup"] = query_speedup
+    ch_report["largest_grid_reweight_speedup"] = reweight_speedup
+
+    output = FilePath(args.output)
+    report = merge_report(output, ch_report)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"merged ch section into {output} (query speedup {query_speedup}x, "
+        f"reweight {reweight_speedup}x)"
+    )
+
+    failed = False
+    if args.min_query_speedup and (query_speedup or 0.0) < args.min_query_speedup:
+        print(
+            f"FAIL: CH-CSR query speedup {query_speedup}x below required "
+            f"{args.min_query_speedup}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_reweight_speedup and (reweight_speedup or 0.0) < args.min_reweight_speedup:
+        print(
+            f"FAIL: shortcut re-weight speedup {reweight_speedup}x below required "
+            f"{args.min_reweight_speedup}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

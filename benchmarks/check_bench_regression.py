@@ -50,6 +50,15 @@ def collect_ratios(report: dict) -> dict[str, float]:
         batch = grid.get("route_many", {}).get("shared_source_batched_vs_threaded_speedup")
         if batch:
             ratios[f"alt/{label}/route_many_shared_source"] = float(batch)
+    for grid in report.get("ch", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        for name, short in (
+            ("csr_vs_dict_ch_speedup", "query"),
+            ("reweight_vs_rebuild_speedup", "reweight"),
+        ):
+            speedup = grid.get(name)
+            if speedup:
+                ratios[f"ch/{label}/{short}"] = float(speedup)
     return ratios
 
 

@@ -18,7 +18,11 @@ The subsystem has three layers:
   that make the compiled A* / bidirectional kernels goal-directed;
 * :mod:`~repro.network.compiled.batch` — :func:`dijkstra_many`, batched
   multi-source SSSP over the shared CSR arrays (one scipy C call for a whole
-  batch) feeding both the landmark builds and ``RoutingService.route_many``.
+  batch) feeding both the landmark builds and ``RoutingService.route_many``;
+* :mod:`~repro.network.compiled.ch` — :class:`CompiledHierarchy`, the
+  array-compiled (customizable, re-weightable) contraction-hierarchy arc
+  sets behind ``ch_shortest_path``: metric-free contraction, elimination-tree
+  hub-label queries, and O(touched) live-traffic shortcut re-weighting.
 
 Use :func:`compiled_disabled` to force the reference implementations (the
 equivalence tests and the ``bench_compiled_graph`` benchmark do), and
@@ -42,11 +46,13 @@ from .dispatch import (
     is_enabled,
 )
 from .graph import EDGE_COST_ATTRIBUTES, CompiledGraph, CostStore, Topology
+from .ch import CompiledHierarchy, compiled_hierarchy
 from .batch import dijkstra_many, shortest_paths_many
 from .landmarks import DEFAULT_LANDMARK_COUNT, LandmarkTable, build_landmark_table
 
 __all__ = [
     "CompiledGraph",
+    "CompiledHierarchy",
     "CostStore",
     "DEFAULT_LANDMARK_COUNT",
     "EDGE_COST_ATTRIBUTES",
@@ -60,6 +66,7 @@ __all__ = [
     "bidirectional_kernel",
     "build_landmark_table",
     "compiled_disabled",
+    "compiled_hierarchy",
     "dijkstra_costs_kernel",
     "dijkstra_kernel",
     "dijkstra_many",

@@ -102,14 +102,20 @@ class RoadNetwork:
         self._bounding_box: BoundingBox | None = None
         self._version = 0
         self._cost_version = 0
+        self._topology_version = 0
+        self._hierarchies: dict = {}
+        self._hierarchy_lock = threading.Lock()
 
     def __getstate__(self) -> dict:
         # The compiled view holds thread-local workspaces and is cheap to
         # rebuild, so it (and the build lock) is dropped from pickles
-        # (model persistence).
+        # (model persistence).  Prepared contraction hierarchies likewise
+        # carry compiled arrays and locks; they rebuild on first use.
         state = self.__dict__.copy()
         state["_compiled"] = None
+        state["_hierarchies"] = {}
         state.pop("_compiled_lock", None)
+        state.pop("_hierarchy_lock", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -119,7 +125,10 @@ class RoadNetwork:
         self.__dict__.setdefault("_bounding_box", None)
         self.__dict__.setdefault("_version", 0)
         self.__dict__.setdefault("_cost_version", 0)
+        self.__dict__.setdefault("_topology_version", 0)
+        self.__dict__.setdefault("_hierarchies", {})
         self._compiled_lock = threading.Lock()
+        self._hierarchy_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -207,6 +216,7 @@ class RoadNetwork:
         """
         self._compiled = None
         self._version += 1
+        self._topology_version += 1
         if bounding_box:
             self._bounding_box = None
 
@@ -338,6 +348,17 @@ class RoadNetwork:
         """
         return self._cost_version
 
+    @property
+    def topology_version(self) -> int:
+        """Structural-mutation counter (``add_vertex`` / ``add_edge`` only).
+
+        Cost updates never bump it, so artifacts keyed on the topology —
+        compiled contraction hierarchies in particular — can distinguish
+        cheap cost-only drift (re-weight in place) from structural drift
+        (full rebuild required).
+        """
+        return self._topology_version
+
     def compiled(self) -> "CompiledGraph":
         """The lazily-built CSR view used by the array-based search kernels.
 
@@ -393,6 +414,43 @@ class RoadNetwork:
             return None
         key, array, version = resolved
         return graph.landmark_table(key, array, version, count=count, strategy=strategy)
+
+    def prepare_hierarchy(self, feature=None, *, edge_cost=None, hop_limit: int = 16):
+        """Build (or refresh) the cached contraction hierarchy for one cost.
+
+        The :func:`~repro.routing.contraction.ch_shortest_path` family and
+        the service layer's ``ContractionEngine`` answer from a prebuilt
+        :class:`~repro.routing.contraction.ContractionHierarchy`; call this
+        to pay the construction up front (mirroring
+        :meth:`prepare_landmarks`) and to share one hierarchy per
+        ``(feature, edge_cost, hop_limit)`` across callers.  ``feature``
+        defaults to travel time.  A cached hierarchy that went stale is
+        refreshed in place before being returned — a cheap shortcut
+        re-weight when only costs drifted, a full rebuild after structural
+        mutations — so the result always answers with current costs.
+        """
+        from ..routing.contraction import build_contraction_hierarchy
+        from ..routing.costs import CostFeature
+
+        if feature is None:
+            feature = CostFeature.TRAVEL_TIME
+        key = (feature, edge_cost, hop_limit)
+        with self._hierarchy_lock:
+            hierarchy = self._hierarchies.get(key)
+        if hierarchy is not None:
+            if hierarchy.is_stale(self):
+                hierarchy.refresh(self)
+            return hierarchy
+        built = build_contraction_hierarchy(
+            self, feature=feature, edge_cost=edge_cost, hop_limit=hop_limit
+        )
+        with self._hierarchy_lock:
+            # First build wins so every caller shares (and refreshes) one
+            # hierarchy object; a racing builder's duplicate is discarded.
+            hierarchy = self._hierarchies.setdefault(key, built)
+        if hierarchy is not built and hierarchy.is_stale(self):
+            hierarchy.refresh(self)
+        return hierarchy
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -9,6 +9,13 @@ and so the library is usable as a general routing substrate.
 The implementation follows the classical recipe: nodes are contracted in order
 of a lazy edge-difference priority; shortcuts preserve shortest-path distances
 between higher-ranked neighbours; queries run a bidirectional upward search.
+
+With compiled search enabled, :func:`ch_shortest_path` answers from the
+array-compiled counterpart (:mod:`repro.network.compiled.ch`): customizable
+arc sets queried through elimination-tree hub labels, cost-identical to the
+dict walker here (which stays the ground truth under
+:func:`~repro.network.compiled.dispatch.compiled_disabled`), and cheap to
+re-weight in place when live traffic moves the edge costs.
 """
 
 from __future__ import annotations
@@ -17,7 +24,10 @@ import heapq
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..exceptions import NoPathError, StaleHierarchyError, VertexNotFoundError
+from ..network.compiled import dispatch as _dispatch
 from ..network.road_network import RoadNetwork, VertexId
 from .costs import CostFeature, EdgeCost, cost_function
 from .path import Path
@@ -54,26 +64,114 @@ class ContractionHierarchy:
     """``network.cost_version`` at build time (monitoring / diagnostics)."""
     build_args: tuple | None = None
     """``(feature, edge_cost, hop_limit)`` for :meth:`refresh` rebuilds."""
+    built_topology_version: int | None = None
+    """``network.topology_version`` at build time: while it still matches,
+    staleness is cost-only and :meth:`refresh` can re-weight instead of
+    rebuilding."""
+    base_slot_weights: object | None = field(default=None, repr=False, compare=False)
+    """Build-time edge costs in compiled CSR slot order (numpy array).  The
+    compiled hierarchy customizes its arc weights from this array, so frozen
+    (``on_stale="ignore"``) answers match the dict walker's; ``None`` on
+    hand-built hierarchies (no compiled queries then)."""
+    _compiled: object | None = field(default=None, repr=False, compare=False)
+    """Cached :class:`~repro.network.compiled.ch.CompiledHierarchy` (built
+    lazily by the dispatch layer; dropped from pickles)."""
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_compiled"] = None  # holds a lock + large arrays; lazily rebuilt
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Defaults for pickles written before these fields existed.
+        self.__dict__.setdefault("built_topology_version", None)
+        self.__dict__.setdefault("base_slot_weights", None)
+        self.__dict__.setdefault("_compiled", None)
+
+    @property
+    def weights_version(self) -> int:
+        """Monotonic version of the compiled arc weights (0 until compiled).
+
+        Bumped by every successful re-weight; the service layer keys its
+        route cache on it so pre-re-weight answers are never replayed.
+        """
+        compiled = self._compiled
+        return compiled.weights_version if compiled is not None else 0
+
+    @property
+    def reweight_count(self) -> int:
+        """How many live-traffic re-weights this hierarchy has absorbed."""
+        compiled = self._compiled
+        return compiled.reweight_count if compiled is not None else 0
 
     def is_stale(self, network: RoadNetwork) -> bool:
         """Whether ``network`` mutated (topology or costs) since the build."""
         return self.built_version is not None and network.version != self.built_version
 
     def refresh(self, network: RoadNetwork) -> "ContractionHierarchy":
-        """Rebuild *in place* against the network's current state.
+        """Bring this hierarchy up to date with the network, *in place*.
 
-        Re-runs the original construction (same feature / edge cost / hop
-        limit) and adopts the result, so every holder of this hierarchy
+        When only costs drifted (live traffic — the network's topology
+        version still matches the build's) and compiled search is enabled,
+        this is a cheap re-weight: the compiled hierarchy re-customizes just
+        the arcs whose base costs changed, O(touched arcs x their lower
+        triangles) instead of a full witness-search reconstruction.  The
+        dict ``upward`` / ``downward`` maps keep their build-time weights in
+        that case — the compiled arc sets are authoritative and every query
+        through :func:`ch_shortest_path` uses them; run the whole lifecycle
+        under :func:`~repro.network.compiled.dispatch.compiled_disabled` for
+        pure dict-walker ground truth (refresh then falls back to a full
+        rebuild).
+
+        Topology changes — or anything the compiled path cannot absorb —
+        re-run the original construction (same feature / edge cost / hop
+        limit) and adopt the result, so every holder of this hierarchy
         object sees current answers.  Returns ``self`` for chaining.
         """
         if self.build_args is None:
             raise StaleHierarchyError(self.built_version or 0, network.version)
+        if self._try_reweight(network):
+            return self
         feature, edge_cost, hop_limit = self.build_args
         fresh = build_contraction_hierarchy(
             network, feature=feature, edge_cost=edge_cost, hop_limit=hop_limit
         )
         self.__dict__.update(fresh.__dict__)
         return self
+
+    def _try_reweight(self, network: RoadNetwork) -> bool:
+        """Absorb cost-only drift by re-weighting the compiled hierarchy."""
+        if not _dispatch.is_enabled():
+            return False
+        if self.built_topology_version is None or self.base_slot_weights is None:
+            return False
+        if getattr(network, "topology_version", None) != self.built_topology_version:
+            return False
+        feature, edge_cost, _ = self.build_args
+        cost_fn = edge_cost or cost_function(feature)
+        # Capture the network versions *before* resolving the cost array: a
+        # concurrent cost update racing this refresh can then only make the
+        # array newer than the stamp, so at worst the hierarchy still reads
+        # as stale and the next query refreshes again — never the reverse
+        # (current-looking stamps over pre-update weights).
+        version = network.version
+        cost_version = network.cost_version
+        graph = network.compiled()
+        resolved = graph.resolve_cost(cost_fn)
+        if resolved is None:
+            return False
+        _, array, _ = resolved
+        from ..network.compiled import ch as _ch
+
+        compiled = _ch.compiled_hierarchy(self, graph, network)
+        if compiled is None:
+            return False
+        compiled.reweight(array)
+        self.base_slot_weights = np.asarray(array, dtype=np.float64)
+        self.built_version = version
+        self.built_cost_version = cost_version
+        return True
 
     def query_cost(self, source: VertexId, destination: VertexId) -> float:
         """Shortest-path cost between two vertices (``inf`` if unreachable)."""
@@ -345,6 +443,8 @@ def build_contraction_hierarchy(
         built_version=built_version,
         built_cost_version=built_cost_version,
         build_args=(feature, edge_cost, hop_limit),
+        built_topology_version=getattr(network, "topology_version", None),
+        base_slot_weights=np.asarray(slot_weights, dtype=np.float64),
     )
 
 
@@ -362,8 +462,15 @@ def ch_shortest_path(
     yield pre-update routes.  ``on_stale`` picks the remedy: ``"raise"``
     (default) raises :class:`~repro.exceptions.StaleHierarchyError`,
     ``"rebuild"`` refreshes the hierarchy in place against the current
-    network and then answers, ``"ignore"`` knowingly answers from the
-    frozen structure.
+    network and then answers (a cheap shortcut re-weight for cost-only
+    drift, a full rebuild for topology changes — see
+    :meth:`ContractionHierarchy.refresh`), ``"ignore"`` knowingly answers
+    from the frozen structure.
+
+    With compiled search enabled the query runs on the CSR-compiled arc
+    sets (:mod:`repro.network.compiled.ch`) — cost-identical to the dict
+    walker, which remains the ground truth under
+    :func:`~repro.network.compiled.dispatch.compiled_disabled`.
     """
     if source not in network:
         raise VertexNotFoundError(source)
@@ -376,4 +483,7 @@ def ch_shortest_path(
             raise StaleHierarchyError(hierarchy.built_version or 0, network.version)
         if on_stale == "rebuild":
             hierarchy.refresh(network)
+    compiled_path = _dispatch.try_ch(network, source, destination, hierarchy)
+    if compiled_path is not None:
+        return Path.of(compiled_path)
     return hierarchy.query(source, destination)

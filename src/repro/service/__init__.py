@@ -10,7 +10,14 @@
 
 from .api import RouteRequest, RouteResponse
 from .cache import CacheStats, RouteCache
-from .engine import AlgorithmEngine, BaseEngine, FunctionEngine, L2REngine, RoutingEngine
+from .engine import (
+    AlgorithmEngine,
+    BaseEngine,
+    ContractionEngine,
+    FunctionEngine,
+    L2REngine,
+    RoutingEngine,
+)
 from .persistence import ModelPersistenceError, load_model, save_model
 from .service import RoutingService
 from .stats import ServiceStats, StatsAccumulator
@@ -19,6 +26,7 @@ __all__ = [
     "AlgorithmEngine",
     "BaseEngine",
     "CacheStats",
+    "ContractionEngine",
     "FunctionEngine",
     "L2REngine",
     "ModelPersistenceError",

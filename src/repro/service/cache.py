@@ -95,9 +95,17 @@ class RouteCache:
         with self._lock:
             return self._bucket(engine, request)
 
-    def _key(self, engine: str, request: RouteRequest) -> CacheKey:
+    def _key(
+        self, engine: str, request: RouteRequest, version: object = None
+    ) -> CacheKey:
         """Key derivation; the caller must hold the lock (peak windows can
-        be swapped concurrently by :meth:`set_peak_hours`)."""
+        be swapped concurrently by :meth:`set_peak_hours`).
+
+        ``version`` is the engine's optional ``cache_version`` tag (e.g. a
+        contraction hierarchy's weights version): answers computed under a
+        different tag never shadow each other, so an engine whose internal
+        state moved — without any re-registration — starts with fresh lines.
+        """
         bucket = self._bucket(engine, request)
         return (
             engine,
@@ -107,14 +115,21 @@ class RouteCache:
             request.driver_id,
             request.cost_override,
             request.goal_directed,
+            version,
         )
 
-    def key_for(self, engine: str, request: RouteRequest) -> CacheKey:
+    def key_for(
+        self, engine: str, request: RouteRequest, version: object = None
+    ) -> CacheKey:
         with self._lock:
-            return self._key(engine, request)
+            return self._key(engine, request, version)
 
     def get(
-        self, engine: str, request: RouteRequest, probe: bool = False
+        self,
+        engine: str,
+        request: RouteRequest,
+        probe: bool = False,
+        version: object = None,
     ) -> RouteResponse | None:
         """The cached answer for this request, or ``None``.
 
@@ -125,7 +140,7 @@ class RouteCache:
         the counters stay at one outcome per logical request.
         """
         with self._lock:
-            key = self._key(engine, request)
+            key = self._key(engine, request, version)
             cached = self._entries.get(key)
             if cached is None:
                 if not probe:
@@ -144,19 +159,23 @@ class RouteCache:
         engine: str,
         response: RouteResponse,
         guard: Callable[[], bool] | None = None,
+        version: object = None,
     ) -> None:
         """Remember a successful response; failed responses are not cached.
 
         ``guard`` is evaluated under the cache lock and vetoes the insert
         when it returns False — the service uses it to drop answers computed
         by an engine that was re-registered while the request was in flight.
+        ``version`` must be the engine's ``cache_version`` tag observed
+        *after* the answer was computed, so the entry lands under the state
+        that produced it.
         """
         if not response.ok:
             return
         with self._lock:
             if guard is not None and not guard():
                 return
-            key = self._key(engine, response.request)
+            key = self._key(engine, response.request, version)
             self._entries[key] = response
             self._entries.move_to_end(key)
             while len(self._entries) > self._max_size:

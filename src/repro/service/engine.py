@@ -17,6 +17,7 @@ pipeline with full routing diagnostics.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -24,7 +25,8 @@ from ..core.router import RouteDiagnostics
 from ..exceptions import ReproError
 from ..network.road_network import RoadNetwork
 from ..routing.astar import astar
-from ..routing.costs import cost_function
+from ..routing.contraction import ContractionHierarchy, ch_shortest_path
+from ..routing.costs import CostFeature, cost_function
 from ..routing.dijkstra import lowest_cost_path
 from ..routing.path import Path
 from .api import RouteRequest, RouteResponse
@@ -214,6 +216,109 @@ class L2REngine(BaseEngine):
         return self._pipeline.route_with_diagnostics(
             request.source, request.destination, departure_time=request.departure_time
         )
+
+
+class ContractionEngine(BaseEngine):
+    """Single-cost engine answering through a contraction hierarchy.
+
+    The hierarchy is built lazily on first use (or taken prebuilt, e.g. from
+    :meth:`~repro.network.road_network.RoadNetwork.prepare_hierarchy`) and
+    queried through :func:`~repro.routing.contraction.ch_shortest_path` with
+    ``on_stale="rebuild"`` by default: live-traffic cost drift is absorbed
+    by a cheap compiled shortcut re-weight at the next query, a topology
+    change by a full rebuild.  Answers are exact single-cost optima —
+    cost-identical to the Shortest / Fastest baselines for the same feature,
+    at compiled-hierarchy query speed on repeated queries.
+
+    The engine exposes ``cache_version`` (the hierarchy's weights version
+    plus the network's mutation counter), which the service folds into its
+    route-cache keys so a re-weighted hierarchy is never shadowed by
+    pre-update cached answers, and ``hierarchy_reweights`` for
+    :class:`~repro.service.stats.ServiceStats` monitoring.
+    """
+
+    name = "CH"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        feature: CostFeature = CostFeature.TRAVEL_TIME,
+        *,
+        hierarchy: ContractionHierarchy | None = None,
+        on_stale: str = "rebuild",
+        hop_limit: int = 16,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(network)
+        self.cost_feature = feature
+        self.on_stale = on_stale
+        self._hop_limit = hop_limit
+        self._hierarchy = hierarchy
+        self._hierarchy_lock = threading.Lock()
+        if name is not None:
+            self.name = name
+
+    def hierarchy(self) -> ContractionHierarchy:
+        """The (lazily built) hierarchy this engine answers from."""
+        built = self._hierarchy
+        if built is None:
+            with self._hierarchy_lock:
+                if self._hierarchy is None:
+                    self._hierarchy = self._network.prepare_hierarchy(
+                        self.cost_feature, hop_limit=self._hop_limit
+                    )
+                built = self._hierarchy
+        return built
+
+    @property
+    def cache_version(self) -> tuple:
+        """Route-cache key component; moves with every re-weight / mutation.
+
+        Including ``network.version`` means a stale hierarchy (costs moved,
+        re-weight not yet triggered) can never replay its pre-update cached
+        answers: the first post-update request misses, refreshes the
+        hierarchy through ``on_stale``, and caches under the new tag.
+        """
+        built = self._hierarchy
+        weights = built.weights_version if built is not None else None
+        return ("ch", weights, self._network.version)
+
+    @property
+    def current_hierarchy(self) -> ContractionHierarchy | None:
+        """The hierarchy if already built (never triggers a build).
+
+        Exposed so the service can de-duplicate re-weight counters when
+        several engines share one ``prepare_hierarchy``-cached hierarchy.
+        """
+        return self._hierarchy
+
+    @property
+    def hierarchy_reweights(self) -> int:
+        """Live-traffic re-weights absorbed by this engine's hierarchy."""
+        built = self._hierarchy
+        return built.reweight_count if built is not None else 0
+
+    def _static_cost(self):
+        """CH answers one fixed feature: advertise it for request batching.
+
+        Only while ``on_stale="rebuild"``: batched answers run on the *live*
+        cost arrays, which matches a hierarchy that refreshes itself on
+        drift but would silently contradict a frozen (``"ignore"``) or
+        strict (``"raise"``) engine's single-request answers.
+        """
+        if self.on_stale != "rebuild":
+            return None
+        return cost_function(self.cost_feature)
+
+    def _answer(self, request: RouteRequest) -> tuple[Path, RouteDiagnostics | None]:
+        path = ch_shortest_path(
+            self._network,
+            request.source,
+            request.destination,
+            self.hierarchy(),
+            on_stale=self.on_stale,
+        )
+        return path, RouteDiagnostics(case="contraction-hierarchy")
 
 
 class FunctionEngine(BaseEngine):

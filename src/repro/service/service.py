@@ -143,6 +143,17 @@ class RoutingService:
         self._cache.set_peak_hours(hours)
         self._peak_hours_pinned = True
 
+    def _cache_tag(self, name: str) -> object:
+        """The engine's optional ``cache_version`` tag (``None`` for most).
+
+        Folded into route-cache keys so engines whose answers depend on
+        mutable internal state (a contraction hierarchy's re-weightable
+        shortcut weights) never replay answers across a state change that
+        involved no re-registration.
+        """
+        engine = self._engines.get(name)
+        return getattr(engine, "cache_version", None) if engine is not None else None
+
     def engines(self) -> list[str]:
         """Names of the registered engines (registration order)."""
         return list(self._engines)
@@ -195,7 +206,9 @@ class RoutingService:
         request = self._effective_request(request)
 
         if self._cache is not None:
-            cached = self._cache.get(name, request, probe=_probe_cache)
+            cached = self._cache.get(
+                name, request, probe=_probe_cache, version=self._cache_tag(name)
+            )
             if cached is not None:
                 # A replay from the requested engine's own key did not run the
                 # fallback chain this time, whatever produced the entry.
@@ -223,7 +236,12 @@ class RoutingService:
                     for involved in (name, response.engine)
                 )
 
-            self._cache.put(name, response, guard=_still_current)
+            # The tag is re-read after computing: an on_stale refresh inside
+            # the engine bumps it, and the answer must land under the state
+            # that produced it.
+            self._cache.put(
+                name, response, guard=_still_current, version=self._cache_tag(name)
+            )
         self._stats.record(response)
         return response
 
@@ -325,9 +343,10 @@ class RoutingService:
         fallback chain).
         """
         pending: list[int] = []
+        batch_tag = self._cache_tag(name)
         for position, request in enumerate(batch):
             if self._cache is not None:
-                cached = self._cache.get(name, request)
+                cached = self._cache.get(name, request, version=batch_tag)
                 if cached is not None:
                     if cached.fallback_used:
                         cached = cached.with_request(request, fallback_used=False)
@@ -398,7 +417,12 @@ class RoutingService:
                     batched=True,
                 )
                 if self._cache is not None:
-                    self._cache.put(name, response, guard=_still_current)
+                    self._cache.put(
+                        name,
+                        response,
+                        guard=_still_current,
+                        version=self._cache_tag(name),
+                    )
                 self._stats.record(response)
                 responses[position] = response
         return leftovers
@@ -483,7 +507,9 @@ class RoutingService:
             # own key — serve it instead of recomputing.  The latency still
             # covers the failed primary attempt(s) that got us here.
             if position > 0 and self._cache is not None:
-                cached = self._cache.get(engine_name, request, probe=True)
+                cached = self._cache.get(
+                    engine_name, request, probe=True, version=self._cache_tag(engine_name)
+                )
                 if cached is not None and cached.ok:
                     return cached.with_request(
                         request,
@@ -564,7 +590,20 @@ class RoutingService:
             cache_stats = self._cache.stats()
         else:
             cache_stats = CacheStats(hits=0, misses=0, size=0, max_size=0)
-        return self._stats.snapshot(cache_stats)
+        # Engines may share one prepared hierarchy: count each hierarchy
+        # object once, whatever number of engines serve it.
+        reweights = 0
+        counted: set[int] = set()
+        for engine in self._engines.values():
+            count = getattr(engine, "hierarchy_reweights", 0)
+            if not count:
+                continue
+            shared = getattr(engine, "current_hierarchy", None)
+            key = id(shared) if shared is not None else id(engine)
+            if key not in counted:
+                counted.add(key)
+                reweights += count
+        return self._stats.snapshot(cache_stats, hierarchy_reweights=reweights)
 
     def reset_stats(self) -> None:
         """Start a fresh monitoring window (keeps cached entries)."""

@@ -59,6 +59,9 @@ class ServiceStats:
     """Cached routes evicted by delta-aware traffic invalidation."""
     cost_version: int = 0
     """Latest network cost version reported by the traffic feed."""
+    hierarchy_reweights: int = 0
+    """Live-traffic shortcut re-weights absorbed by contraction-hierarchy
+    engines (cheap in-place re-customizations instead of full rebuilds)."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -135,7 +138,10 @@ class StatsAccumulator:
             # (feeds over different networks just report the latest bump).
             self._cost_version = max(self._cost_version, cost_version)
 
-    def snapshot(self, cache: CacheStats) -> ServiceStats:
+    def snapshot(self, cache: CacheStats, hierarchy_reweights: int = 0) -> ServiceStats:
+        """Freeze the counters; ``hierarchy_reweights`` is sampled by the
+        service from its registered engines (engine state, not a window
+        counter, so :meth:`reset` does not zero it)."""
         with self._lock:
             latencies = list(self._latencies)
             batch_latencies = list(self._batch_latencies)
@@ -159,6 +165,7 @@ class StatsAccumulator:
                 traffic_touched_edges=self._traffic_touched,
                 traffic_evicted_routes=self._traffic_evicted,
                 cost_version=self._cost_version,
+                hierarchy_reweights=hierarchy_reweights,
             )
 
     def reset(self) -> None:

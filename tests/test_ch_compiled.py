@@ -1,0 +1,432 @@
+"""Compiled contraction-hierarchy queries and live-traffic re-weighting.
+
+Property tests for :mod:`repro.network.compiled.ch` and its wiring:
+
+* compiled CH path costs are identical to the dict-CH walker and to dict
+  Dijkstra on randomized grids (paths valid, unreachable pairs agree);
+* a re-weighted hierarchy answers exactly like a freshly rebuilt one after
+  randomized :class:`~repro.traffic.TrafficUpdate` sequences — through both
+  the O(touched) propagation path and the vectorized full recustomization;
+* the staleness modes of :func:`~repro.routing.contraction.ch_shortest_path`
+  (``raise`` / ``rebuild`` / ``ignore``) are preserved, and ``ignore``
+  answers from the frozen weights on the compiled path too;
+* ``compiled_disabled()`` falls back to the dict walker (ground truth) and
+  ``refresh`` then performs a full rebuild instead of a re-weight;
+* ``RoadNetwork.prepare_hierarchy`` shares, refreshes, and rebuilds the
+  cached hierarchy across cost and topology mutations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NoPathError, StaleHierarchyError
+from repro.network import compiled_disabled, grid_city_network
+from repro.network.compiled import ch as compiled_ch
+from repro.routing import (
+    CostFeature,
+    build_contraction_hierarchy,
+    ch_shortest_path,
+    cost_function,
+    dijkstra,
+)
+from repro.traffic import TrafficFeed, TrafficUpdate
+
+COST = cost_function(CostFeature.TRAVEL_TIME)
+
+
+def _grid(seed: int, rows: int = 6, cols: int = 6):
+    return grid_city_network(rows=rows, cols=cols, seed=seed)
+
+
+def _path_cost(network, path) -> float:
+    return sum(COST(edge) for edge in network.path_edges(path.vertices))
+
+
+def _random_pairs(network, count: int, rng: random.Random):
+    ids = sorted(network.vertex_ids())
+    return [(rng.choice(ids), rng.choice(ids)) for _ in range(count)]
+
+
+def _random_updates(network, count: int, rng: random.Random, allow_decrease=True):
+    low = 0.5 if allow_decrease else 1.05
+    edges = rng.sample(list(network.edges()), count)
+    return [
+        TrafficUpdate.scale_by(
+            edge.source, edge.target, travel_time_s=rng.uniform(low, 4.0)
+        )
+        for edge in edges
+    ]
+
+
+class TestCompiledQueries:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_costs_identical_to_dict_ch_and_dijkstra(self, seed):
+        network = _grid(seed, rows=5 + seed, cols=6)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        rng = random.Random(seed)
+        for source, destination in _random_pairs(network, 30, rng):
+            compiled = ch_shortest_path(network, source, destination, hierarchy)
+            with compiled_disabled():
+                dict_walker = ch_shortest_path(network, source, destination, hierarchy)
+                reference = dijkstra(network, source, destination, COST)
+            assert compiled.is_valid(network)
+            expected = _path_cost(network, reference)
+            assert _path_cost(network, compiled) == pytest.approx(expected, rel=1e-9)
+            assert _path_cost(network, dict_walker) == pytest.approx(expected, rel=1e-9)
+
+    def test_compiled_hierarchy_is_cached_on_the_object(self):
+        network = _grid(11)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        first = hierarchy._compiled
+        assert first is not None
+        ch_shortest_path(network, ids[1], ids[-2], hierarchy)
+        assert hierarchy._compiled is first
+
+    def test_unreachable_raises_on_both_paths(self):
+        network = _grid(12, rows=3, cols=3)
+        network.add_vertex(999, lon=0.0, lat=0.0)
+        network.add_vertex(998, lon=0.001, lat=0.0)
+        network.add_edge(999, 998)  # separate weak component
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        with pytest.raises(NoPathError):
+            ch_shortest_path(network, 0, 999, hierarchy)
+        with compiled_disabled():
+            with pytest.raises(NoPathError):
+                ch_shortest_path(network, 0, 999, hierarchy)
+
+    def test_trivial_and_unknown_vertices(self):
+        network = _grid(13, rows=3, cols=3)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        assert ch_shortest_path(network, 4, 4, hierarchy).is_trivial
+        from repro.exceptions import VertexNotFoundError
+
+        with pytest.raises(VertexNotFoundError):
+            ch_shortest_path(network, 4, 12345, hierarchy)
+
+    def test_hand_built_hierarchy_uses_dict_walker(self):
+        from repro.routing.contraction import ContractionHierarchy, _Shortcut
+
+        hierarchy = ContractionHierarchy(
+            order={0: 0, 1: 1},
+            upward={0: [_Shortcut(target=1, weight=1.0)], 1: []},
+            downward={0: [], 1: []},
+        )
+        network = _grid(14, rows=2, cols=2)  # vertex ids 0..3: mismatched
+        # No base weights / no build metadata: the compiled path must decline
+        # and the dict walker answer (here: the hand-built arc).
+        assert list(hierarchy.query(0, 1).vertices) == [0, 1]
+        assert hierarchy.weights_version == 0
+        assert hierarchy.reweight_count == 0
+
+
+class TestDirectedGraphs:
+    """One-way streets: the undirected fill skeleton must stay chordal."""
+
+    def _directed_network(self, seed: int):
+        from repro.network import RoadNetwork
+
+        rng = random.Random(seed)
+        network = RoadNetwork(name=f"one-way-{seed}")
+        rows, cols = 5, 5
+        for r in range(rows):
+            for c in range(cols):
+                network.add_vertex(r * cols + c, lon=0.01 * c, lat=0.01 * r)
+        for r in range(rows):
+            for c in range(cols):
+                v = r * cols + c
+                for dr, dc in ((0, 1), (1, 0)):
+                    rr, cc = r + dr, c + dc
+                    if rr < rows and cc < cols:
+                        w = rr * cols + cc
+                        # a mix of one-way and two-way segments
+                        direction = rng.random()
+                        if direction < 0.4:
+                            network.add_edge(v, w)
+                        elif direction < 0.8:
+                            network.add_edge(w, v)
+                        else:
+                            network.add_edge(v, w, bidirectional=True)
+        return network
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_one_way_edges_cost_identical(self, seed):
+        network = self._directed_network(seed)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        rng = random.Random(seed + 100)
+        for source, destination in _random_pairs(network, 40, rng):
+            try:
+                reference = dijkstra(network, source, destination, COST)
+            except NoPathError:
+                if source != destination:
+                    with pytest.raises(NoPathError):
+                        ch_shortest_path(network, source, destination, hierarchy)
+                continue
+            candidate = ch_shortest_path(network, source, destination, hierarchy)
+            assert candidate.is_valid(network)
+            assert _path_cost(network, candidate) == pytest.approx(
+                _path_cost(network, reference), rel=1e-9
+            )
+
+    def test_one_way_reweight_exact(self):
+        network = self._directed_network(7)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        rng = random.Random(7)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[0], hierarchy)
+        for _ in range(3):
+            feed = TrafficFeed(network)
+            feed.apply(_random_updates(network, 8, rng))
+            hierarchy.refresh(network)
+            for source, destination in _random_pairs(network, 20, rng):
+                try:
+                    reference = dijkstra(network, source, destination, COST)
+                except NoPathError:
+                    continue
+                candidate = ch_shortest_path(network, source, destination, hierarchy)
+                assert _path_cost(network, candidate) == pytest.approx(
+                    _path_cost(network, reference), rel=1e-9
+                )
+
+
+class TestReweighting:
+    @pytest.mark.parametrize("batch_size", [3, 30])
+    def test_reweighted_equals_rebuilt(self, batch_size):
+        """Both re-weight paths (propagation and vectorized full)."""
+        network = _grid(20)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        rng = random.Random(batch_size)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)  # compile
+        for round_ in range(4):
+            feed = TrafficFeed(network)
+            feed.apply(_random_updates(network, batch_size, rng))
+            hierarchy.refresh(network)
+            assert not hierarchy.is_stale(network)
+            fresh = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+            for source, destination in _random_pairs(network, 15, rng):
+                reweighted = ch_shortest_path(network, source, destination, hierarchy)
+                rebuilt = ch_shortest_path(network, source, destination, fresh)
+                reference = dijkstra(network, source, destination, COST)
+                expected = _path_cost(network, reference)
+                assert _path_cost(network, reweighted) == pytest.approx(expected, rel=1e-9)
+                assert _path_cost(network, rebuilt) == pytest.approx(expected, rel=1e-9)
+
+    def test_reweight_bumps_weights_version_and_counter(self):
+        network = _grid(21)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        assert hierarchy.weights_version == 0
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 3}}
+        )
+        hierarchy.refresh(network)
+        assert hierarchy.weights_version == 1
+        assert hierarchy.reweight_count == 1
+        assert hierarchy.built_version == network.version
+
+    def test_refresh_under_compiled_disabled_rebuilds(self):
+        network = _grid(22)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 3}}
+        )
+        with compiled_disabled():
+            hierarchy.refresh(network)
+            # A full rebuild: the dict arc maps now carry current weights.
+            assert hierarchy.reweight_count == 0
+            source, destination = ids[0], ids[-1]
+            refreshed = ch_shortest_path(network, source, destination, hierarchy)
+            reference = dijkstra(network, source, destination, COST)
+            assert _path_cost(network, refreshed) == pytest.approx(
+                _path_cost(network, reference), rel=1e-9
+            )
+
+    def test_topology_mutation_forces_full_rebuild(self):
+        network = _grid(23, rows=4, cols=4)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        compiled_before = hierarchy._compiled
+        network.add_vertex(777, lon=0.0, lat=0.0)
+        network.add_edge(ids[0], 777)
+        hierarchy.refresh(network)
+        assert hierarchy.reweight_count == 0  # rebuilt, not re-weighted
+        assert hierarchy._compiled is not compiled_before
+        path = ch_shortest_path(network, ids[0], 777, hierarchy)
+        assert path.vertices[-1] == 777
+
+    def test_cost_decreases_are_exact(self):
+        """Witness-free arc sets stay exact when edges get *cheaper*."""
+        network = _grid(24)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        rng = random.Random(24)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        updates = {}
+        for edge in rng.sample(list(network.edges()), 25):
+            updates[(edge.source, edge.target)] = {
+                "travel_time_s": edge.travel_time_s * 0.2
+            }
+        network.update_edge_costs(updates)
+        hierarchy.refresh(network)
+        for source, destination in _random_pairs(network, 20, rng):
+            candidate = ch_shortest_path(network, source, destination, hierarchy)
+            reference = dijkstra(network, source, destination, COST)
+            assert _path_cost(network, candidate) == pytest.approx(
+                _path_cost(network, reference), rel=1e-9
+            )
+
+    def test_reweight_noop_diff_keeps_version(self):
+        network = _grid(25, rows=4, cols=4)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        compiled = hierarchy._compiled
+        assert compiled.reweight(compiled.base_weights.copy()) == 0
+        assert compiled.weights_version == 0
+
+
+class TestStalenessModes:
+    def _stale_pair(self, seed: int):
+        network = _grid(seed, rows=4, cols=4)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": 999.0}}
+        )
+        return network, hierarchy, ids
+
+    def test_raise_is_preserved(self):
+        network, hierarchy, ids = self._stale_pair(30)
+        assert hierarchy.is_stale(network)
+        with pytest.raises(StaleHierarchyError):
+            ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+
+    def test_ignore_answers_frozen_on_compiled_path(self):
+        network, hierarchy, ids = self._stale_pair(31)
+        frozen = ch_shortest_path(network, ids[0], ids[-1], hierarchy, on_stale="ignore")
+        with compiled_disabled():
+            dict_frozen = ch_shortest_path(
+                network, ids[0], ids[-1], hierarchy, on_stale="ignore"
+            )
+        # Both answer from the *build-time* weights: identical frozen costs
+        # under the build metric (stored base weights), and no re-weight ran.
+        assert hierarchy.weights_version == 0
+        base = hierarchy.base_slot_weights
+        graph = network.compiled()
+        frozen_cost = sum(
+            base[graph.slot(a, b)]
+            for a, b in zip(frozen.vertices, frozen.vertices[1:])
+        )
+        dict_cost = sum(
+            base[graph.slot(a, b)]
+            for a, b in zip(dict_frozen.vertices, dict_frozen.vertices[1:])
+        )
+        assert frozen_cost == pytest.approx(dict_cost, rel=1e-9)
+
+    def test_rebuild_reweights_and_answers_current(self):
+        network, hierarchy, ids = self._stale_pair(32)
+        path = ch_shortest_path(network, ids[0], ids[-1], hierarchy, on_stale="rebuild")
+        assert not hierarchy.is_stale(network)
+        assert hierarchy.reweight_count == 1  # cheap re-weight, no rebuild
+        reference = dijkstra(network, ids[0], ids[-1], COST)
+        assert _path_cost(network, path) == pytest.approx(
+            _path_cost(network, reference), rel=1e-9
+        )
+
+
+class TestPrepareHierarchy:
+    def test_shared_and_refreshed(self):
+        network = _grid(40, rows=4, cols=4)
+        first = network.prepare_hierarchy()
+        second = network.prepare_hierarchy()
+        assert first is second
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 2}}
+        )
+        third = network.prepare_hierarchy()
+        assert third is first
+        assert not third.is_stale(network)
+
+    def test_distinct_features_get_distinct_hierarchies(self):
+        network = _grid(41, rows=3, cols=3)
+        travel = network.prepare_hierarchy(CostFeature.TRAVEL_TIME)
+        distance = network.prepare_hierarchy(CostFeature.DISTANCE)
+        assert travel is not distance
+        assert travel.build_args[0] == CostFeature.TRAVEL_TIME
+        assert distance.build_args[0] == CostFeature.DISTANCE
+
+    def test_pickled_network_drops_hierarchies_and_rebuilds(self):
+        import pickle
+
+        network = _grid(42, rows=3, cols=3)
+        network.prepare_hierarchy()
+        restored = pickle.loads(pickle.dumps(network))
+        assert restored._hierarchies == {}
+        hierarchy = restored.prepare_hierarchy()
+        ids = sorted(restored.vertex_ids())
+        path = ch_shortest_path(restored, ids[0], ids[-1], hierarchy)
+        assert path.is_valid(restored)
+
+    def test_topology_version_counts_structure_only(self):
+        network = _grid(43, rows=3, cols=3)
+        before = network.topology_version
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 2}}
+        )
+        assert network.topology_version == before
+        network.add_vertex(555, lon=0.0, lat=0.0)
+        assert network.topology_version == before + 1
+
+
+class TestCompiledHierarchyInternals:
+    def test_min_fill_order_used_without_coordinates(self):
+        network = _grid(50, rows=4, cols=4)
+        graph = network.compiled()
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        compiled = compiled_ch.CompiledHierarchy(
+            graph.topology, np.asarray(hierarchy.base_slot_weights)
+        )
+        ids = sorted(network.vertex_ids())
+        index_of = graph.index_of
+        rng = random.Random(50)
+        for source, destination in _random_pairs(network, 20, rng):
+            cost = compiled.query_cost(index_of[source], index_of[destination])
+            try:
+                reference = _path_cost(
+                    network, dijkstra(network, source, destination, COST)
+                )
+            except NoPathError:
+                assert cost == math.inf
+                continue
+            assert cost == pytest.approx(reference, rel=1e-9)
+
+    def test_rank_is_a_permutation(self):
+        network = _grid(51, rows=5, cols=4)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        compiled = hierarchy._compiled
+        assert sorted(compiled.rank) == list(range(network.vertex_count))
+        # every vertex reaches its component root through strictly
+        # increasing ranks
+        for v in range(network.vertex_count):
+            parent = compiled.tree_parent[v]
+            if parent >= 0:
+                assert compiled.rank[parent] > compiled.rank[v]

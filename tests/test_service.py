@@ -24,6 +24,7 @@ from repro.exceptions import ConfigurationError, NoPathError
 from repro.routing import CostFeature, Path, shortest_path
 from repro.service import (
     AlgorithmEngine,
+    ContractionEngine,
     FunctionEngine,
     L2REngine,
     ModelPersistenceError,
@@ -578,3 +579,106 @@ class TestPersistence:
             pickle.dump({"format": "something-else"}, handle)
         with pytest.raises(ModelPersistenceError):
             load_model(target)
+
+
+class TestContractionEngine:
+    """The CH engine: exact answers, weights-version-keyed caching, stats."""
+
+    def _service(self, seed: int = 9):
+        from repro.network import grid_city_network
+
+        network = grid_city_network(rows=6, cols=6, seed=seed)
+        service = RoutingService()
+        service.register("CH", ContractionEngine(network), default=True)
+        return network, service
+
+    def test_answers_are_single_cost_optimal(self):
+        from repro.routing import cost_function, dijkstra
+
+        network, service = self._service()
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        response = service.route(RouteRequest(source=0, destination=35))
+        assert response.ok
+        assert response.diagnostics.case == "contraction-hierarchy"
+        reference = dijkstra(network, 0, 35, cost)
+        got = sum(cost(e) for e in network.path_edges(response.path.vertices))
+        expected = sum(cost(e) for e in network.path_edges(reference.vertices))
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_cache_not_replayed_across_weights_version_bumps(self):
+        """A cost update must invalidate CH cache lines even without a
+        TrafficFeed subscription: the cache key carries the engine's
+        ``cache_version`` tag."""
+        from repro.routing import cost_function, dijkstra
+
+        network, service = self._service(10)
+        cost = cost_function(CostFeature.TRAVEL_TIME)
+        request = RouteRequest(source=0, destination=35)
+        first = service.route(request)
+        assert service.route(request).cache_hit
+
+        updates = {}
+        for edge in network.path_edges(first.path.vertices):
+            updates[(edge.source, edge.target)] = {
+                "travel_time_s": edge.travel_time_s * 50
+            }
+        network.update_edge_costs(updates)  # no feed: generation unchanged
+
+        fresh = service.route(request)
+        assert not fresh.cache_hit
+        reference = dijkstra(network, 0, 35, cost)
+        got = sum(cost(e) for e in network.path_edges(fresh.path.vertices))
+        expected = sum(cost(e) for e in network.path_edges(reference.vertices))
+        assert got == pytest.approx(expected, rel=1e-9)
+        # And the refreshed answer is cached under the new tag.
+        assert service.route(request).cache_hit
+
+    def test_stats_count_hierarchy_reweights(self):
+        network, service = self._service(11)
+        service.route(RouteRequest(source=0, destination=35))
+        assert service.stats().hierarchy_reweights == 0
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 4}}
+        )
+        service.route(RouteRequest(source=1, destination=34))
+        stats = service.stats()
+        assert stats.hierarchy_reweights == 1
+        # reset_stats keeps it: engine state, not a monitoring-window counter
+        service.reset_stats()
+        assert service.stats().hierarchy_reweights == 1
+
+    def test_route_many_batches_ch_requests(self):
+        network, service = self._service(12)
+        requests = [RouteRequest(source=0, destination=d) for d in range(18, 34)]
+        responses = service.route_many(requests, batch_min_size=4)
+        assert all(r.ok for r in responses)
+        assert sum(1 for r in responses if r.batched) >= len(requests) - 1
+        service.close()
+
+    def test_on_stale_raise_engine_reports_error_response(self):
+        from repro.network import grid_city_network
+
+        network = grid_city_network(rows=4, cols=4, seed=13)
+        service = RoutingService()
+        service.register(
+            "CH", ContractionEngine(network, on_stale="raise"), default=True
+        )
+        assert service.route(RouteRequest(source=0, destination=15)).ok
+        edge = next(network.edges())
+        network.update_edge_costs(
+            {(edge.source, edge.target): {"travel_time_s": edge.travel_time_s * 2}}
+        )
+        response = service.route(RouteRequest(source=0, destination=15))
+        assert not response.ok
+        assert "StaleHierarchyError" in response.error
+
+    def test_prebuilt_hierarchy_is_shared(self):
+        from repro.network import grid_city_network
+
+        network = grid_city_network(rows=4, cols=4, seed=14)
+        prepared = network.prepare_hierarchy(CostFeature.TRAVEL_TIME)
+        engine = ContractionEngine(network, hierarchy=prepared)
+        assert engine.hierarchy() is prepared
+        lazy = ContractionEngine(network)
+        assert lazy.hierarchy() is prepared  # prepare_hierarchy cache shared
