@@ -107,7 +107,18 @@ def main() -> None:
         f"p95 latency {stats.latency_p95_s * 1e3:.2f} ms"
     )
 
-    # 7. Persist the fitted model; a serving process reloads it instantly.
+    # 7. Debug runs can wrap traffic under the coherence sanitizer: every
+    #    cache hit served inside the block is checked against the live
+    #    version counters, so stale replays surface immediately.
+    from repro.analysis import sanitize
+
+    with sanitize() as sanitizer:
+        for request in requests[:10]:
+            service.route(request)
+    sanitizer.assert_clean()
+    print(f"\nCoherence sanitizer: {len(sanitizer.findings)} stale cache hits")
+
+    # 8. Persist the fitted model; a serving process reloads it instantly.
     with tempfile.TemporaryDirectory() as tmp:
         model_file = Path(tmp) / "l2r-model.pkl.gz"
         pipeline.save(model_file)

@@ -1,0 +1,15 @@
+"""Runtime analysis companions to the static invariants (see tools/reprolint).
+
+:mod:`repro.analysis.sanitizer` provides the debug-mode coherence sanitizer
+that checks — while real traffic flows — the version-stamp invariants
+reprolint's RL001/RL002 check statically.
+"""
+
+from .sanitizer import CoherenceFinding, CoherenceSanitizer, CoherenceViolation, sanitize
+
+__all__ = [
+    "CoherenceFinding",
+    "CoherenceSanitizer",
+    "CoherenceViolation",
+    "sanitize",
+]

@@ -1,0 +1,189 @@
+"""Debug-mode runtime coherence sanitizer for the compiled serving stack.
+
+The static linter (``tools/reprolint``, rule RL001) proves that cache
+*population sites* read a version stamp; this module checks the dual,
+dynamic property while real requests flow: **every cache hit served is
+stamped with the live version**.  It is the runtime net for the
+stale-replay class of bug — an artifact built under cost version ``k``
+answering queries after the store moved to ``k+1``.
+
+Two probes are installed while the :func:`sanitize` context is active:
+
+* **CostStore probe** — wraps the single choke point every versioned
+  per-snapshot cache goes through
+  (:meth:`~repro.network.compiled.graph.CostStore._cached`, backing
+  ``memo()`` / ``linear_array`` / ``forward_weights`` / ``reverse_weights``).
+  A hit whose stamp is neither :data:`~repro.network.compiled.graph.TOPOLOGY_STAMP`
+  nor the store's **current** cost version is recorded as a
+  ``stale-cost-cache-hit``: some caller replayed an artifact that predates a
+  live-traffic patch.
+* **Hierarchy probe** — wraps the compiled contraction-hierarchy dispatch
+  (:func:`~repro.network.compiled.dispatch.try_ch`).  A query answered by a
+  hierarchy whose ``built_version`` no longer matches the network's mutation
+  counter is recorded as a ``stale-hierarchy-query``: pre-update shortcut
+  weights are serving post-update traffic (the ``on_stale="ignore"`` escape
+  hatch does exactly this knowingly; under the sanitizer it is surfaced).
+
+Intended for debug runs, soak tests, and CI property tests — the wrappers
+add a dictionary peek and a couple of integer compares per lookup, so a
+clean :class:`~repro.service.service.RoutingService` route/update cycle
+runs at essentially full speed and records **zero** findings.  In
+``strict`` mode the first violation raises :class:`CoherenceViolation`;
+otherwise findings accumulate on the returned :class:`CoherenceSanitizer`
+for inspection via :attr:`~CoherenceSanitizer.findings` /
+:meth:`~CoherenceSanitizer.assert_clean`.
+
+Caveat: a *legitimately* racing reader (one that resolved its cost arrays
+immediately before a concurrent patch landed) can trip the cost-store probe
+even though serving it consistent pre-patch data is by design; run the
+sanitizer on single-writer debug traffic when attributing findings.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..network.compiled import dispatch as _dispatch
+from ..network.compiled.graph import TOPOLOGY_STAMP, CostStore
+
+
+class CoherenceViolation(AssertionError):
+    """A cache hit was served with a stamp that no longer matches the live
+    version (raised in ``strict`` mode; carries the :class:`CoherenceFinding`)."""
+
+    def __init__(self, finding: "CoherenceFinding") -> None:
+        super().__init__(finding.describe())
+        self.finding = finding
+
+
+@dataclass(frozen=True)
+class CoherenceFinding:
+    """One observed coherence violation."""
+
+    kind: str
+    """``"stale-cost-cache-hit"`` or ``"stale-hierarchy-query"``."""
+    detail: str
+    """Human-readable description of the cache key / query."""
+    stamp: object
+    """The version the served artifact was stamped with."""
+    live_version: object
+    """The live version at the moment the hit was served."""
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}: {self.detail} served with stamp {self.stamp!r} "
+            f"while the live version is {self.live_version!r}"
+        )
+
+
+class CoherenceSanitizer:
+    """Findings accumulator handed back by :func:`sanitize`."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self.findings: list[CoherenceFinding] = []
+        self._lock = threading.Lock()
+
+    def record(self, finding: CoherenceFinding) -> None:
+        with self._lock:
+            self.findings.append(finding)
+        if self.strict:
+            raise CoherenceViolation(finding)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def assert_clean(self) -> None:
+        """Raise :class:`CoherenceViolation` on the first recorded finding."""
+        if self.findings:
+            raise CoherenceViolation(self.findings[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoherenceSanitizer(findings={len(self.findings)}, strict={self.strict})"
+
+
+def _probed_cached(
+    original: Callable, sanitizer: CoherenceSanitizer
+) -> Callable:
+    """The :meth:`CostStore._cached` wrapper recording stale hits."""
+
+    def cached(self: CostStore, cache, key, build, stamp):
+        # Peek the entry exactly as the real lookup will: a hit requires the
+        # entry's stamp to equal the caller's.  Checking against the store's
+        # *current* version catches callers that resolved (and stamped) their
+        # inputs under a version the store has since moved past.
+        with self._memo_lock:
+            entry = cache.get(key)
+            hit = entry is not None and entry[0] == stamp
+            live = self._version
+        if hit and stamp != TOPOLOGY_STAMP and stamp != live:
+            sanitizer.record(
+                CoherenceFinding(
+                    kind="stale-cost-cache-hit",
+                    detail=f"cost-store cache key {key!r}",
+                    stamp=stamp,
+                    live_version=live,
+                )
+            )
+        return original(self, cache, key, build, stamp)
+
+    cached.__wrapped__ = original  # type: ignore[attr-defined]
+    return cached
+
+
+def _probed_try_ch(original: Callable, sanitizer: CoherenceSanitizer) -> Callable:
+    """The :func:`dispatch.try_ch` wrapper recording stale hierarchy queries."""
+
+    def try_ch(network, source, destination, hierarchy):
+        built = getattr(hierarchy, "built_version", None)
+        live = getattr(network, "version", None)
+        result = original(network, source, destination, hierarchy)
+        # Only flag queries the compiled path actually answered: a None
+        # return fell back to the caller's dict walker (or was ineligible),
+        # and ch_shortest_path's own staleness handling already ran by now.
+        if result is not None and built is not None and live is not None and built != live:
+            sanitizer.record(
+                CoherenceFinding(
+                    kind="stale-hierarchy-query",
+                    detail=f"contraction-hierarchy query {source!r} -> {destination!r}",
+                    stamp=built,
+                    live_version=live,
+                )
+            )
+        return result
+
+    try_ch.__wrapped__ = original  # type: ignore[attr-defined]
+    return try_ch
+
+
+#: Serializes installs/uninstalls so nested / concurrent ``sanitize()``
+#: contexts unwind in order without losing the original implementations.
+_INSTALL_LOCK = threading.Lock()
+
+
+@contextmanager
+def sanitize(strict: bool = False) -> Iterator[CoherenceSanitizer]:
+    """Install the coherence probes for the duration of the ``with`` block.
+
+    ``strict=True`` raises :class:`CoherenceViolation` at the first stale
+    hit (pinpointing the offending call stack); the default records findings
+    on the yielded :class:`CoherenceSanitizer` so a soak run can finish and
+    report them all.  Probes are installed process-wide (they wrap the
+    class/module attributes) and fully removed on exit, even on error.
+    """
+    sanitizer = CoherenceSanitizer(strict=strict)
+    with _INSTALL_LOCK:
+        original_cached = CostStore._cached
+        original_try_ch = _dispatch.try_ch
+        CostStore._cached = _probed_cached(original_cached, sanitizer)
+        _dispatch.try_ch = _probed_try_ch(original_try_ch, sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        with _INSTALL_LOCK:
+            CostStore._cached = original_cached
+            _dispatch.try_ch = original_try_ch

@@ -58,6 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _INF = math.inf
 
+#: Serializes the lazy ``hierarchy._compiled`` cache fill in
+#: :func:`compiled_hierarchy` (first build wins; racing builders discard
+#: their duplicate and adopt the cached instance).
+_COMPILED_CACHE_LOCK = threading.Lock()
+
 
 # ---------------------------------------------------------------------- #
 # Contraction orders (metric-free)
@@ -562,7 +567,9 @@ class CompiledHierarchy:
             arc_index = self.arc_index
             topo_targets = self.topology.targets
             slot_owner = np.searchsorted(
-                np.asarray(self.topology.offsets), changed_slots, side="right"
+                np.asarray(self.topology.offsets, dtype=np.int64),
+                changed_slots,
+                side="right",
             )
             heap: list[tuple[int, int]] = []
             queued: set[int] = set()
@@ -625,11 +632,14 @@ class CompiledHierarchy:
         """Wide-diff re-weight: vectorized full customization (lock held)."""
         version, old_weight, old_via, _, _ = self._state
         arc_weight, arc_via = self._customize_full(new_base)
-        self._base = new_base
+        # Lock discipline: the only caller is reweight(), which already
+        # holds self._lock around this whole call.
+        self._base = new_base  # reprolint: disable=RL002
         touched = int(np.count_nonzero(arc_weight != old_weight))
         if touched == 0 and arc_via == old_via:
             return 0
         up_rows, down_rows = self._rows(arc_weight.tolist())
+        # reprolint: disable-next-line=RL002 — reweight() holds self._lock here.
         self._state = (version + 1, arc_weight, arc_via, up_rows, down_rows)
         self.reweight_count += 1
         return max(touched, 1)
@@ -641,10 +651,12 @@ class CompiledHierarchy:
         """The per-version label caches (forward, backward) for ``state``."""
         labels = self._labels
         if labels is None or labels[0] != state[0]:
-            # GIL-atomic swap; a racing query on the same fresh version may
-            # duplicate a little work, and either cache is correct.
+            # GIL-atomic swap of an immutable tuple; a racing query on the
+            # same fresh version may duplicate a little work, and either
+            # cache is correct — taking the re-weight lock here would stall
+            # every warm-cache query behind it.
             labels = (state[0], {}, {})
-            self._labels = labels
+            self._labels = labels  # reprolint: disable=RL002
         return labels[1], labels[2]
 
     def _ensure_labels(self, vertex: int, rows: list, cache: dict) -> tuple:
@@ -661,7 +673,7 @@ class CompiledHierarchy:
             if u in cache:
                 continue
             d = depth[u]
-            dist = np.full(d, np.inf)
+            dist = np.full(d, np.inf, dtype=np.float64)
             dist[0] = 0.0
             parent = np.full(d, -1, dtype=np.int32)
             for w, weight in rows[u]:
@@ -815,6 +827,15 @@ def compiled_hierarchy(
             lon[index] = point.lon
             lat[index] = point.lat
         coordinates = (lon, lat)
+    # Build outside the lock (full customization is O(arcs x triangles) and
+    # must not stall queries on other hierarchies), then install first-build-
+    # wins: concurrent route_many workers racing the same cold hierarchy all
+    # end up querying (and re-weighting) ONE compiled instance, never a
+    # sibling whose weights_version drifts independently.
     compiled = CompiledHierarchy(topology, base, coordinates=coordinates)
-    hierarchy._compiled = compiled
+    with _COMPILED_CACHE_LOCK:
+        cached = getattr(hierarchy, "_compiled", None)
+        if cached is not None and cached.topology is topology:
+            return cached
+        hierarchy._compiled = compiled
     return compiled

@@ -353,7 +353,7 @@ def _select_avoid(
         with np.errstate(invalid="ignore"):
             pi = np.fmax.reduce(fwd - fwd[:, root][:, None], axis=0)
         pi = np.fmax(pi, 0.0)
-        gap = np.asarray(dist_r) - pi
+        gap = np.asarray(dist_r, dtype=np.float64) - pi
         gap[~np.isfinite(gap)] = 0.0
 
         children: list[list[int]] = [[] for _ in range(n)]

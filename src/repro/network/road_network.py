@@ -213,8 +213,15 @@ class RoadNetwork:
 
         Cost-only mutations go through :meth:`update_edge_costs`, which
         patches the live compiled view instead of dropping it.
+
+        Deliberately lock-free: a structural mutation must never stall
+        behind an in-flight CSR build (which holds ``_compiled_lock`` for
+        O(graph) work).  Correctness comes from the version protocol
+        instead — the GIL-atomic ``None`` write plus the version bump make
+        ``compiled()``'s post-build check discard any snapshot the mutation
+        raced (see ``test_mutation_during_compilation_serves_uncached_snapshot``).
         """
-        self._compiled = None
+        self._compiled = None  # reprolint: disable=RL002
         self._version += 1
         self._topology_version += 1
         if bounding_box:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 
 import numpy as np
 import pytest
@@ -430,3 +431,72 @@ class TestCompiledHierarchyInternals:
             parent = compiled.tree_parent[v]
             if parent >= 0:
                 assert compiled.rank[parent] > compiled.rank[v]
+
+
+class TestCompiledHierarchyCacheRace:
+    """Regression: the lazy ``_compiled`` install is first-build-wins.
+
+    ``compiled_hierarchy`` used to write ``hierarchy._compiled`` with no
+    lock (reprolint RL002); two ``route_many`` workers racing the first
+    compiled query could each install *their own* CompiledHierarchy and
+    keep querying different instances whose ``weights_version`` counters
+    then drift independently under re-weights.  Every racer must come away
+    holding the one instance that won the install.
+    """
+
+    def test_concurrent_first_builds_share_one_instance(self):
+        network = _grid(21, rows=5, cols=5)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        graph = network.compiled()
+        assert getattr(hierarchy, "_compiled", None) is None
+        workers = 8
+        barrier = threading.Barrier(workers)
+        results: list[object] = []
+        errors: list[BaseException] = []
+
+        def build() -> None:
+            try:
+                barrier.wait(timeout=30)
+                results.append(
+                    compiled_ch.compiled_hierarchy(hierarchy, graph, network)
+                )
+            except BaseException as exc:  # surfaced below; never swallowed
+                errors.append(exc)
+
+        threads = [threading.Thread(target=build) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert len(results) == workers
+        winner = results[0]
+        assert winner is not None
+        assert all(result is winner for result in results)
+        assert hierarchy._compiled is winner
+        # ...and the shared instance answers correctly.
+        ids = sorted(network.vertex_ids())
+        path = ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        assert path.is_valid(network)
+
+
+class TestCompiledDtypeContracts:
+    """Regression for the reprolint RL004 fixes: the arrays the CH kernels
+    exchange pin their dtypes instead of inheriting platform defaults."""
+
+    def test_reweight_and_labels_stay_float64(self):
+        network = _grid(22)
+        hierarchy = build_contraction_hierarchy(network, CostFeature.TRAVEL_TIME)
+        ids = sorted(network.vertex_ids())
+        ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        compiled = hierarchy._compiled
+        assert compiled.base_weights.dtype == np.float64
+        # Drive the vectorized full-recustomization path (touches the
+        # searchsorted over topology offsets that RL004 caught untyped).
+        rng = random.Random(22)
+        feed = TrafficFeed(network)
+        feed.apply(_random_updates(network, 30, rng))
+        hierarchy.refresh(network)
+        assert compiled.base_weights.dtype == np.float64
+        path = ch_shortest_path(network, ids[0], ids[-1], hierarchy)
+        assert path.is_valid(network)

@@ -1,0 +1,424 @@
+"""The reprolint static analyzer (:mod:`tools.reprolint`).
+
+Each rule RL001–RL007 gets a positive fixture (the violation fires), a
+negative fixture (the compliant idiom stays silent), and a suppression
+fixture (``# reprolint: disable=...`` moves the finding to ``suppressed``).
+Fixtures go through :func:`~tools.reprolint.lint_source` with a fake
+repository-relative path, which is what drives each rule's scoping.
+
+The integration tests at the bottom are the gate the CI ``lint`` job relies
+on: the repository's own ``src``/``tests``/``benchmarks`` trees lint clean,
+both in-process and through the ``python -m tools.reprolint`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root, not in src/
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import (  # noqa: E402
+    ALL_RULES,
+    Finding,
+    LintResult,
+    Suppressions,
+    exit_code,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+#: Fake paths that place a fixture inside / outside each rule's scope.
+COMPILED_PATH = "src/repro/network/compiled/example.py"
+SERVICE_PATH = "src/repro/service/example.py"
+NETWORK_PATH = "src/repro/network/example.py"
+BENCH_PATH = "benchmarks/bench_example.py"
+UNSCOPED_PATH = "src/repro/trajectories/example.py"
+
+
+def _lint(source: str, path: str) -> LintResult:
+    return lint_source(source, path, ALL_RULES)
+
+
+def _codes(result: LintResult) -> list[str]:
+    return [finding.rule_id for finding in result.findings]
+
+
+# -------------------------------------------------------------------- #
+# RL001 — version-stamp discipline
+# -------------------------------------------------------------------- #
+RL001_BAD = """\
+class Store:
+    def lookup(self, store, key):
+        value = store._arrays["travel_time_s"].sum()
+        self._weight_cache[key] = value
+        return value
+"""
+
+RL001_GOOD = """\
+class Store:
+    def lookup(self, store, key):
+        stamp = store.cost_version
+        value = store._arrays["travel_time_s"].sum()
+        self._weight_cache[key] = (stamp, value)
+        return value
+"""
+
+
+class TestRL001VersionStamp:
+    def test_unstamped_cache_population_is_flagged(self):
+        result = _lint(RL001_BAD, COMPILED_PATH)
+        assert _codes(result) == ["RL001"]
+        (finding,) = result.findings
+        assert finding.severity == "error"
+        assert "_weight_cache" in finding.message
+        assert finding.line == 4
+
+    def test_stamped_population_is_clean(self):
+        assert _lint(RL001_GOOD, COMPILED_PATH).ok
+
+    def test_cache_reset_to_empty_is_clean(self):
+        source = "class Store:\n    def clear(self):\n        self._memo = {}\n"
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_init_is_exempt(self):
+        source = (
+            "class Store:\n"
+            "    def __init__(self, store):\n"
+            "        self._memo = dict(store._arrays)\n"
+        )
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        assert _lint(RL001_BAD, UNSCOPED_PATH).ok
+
+    def test_line_suppression_moves_finding_to_suppressed(self):
+        suppressed = RL001_BAD.replace(
+            "self._weight_cache[key] = value",
+            "self._weight_cache[key] = value  # reprolint: disable=RL001",
+        )
+        result = _lint(suppressed, COMPILED_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL001"]
+
+
+# -------------------------------------------------------------------- #
+# RL002 — lock discipline on guarded fields
+# -------------------------------------------------------------------- #
+RL002_BAD = """\
+class Net:
+    def rebuild(self):
+        self._compiled = make_snapshot(self)
+"""
+
+RL002_GOOD = """\
+class Net:
+    def rebuild(self):
+        with self._compiled_lock:
+            self._compiled = make_snapshot(self)
+"""
+
+
+class TestRL002LockDiscipline:
+    def test_unlocked_guarded_write_is_flagged(self):
+        result = _lint(RL002_BAD, NETWORK_PATH)
+        assert _codes(result) == ["RL002"]
+        assert "_compiled" in result.findings[0].message
+
+    def test_write_under_lock_is_clean(self):
+        assert _lint(RL002_GOOD, NETWORK_PATH).ok
+
+    def test_init_is_exempt(self):
+        source = "class Net:\n    def __init__(self):\n        self._compiled = None\n"
+        assert _lint(source, NETWORK_PATH).ok
+
+    def test_unguarded_field_is_clean(self):
+        source = "class Net:\n    def rebuild(self):\n        self._name = 'x'\n"
+        assert _lint(source, NETWORK_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        assert _lint(RL002_BAD, UNSCOPED_PATH).ok
+
+    def test_next_line_suppression(self):
+        suppressed = RL002_BAD.replace(
+            "        self._compiled = make_snapshot(self)",
+            "        # reprolint: disable-next-line=RL002 — lock-free by design.\n"
+            "        self._compiled = make_snapshot(self)",
+        )
+        result = _lint(suppressed, NETWORK_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL002"]
+
+
+# -------------------------------------------------------------------- #
+# RL003 — kernel access only through dispatch
+# -------------------------------------------------------------------- #
+class TestRL003DispatchOnly:
+    def test_kernel_module_import_is_flagged(self):
+        source = "from repro.network.compiled.sparse import csr_reach\n"
+        result = _lint(source, SERVICE_PATH)
+        assert _codes(result) == ["RL003"]
+
+    def test_kernel_name_import_is_flagged(self):
+        source = "from repro.network.compiled import kernels\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL003"]
+
+    def test_dict_reference_import_is_flagged(self):
+        source = "from repro.routing.dijkstra import dict_dijkstra\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL003"]
+
+    def test_plain_import_of_kernel_module_is_flagged(self):
+        source = "import repro.network.compiled.batch\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL003"]
+
+    def test_dispatch_import_is_clean(self):
+        source = "from repro.network.compiled import dispatch as _compiled\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_graph_constants_import_is_clean(self):
+        source = "from repro.network.compiled.graph import EDGE_COST_ATTRIBUTES\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "from repro.network.compiled import kernels\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+    def test_file_suppression(self):
+        source = (
+            "# reprolint: disable-file=RL003 — benchmark harness measures kernels raw.\n"
+            "from repro.network.compiled import kernels\n"
+        )
+        result = _lint(source, SERVICE_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL003"]
+
+
+# -------------------------------------------------------------------- #
+# RL004 — explicit dtypes in the compiled subsystem
+# -------------------------------------------------------------------- #
+class TestRL004DtypeContract:
+    def test_missing_dtype_is_flagged(self):
+        source = "import numpy as np\noffsets = np.zeros(5)\n"
+        result = _lint(source, COMPILED_PATH)
+        assert _codes(result) == ["RL004"]
+        assert result.findings[0].severity == "warning"
+
+    def test_dtype_keyword_is_clean(self):
+        source = "import numpy as np\noffsets = np.zeros(5, dtype=np.int64)\n"
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_dtype_positional_is_clean(self):
+        source = "import numpy as np\noffsets = np.full(5, 0.0, np.float64)\n"
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_custom_numpy_alias_is_recognized(self):
+        source = "import numpy as xp\noffsets = xp.empty(3)\n"
+        assert _codes(_lint(source, COMPILED_PATH)) == ["RL004"]
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "import numpy as np\noffsets = np.zeros(5)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+
+# -------------------------------------------------------------------- #
+# RL005 — no silent broad excepts in the serving layer
+# -------------------------------------------------------------------- #
+class TestRL005SilentExcept:
+    def test_silent_broad_except_is_flagged(self):
+        source = "try:\n    drain()\nexcept Exception:\n    pass\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL005"]
+
+    def test_bare_except_is_flagged(self):
+        source = "try:\n    drain()\nexcept:\n    pass\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL005"]
+
+    def test_handled_broad_except_is_clean(self):
+        source = "try:\n    drain()\nexcept Exception as exc:\n    errors.append(exc)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_narrow_silent_except_is_clean(self):
+        source = "try:\n    drain()\nexcept KeyError:\n    pass\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "try:\n    drain()\nexcept Exception:\n    pass\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+
+# -------------------------------------------------------------------- #
+# RL006 — perf_counter, not wall clock, in timing-sensitive code
+# -------------------------------------------------------------------- #
+class TestRL006WallClock:
+    def test_time_time_is_flagged(self):
+        source = "import time\nstart = time.time()\n"
+        assert _codes(_lint(source, BENCH_PATH)) == ["RL006"]
+
+    def test_bare_time_import_and_call_are_flagged(self):
+        source = "from time import time\nstart = time()\n"
+        assert _codes(_lint(source, BENCH_PATH)) == ["RL006", "RL006"]
+
+    def test_perf_counter_is_clean(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert _lint(source, BENCH_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "import time\nstart = time.time()\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+
+# -------------------------------------------------------------------- #
+# RL007 — no mutable default arguments (everywhere)
+# -------------------------------------------------------------------- #
+class TestRL007MutableDefault:
+    def test_dict_literal_default_is_flagged(self):
+        source = "def route(request, cache={}):\n    return cache\n"
+        assert _codes(_lint(source, UNSCOPED_PATH)) == ["RL007"]
+
+    def test_keyword_only_list_default_is_flagged(self):
+        source = "def route(request, *, hops=[]):\n    return hops\n"
+        assert _codes(_lint(source, UNSCOPED_PATH)) == ["RL007"]
+
+    def test_mutable_call_default_is_flagged(self):
+        source = "def route(request, cache=dict()):\n    return cache\n"
+        assert _codes(_lint(source, UNSCOPED_PATH)) == ["RL007"]
+
+    def test_none_default_is_clean(self):
+        source = "def route(request, cache=None):\n    return cache or {}\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+    def test_frozen_call_default_is_clean(self):
+        source = "def route(request, hops=tuple()):\n    return hops\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+
+# -------------------------------------------------------------------- #
+# Engine: suppressions, errors, reporters, gating
+# -------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_all_wildcard_covers_every_rule(self):
+        suppressions = Suppressions("x = 1  # reprolint: disable=all\n")
+        finding = Finding("RL004", "m", "p.py", 1, 1)
+        assert suppressions.covers(finding)
+
+    def test_multiple_codes_on_one_comment(self):
+        suppressions = Suppressions("x = 1  # reprolint: disable=RL001, RL004\n")
+        assert suppressions.covers(Finding("RL001", "m", "p.py", 1, 1))
+        assert suppressions.covers(Finding("RL004", "m", "p.py", 1, 1))
+        assert not suppressions.covers(Finding("RL002", "m", "p.py", 1, 1))
+
+    def test_file_scope_covers_any_line(self):
+        suppressions = Suppressions("# reprolint: disable-file=RL006\n\nx = 1\n")
+        assert suppressions.covers(Finding("RL006", "m", "p.py", 3, 1))
+
+    def test_unrelated_comment_covers_nothing(self):
+        suppressions = Suppressions("x = 1  # a normal comment\n")
+        assert not suppressions.covers(Finding("RL001", "m", "p.py", 1, 1))
+
+
+class TestEngine:
+    def test_syntax_error_is_a_lint_error_not_a_crash(self):
+        result = lint_source("def broken(:\n", "src/broken.py", ALL_RULES)
+        assert not result.ok
+        assert result.findings == []
+        assert len(result.errors) == 1 and "syntax error" in result.errors[0]
+        assert exit_code(result) == 1
+
+    def test_exit_code_zero_on_clean(self):
+        assert exit_code(lint_source("x = 1\n", "src/ok.py", ALL_RULES)) == 0
+
+    def test_finding_render_format(self):
+        finding = Finding("RL001", "boom", "src/a.py", 3, 7, severity="error")
+        assert finding.render() == "src/a.py:3:7: RL001 [error] boom"
+
+    def test_render_json_is_valid_and_complete(self):
+        result = _lint(RL001_BAD, COMPILED_PATH)
+        payload = json.loads(render_json(result, ALL_RULES))
+        assert payload["ok"] is False
+        assert payload["files"] == 1
+        assert [entry["rule"] for entry in payload["findings"]] == ["RL001"]
+        assert len(payload["rules"]) == len(ALL_RULES) == 7
+        assert {rule.rule_id for rule in ALL_RULES} == {
+            f"RL00{i}" for i in range(1, 8)
+        }
+
+    def test_render_text_summary_line(self):
+        text = render_text(_lint("x = 1\n", "src/ok.py"), ALL_RULES)
+        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 7 rule(s)")
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "service"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text(
+            "try:\n    drain()\nexcept Exception:\n    pass\n", encoding="utf-8"
+        )
+        (package / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        result = lint_paths(["src"], ALL_RULES, root=tmp_path)
+        assert result.files == 2
+        assert _codes(result) == ["RL005"]
+        assert result.findings[0].path == "src/repro/service/bad.py"
+
+
+# -------------------------------------------------------------------- #
+# Integration: the repository's own tree lints clean
+# -------------------------------------------------------------------- #
+class TestRepositoryIsClean:
+    def test_repo_lints_clean_in_process(self):
+        result = lint_paths(["src", "tests", "benchmarks"], ALL_RULES, root=REPO_ROOT)
+        assert result.files > 100
+        rendered = render_text(result, ALL_RULES)
+        assert result.ok, f"repository must lint clean:\n{rendered}"
+        # The deliberate, justified suppressions documented in the README.
+        assert len(result.suppressed) >= 4
+
+    def test_cli_json_run_exits_zero(self):
+        process = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "tools.reprolint",
+                "src",
+                "tests",
+                "benchmarks",
+                "--format",
+                "json",
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0, process.stdout + process.stderr
+        payload = json.loads(process.stdout)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    def test_cli_select_unknown_rule_errors(self):
+        process = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--select", "RL999", "src"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 2
+        assert "unknown rule id" in process.stderr
+
+    def test_cli_list_rules(self):
+        process = subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert process.returncode == 0
+        for index in range(1, 8):
+            assert f"RL00{index}" in process.stdout

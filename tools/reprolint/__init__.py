@@ -1,0 +1,44 @@
+"""reprolint: AST-based invariant linter for the compiled serving stack.
+
+Usage (CLI)::
+
+    python -m tools.reprolint src tests benchmarks [--format text|json]
+
+Usage (API)::
+
+    from tools.reprolint import ALL_RULES, lint_paths, lint_source
+
+    result = lint_paths(["src"], ALL_RULES)
+    assert result.ok, result.findings
+
+See :mod:`tools.reprolint.engine` for the framework and
+:mod:`tools.reprolint.rules` for the rule battery (RL001-RL007).
+"""
+
+from .engine import (
+    Finding,
+    FileContext,
+    LintResult,
+    Rule,
+    Suppressions,
+    exit_code,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "Suppressions",
+    "exit_code",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

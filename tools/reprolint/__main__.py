@@ -1,0 +1,80 @@
+"""CLI entry point: ``python -m tools.reprolint [paths...] [options]``.
+
+Exits 0 on a clean run and 1 when any unsuppressed finding (or parse error)
+remains, so CI jobs and pre-commit hooks can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import exit_code, lint_paths, render_json, render_text
+from .rules import ALL_RULES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant linter for the compiled serving stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root for relative paths (default: current directory)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule battery and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = ALL_RULES
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = tuple(rule for rule in ALL_RULES if rule.rule_id in wanted)
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id} [{rule.severity}] {rule.description}")
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    missing = [
+        target
+        for target in args.paths
+        if not (Path(target) if Path(target).is_absolute() else root / target).exists()
+    ]
+    if missing:
+        parser.error(f"path(s) not found: {', '.join(missing)}")
+
+    result = lint_paths(args.paths, rules, root=root)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result, rules))
+    return exit_code(result)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""The reprolint rule engine: findings, suppressions, reporters, gating.
+
+reprolint is a self-contained static-analysis framework over the stdlib
+``ast`` module, carrying the codebase-specific invariants of the compiled
+serving stack (version-stamp discipline, lock discipline, dispatch-only
+kernel access, ...) as machine-checked rules instead of reviewer memory.
+
+Architecture:
+
+* a :class:`Rule` owns one invariant: an id (``RLxxx``), a severity, a path
+  scope (:meth:`Rule.applies_to`), and a per-file :class:`ast.NodeVisitor`
+  factory (:meth:`Rule.visitor`) that reports :class:`Finding` objects
+  through its :class:`FileContext`;
+* :func:`lint_source` / :func:`lint_paths` parse each file once and run
+  every applicable rule's visitor over the shared tree;
+* findings are filtered against ``# reprolint: disable=RLxxx`` suppression
+  comments (line, next-line, and file scope — see :class:`Suppressions`);
+* reporters render text (``path:line:col: RLxxx message``) or JSON, and the
+  CLI (:mod:`tools.reprolint.__main__`) exits non-zero on any unsuppressed
+  finding so CI can gate on a clean run.
+
+The engine deliberately has **zero third-party dependencies** so the lint
+job needs no installs and stays fast.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+#: Severity levels, mildest first (ordering is meaningful for sorting).
+SEVERITIES = ("convention", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: str = "warning"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+
+
+class FileContext:
+    """Per-file state shared by every rule visitor: path, source, findings."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+
+    def report(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=rule.rule_id,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                severity=rule.severity,
+            )
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`severity` / :attr:`description`
+    and implement :meth:`visitor`; :meth:`applies_to` scopes the rule to the
+    repository areas whose invariant it guards (match on the *posix-relative*
+    path, so Windows checkouts behave identically).
+    """
+
+    rule_id: str = "RL000"
+    severity: str = "warning"
+    description: str = ""
+    #: Path fragments (posix) this rule applies to; empty means every file.
+    path_scopes: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.path_scopes:
+            return True
+        posix = PurePosixPath(path).as_posix()
+        return any(scope in posix for scope in self.path_scopes)
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:  # pragma: no cover
+        raise NotImplementedError
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-next-line|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+class Suppressions:
+    """``# reprolint: disable=...`` comments parsed out of one file.
+
+    Three scopes:
+
+    * ``# reprolint: disable=RL001`` — suppresses RL001 findings reported on
+      that physical line;
+    * ``# reprolint: disable-next-line=RL001`` — suppresses them on the line
+      below (for statements whose own line has no room for a justification);
+    * ``# reprolint: disable-file=RL001`` — suppresses them anywhere in the
+      file (put it near the top with the justification).
+
+    ``all`` is accepted as a wildcard code.  Suppression comments should
+    always carry a justification in the surrounding context; the rule list
+    in the README documents the expected form.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "reprolint" not in line:
+                continue
+            for match in _SUPPRESS_RE.finditer(line):
+                scope, codes_text = match.group(1), match.group(2)
+                codes = {code.strip().upper() for code in codes_text.split(",")}
+                if scope == "disable-file":
+                    self.file_wide |= codes
+                elif scope == "disable-next-line":
+                    self.by_line.setdefault(lineno + 1, set()).update(codes)
+                else:
+                    self.by_line.setdefault(lineno, set()).update(codes)
+
+    def covers(self, finding: Finding) -> bool:
+        if "ALL" in self.file_wide or finding.rule_id in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line)
+        if codes is None:
+            return False
+        return "ALL" in codes or finding.rule_id in codes
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: kept findings plus suppression accounting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+        self.errors.extend(other.errors)
+
+    def sort(self) -> None:
+        key = lambda f: (f.path, f.line, f.col, f.rule_id)  # noqa: E731
+        self.findings.sort(key=key)
+        self.suppressed.sort(key=key)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+) -> LintResult:
+    """Lint one source string as if it lived at ``path`` (posix-relative).
+
+    ``path`` drives the rules' scoping, so tests can exercise path-scoped
+    rules on inline fixtures.  Syntax errors are reported as lint errors
+    rather than raised: an unparseable file must fail the gate, not crash it.
+    """
+    result = LintResult(files=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}:{exc.lineno or 1}: syntax error: {exc.msg}")
+        return result
+    context = FileContext(path, source, tree)
+    for rule in rules:
+        if rule.applies_to(path):
+            rule.visitor(context).visit(tree)
+    suppressions = Suppressions(source)
+    for finding in context.findings:
+        if suppressions.covers(finding):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.sort()
+    return result
+
+
+def iter_python_files(targets: Iterable[str], root: Path) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    seen: set[Path] = set()
+    for target in targets:
+        base = Path(target)
+        if not base.is_absolute():
+            base = root / base
+        if base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            candidates = [base]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    targets: Iterable[str],
+    rules: Sequence[Rule],
+    root: Path | None = None,
+) -> LintResult:
+    """Lint every python file under ``targets`` (files or directories)."""
+    root = Path.cwd() if root is None else Path(root)
+    total = LintResult()
+    for file_path in iter_python_files(targets, root):
+        try:
+            relative = file_path.resolve().relative_to(root.resolve())
+            shown = relative.as_posix()
+        except ValueError:
+            shown = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            total.errors.append(f"{shown}: unreadable: {exc}")
+            total.files += 1
+            continue
+        total.extend(lint_source(source, shown, rules))
+    total.sort()
+    return total
+
+
+# ---------------------------------------------------------------------- #
+# Reporters
+# ---------------------------------------------------------------------- #
+def render_text(result: LintResult, rules: Sequence[Rule]) -> str:
+    lines = [error for error in result.errors]
+    lines += [finding.render() for finding in result.findings]
+    summary = (
+        f"reprolint: {len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, {result.files} file(s), "
+        f"{len(rules)} rule(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, rules: Sequence[Rule]) -> str:
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+        "errors": result.errors,
+        "files": result.files,
+        "rules": [
+            {
+                "rule": rule.rule_id,
+                "severity": rule.severity,
+                "description": rule.description,
+            }
+            for rule in rules
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def exit_code(result: LintResult) -> int:
+    """0 on a clean run, 1 when any unsuppressed finding or error remains."""
+    return 0 if result.ok else 1

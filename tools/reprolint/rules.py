@@ -1,0 +1,603 @@
+"""The reprolint rule battery: codebase-specific invariants as AST checks.
+
+Each rule guards one invariant the compiled serving stack depends on; the
+README's "Invariants" section documents the rationale and the suppression
+etiquette.  Rules are pure :mod:`ast` visitors — no imports of the package
+under analysis — so the linter can run on a broken tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .engine import FileContext, Rule
+
+#: Constructor/lifecycle methods where cache/snapshot fields are *created*
+#: rather than populated or mutated; the stamp/lock rules skip them.
+_LIFECYCLE_METHODS = frozenset(
+    {"__init__", "__post_init__", "__getstate__", "__setstate__", "__new__"}
+)
+
+
+def _attr_chain_names(node: ast.AST) -> Iterable[str]:
+    """Every Name id and Attribute attr appearing in ``node``'s subtree."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def _is_reset_literal(value: ast.expr | None) -> bool:
+    """Whether an assigned value just (re)initializes an empty container.
+
+    ``self._memo = {}`` / ``= None`` / ``= []`` / ``= OrderedDict()`` are
+    cache *creation*, not population: there is no data to stamp yet.
+    """
+    if value is None:
+        return True
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.Tuple)) and not getattr(
+        value, "keys", None
+    ) and not getattr(value, "elts", None):
+        return True
+    if isinstance(value, ast.Call) and not value.args and not value.keywords:
+        callee = value.func
+        name = callee.attr if isinstance(callee, ast.Attribute) else getattr(callee, "id", "")
+        return name in {"dict", "list", "set", "OrderedDict", "defaultdict", "WeakValueDictionary"}
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# RL001 — version-stamp discipline
+# ---------------------------------------------------------------------- #
+_CACHE_ATTR_RE = re.compile(
+    r"(^|_)(memo|memos|cache|caches|cached|label|labels|table|tables|entries)(_|$)"
+)
+
+#: Attribute reads that resolve compiled cost data (the inputs every
+#: cost-derived cache entry must be stamped against).
+_COST_SOURCE_ATTRS = frozenset(
+    {
+        "array",
+        "linear_array",
+        "resolve_cost",
+        "forward_weights",
+        "reverse_weights",
+        "build_cost_array",
+        "base_weights",
+        "base_slot_weights",
+        "build_array",
+        "_arrays",
+        "_base",
+    }
+)
+
+#: Identifiers whose presence shows the function participates in the
+#: version-stamp protocol (reads a version counter, a stamp, or routes the
+#: artifact through the self-evicting ``memo()`` cache).
+_VERSION_MARKERS = frozenset(
+    {
+        "version",
+        "_version",
+        "cost_version",
+        "weights_version",
+        "built_version",
+        "built_cost_version",
+        "build_version",
+        "validated_version",
+        "topology_version",
+        "built_topology_version",
+        "cache_version",
+        "stamp",
+        "_stamp",
+        "memo",
+    }
+)
+
+
+class VersionStampRule(Rule):
+    """RL001: cost-derived cache population must read a version stamp.
+
+    Every memo/cache attribute in the compiled subsystem whose population
+    reads a cost array must also read ``cost_version`` / ``weights_version``
+    (or route through the version-stamped ``memo()``): an unstamped entry
+    survives live-traffic patches and replays pre-update answers.
+    """
+
+    rule_id = "RL001"
+    severity = "error"
+    description = (
+        "cost-derived cache populated without reading a version stamp "
+        "(cost_version/weights_version/memo())"
+    )
+    path_scopes = ("network/compiled/", "service/cache.py", "routing/contraction.py")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+                if node.name in _LIFECYCLE_METHODS:
+                    return
+                cache_writes: list[tuple[ast.stmt, str]] = []
+                reads_cost = False
+                reads_version = False
+                for child in ast.walk(node):
+                    if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                        value = getattr(child, "value", None)
+                        for target in _assign_targets(child):
+                            name = _cache_target_name(target)
+                            if name is not None and not _is_reset_literal(value):
+                                cache_writes.append((child, name))
+                    if isinstance(child, ast.Attribute) and child.attr in _COST_SOURCE_ATTRS:
+                        reads_cost = True
+                    if isinstance(child, ast.Attribute) and child.attr in _VERSION_MARKERS:
+                        reads_version = True
+                    elif isinstance(child, ast.Name) and child.id in _VERSION_MARKERS:
+                        reads_version = True
+                if cache_writes and reads_cost and not reads_version:
+                    for statement, name in cache_writes:
+                        context.report(
+                            rule,
+                            statement,
+                            f"cache attribute {name!r} is populated from compiled cost "
+                            "data without reading cost_version/weights_version or "
+                            "routing through memo(); stale entries will replay after "
+                            "live-traffic updates",
+                        )
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._check_function(node)
+                self.generic_visit(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._check_function(node)
+                self.generic_visit(node)
+
+        def _cache_target_name(target: ast.expr) -> str | None:
+            """The cache-ish attribute/name a store targets, if any."""
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute) and _CACHE_ATTR_RE.search(target.attr):
+                return target.attr
+            if isinstance(target, ast.Name) and _CACHE_ATTR_RE.search(target.id):
+                return target.id
+            return None
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL002 — lock discipline on compiled-snapshot / hierarchy fields
+# ---------------------------------------------------------------------- #
+#: Fields holding a compiled snapshot or versioned hierarchy state; every
+#: post-construction write must happen under the owning ``*_lock``.
+_GUARDED_FIELDS = frozenset(
+    {
+        "_compiled",
+        "_hierarchy",
+        "_hierarchies",
+        "_state",
+        "_labels",
+        "_landmark_tables",
+        "_base",
+    }
+)
+
+
+def _mentions_lock(node: ast.expr) -> bool:
+    return any("lock" in name.lower() for name in _attr_chain_names(node))
+
+
+class LockDisciplineRule(Rule):
+    """RL002: compiled-snapshot/hierarchy fields are written under a lock.
+
+    The compiled snapshot (``RoadNetwork._compiled``), the versioned weight
+    state of a :class:`CompiledHierarchy`, and their sibling fields are read
+    concurrently by the ``route_many`` thread pool; a write outside a
+    ``with ..._lock:`` block can tear the snapshot/patch protocol.
+    """
+
+    rule_id = "RL002"
+    severity = "error"
+    description = (
+        "compiled-snapshot/hierarchy field written outside a 'with ..._lock:' block"
+    )
+    path_scopes = ("repro/network/", "repro/service/")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self._with_depth = 0
+                self._function_stack: list[str] = []
+
+            def visit_With(self, node: ast.With) -> None:
+                guarded = any(_mentions_lock(item.context_expr) for item in node.items)
+                self._with_depth += 1 if guarded else 0
+                self.generic_visit(node)
+                self._with_depth -= 1 if guarded else 0
+
+            def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+                self._function_stack.append(node.name)
+                self.generic_visit(node)
+                self._function_stack.pop()
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._visit_function(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._visit_function(node)
+
+            def _check_assign(self, node: ast.stmt) -> None:
+                if self._with_depth > 0:
+                    return
+                if self._function_stack and self._function_stack[-1] in _LIFECYCLE_METHODS:
+                    return
+                for target in _assign_targets(node):
+                    if isinstance(target, ast.Subscript):
+                        target = target.value
+                    if isinstance(target, ast.Attribute) and target.attr in _GUARDED_FIELDS:
+                        context.report(
+                            rule,
+                            node,
+                            f"write to guarded field {target.attr!r} outside a "
+                            "'with ..._lock:' block; concurrent route_many readers "
+                            "can observe a torn snapshot",
+                        )
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                self._check_assign(node)
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                self._check_assign(node)
+                self.generic_visit(node)
+
+            def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+                self._check_assign(node)
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL003 — hot paths reach kernels only through dispatch
+# ---------------------------------------------------------------------- #
+#: Kernel-layer modules the serving/traffic/baseline layers must never
+#: import directly; ``dispatch`` (and the ``graph`` constants) are the API.
+_KERNEL_MODULES = frozenset({"kernels", "sparse", "batch", "workspace", "ch"})
+
+
+class DispatchOnlyRule(Rule):
+    """RL003: service/traffic/baselines reach kernels only via ``dispatch``.
+
+    Importing ``kernels`` / ``sparse`` / ``batch`` / ``ch`` (or the
+    ``dict_*`` reference implementations) directly from the serving layers
+    bypasses the fallback protocol, the ``compiled_disabled()`` escape
+    hatch, and the version-stamp plumbing the dispatch layer carries.
+    """
+
+    rule_id = "RL003"
+    severity = "error"
+    description = (
+        "kernel-layer import outside dispatch (use network.compiled.dispatch)"
+    )
+    path_scopes = ("repro/service/", "repro/traffic/", "repro/baselines/")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def _module_tail(self, module: str | None) -> str:
+                return (module or "").rsplit(".", 1)[-1]
+
+            def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+                module = node.module or ""
+                tail = self._module_tail(module)
+                compiled_module = "compiled" in module.split(".")
+                if compiled_module and tail in _KERNEL_MODULES:
+                    context.report(
+                        rule,
+                        node,
+                        f"direct import from kernel module {module!r}; route through "
+                        "network.compiled.dispatch",
+                    )
+                for alias in node.names:
+                    if alias.name.startswith("dict_"):
+                        context.report(
+                            rule,
+                            node,
+                            f"direct import of reference kernel {alias.name!r}; the "
+                            "public routing functions dispatch to it automatically",
+                        )
+                    elif compiled_module and alias.name in _KERNEL_MODULES:
+                        context.report(
+                            rule,
+                            node,
+                            f"direct import of kernel module {alias.name!r}; route "
+                            "through network.compiled.dispatch",
+                        )
+                self.generic_visit(node)
+
+            def visit_Import(self, node: ast.Import) -> None:
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if "compiled" in parts and parts[-1] in _KERNEL_MODULES:
+                        context.report(
+                            rule,
+                            node,
+                            f"direct import of kernel module {alias.name!r}; route "
+                            "through network.compiled.dispatch",
+                        )
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL004 — dtype contracts in the compiled subsystem
+# ---------------------------------------------------------------------- #
+#: numpy constructors and the positional index their ``dtype`` occupies.
+_NP_CONSTRUCTORS = {
+    "asarray": 1,
+    "array": 1,
+    "zeros": 1,
+    "empty": 1,
+    "ones": 1,
+    "fromiter": 1,
+    "frombuffer": 1,
+    "full": 2,
+}
+
+
+class DtypeContractRule(Rule):
+    """RL004: numpy constructors in ``network/compiled/`` pin their dtype.
+
+    The kernels exchange flat arrays across module boundaries (weights,
+    offsets, labels); an implicit platform-dependent dtype (int32 vs int64,
+    float upcasts) silently changes memory layout and comparison semantics,
+    so every constructor spells its dtype.
+    """
+
+    rule_id = "RL004"
+    severity = "warning"
+    description = "numpy constructor without an explicit dtype in network/compiled/"
+    path_scopes = ("network/compiled/",)
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+        numpy_aliases = {"np", "numpy"}
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Import(self, node: ast.Import) -> None:
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in numpy_aliases
+                    and func.attr in _NP_CONSTRUCTORS
+                ):
+                    dtype_position = _NP_CONSTRUCTORS[func.attr]
+                    has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+                    has_positional = len(node.args) > dtype_position
+                    if not has_kw and not has_positional:
+                        context.report(
+                            rule,
+                            node,
+                            f"np.{func.attr}(...) without an explicit dtype; compiled "
+                            "arrays must pin their dtype (platform defaults differ)",
+                        )
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL005 — no silent exception swallowing in the serving layer
+# ---------------------------------------------------------------------- #
+class SilentExceptRule(Rule):
+    """RL005: the serving layer never swallows exceptions silently.
+
+    A ``try/except Exception: pass`` in ``service/`` or ``traffic/`` hides
+    failed traffic drains and dead engines from ``ServiceStats``; failures
+    must be converted into error responses, counted, or re-raised.
+    """
+
+    rule_id = "RL005"
+    severity = "error"
+    description = "broad except handler whose body only passes (serving layer)"
+    path_scopes = ("repro/service/", "repro/traffic/")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+        broad = self._BROAD
+
+        def is_broad(handler: ast.ExceptHandler) -> bool:
+            if handler.type is None:
+                return True
+            if isinstance(handler.type, ast.Name):
+                return handler.type.id in broad
+            if isinstance(handler.type, ast.Tuple):
+                return any(
+                    isinstance(element, ast.Name) and element.id in broad
+                    for element in handler.type.elts
+                )
+            return False
+
+        def is_silent(handler: ast.ExceptHandler) -> bool:
+            for statement in handler.body:
+                if isinstance(statement, (ast.Pass, ast.Continue)):
+                    continue
+                if isinstance(statement, ast.Expr) and isinstance(
+                    statement.value, ast.Constant
+                ):
+                    continue  # docstring / Ellipsis
+                return False
+            return True
+
+        class Visitor(ast.NodeVisitor):
+            def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+                if is_broad(node) and is_silent(node):
+                    context.report(
+                        rule,
+                        node,
+                        "broad exception handler silently discards the failure; "
+                        "convert it into an error response, count it in stats, or "
+                        "narrow the exception type",
+                    )
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL006 — no wall-clock time in kernels / benchmark loops
+# ---------------------------------------------------------------------- #
+class WallClockRule(Rule):
+    """RL006: kernels and benchmarks time with ``perf_counter``, not wall clock.
+
+    ``time.time()`` is subject to NTP slews and coarse resolution; a timing
+    loop built on it produces unstable speedup ratios, and the CI regression
+    gate compares exactly those ratios.
+    """
+
+    rule_id = "RL006"
+    severity = "warning"
+    description = "wall-clock time.time() in kernel/benchmark code (use perf_counter)"
+    path_scopes = ("network/compiled/", "benchmarks/", "repro/routing/")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+        bare_time_imported = False
+
+        class Visitor(ast.NodeVisitor):
+            def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+                nonlocal bare_time_imported
+                if node.module == "time" and any(
+                    alias.name == "time" for alias in node.names
+                ):
+                    bare_time_imported = True
+                    context.report(
+                        rule,
+                        node,
+                        "'from time import time' in timing-sensitive code; import "
+                        "time and use time.perf_counter()",
+                    )
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "time"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    context.report(
+                        rule,
+                        node,
+                        "time.time() in timing-sensitive code; use "
+                        "time.perf_counter() for monotonic interval timing",
+                    )
+                elif (
+                    bare_time_imported
+                    and isinstance(func, ast.Name)
+                    and func.id == "time"
+                ):
+                    context.report(
+                        rule,
+                        node,
+                        "bare time() call in timing-sensitive code; use "
+                        "time.perf_counter() for monotonic interval timing",
+                    )
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+# ---------------------------------------------------------------------- #
+# RL007 — no mutable default arguments
+# ---------------------------------------------------------------------- #
+class MutableDefaultRule(Rule):
+    """RL007: no mutable default arguments anywhere in the tree.
+
+    A ``def f(x, cache={})`` default is shared across calls — in a serving
+    stack that is a cross-request data leak, not just a style problem.
+    """
+
+    rule_id = "RL007"
+    severity = "error"
+    description = "mutable default argument (shared across calls)"
+    path_scopes = ()  # everywhere
+
+    _MUTABLE_CALLS = frozenset({"dict", "list", "set", "bytearray"})
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+        mutable_calls = self._MUTABLE_CALLS
+
+        def is_mutable(default: ast.expr) -> bool:
+            if isinstance(default, (ast.Dict, ast.List, ast.Set)):
+                return True
+            if isinstance(default, ast.Call) and not default.args and not default.keywords:
+                callee = default.func
+                return isinstance(callee, ast.Name) and callee.id in mutable_calls
+            return False
+
+        class Visitor(ast.NodeVisitor):
+            def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if is_mutable(default):
+                        context.report(
+                            rule,
+                            default,
+                            f"mutable default argument in {node.name}(); use None "
+                            "and create the container inside the function",
+                        )
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._check(node)
+                self.generic_visit(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._check(node)
+                self.generic_visit(node)
+
+        return Visitor()
+
+
+#: The default rule battery, in id order.
+ALL_RULES: tuple[Rule, ...] = (
+    VersionStampRule(),
+    LockDisciplineRule(),
+    DispatchOnlyRule(),
+    DtypeContractRule(),
+    SilentExceptRule(),
+    WallClockRule(),
+    MutableDefaultRule(),
+)
