@@ -2,8 +2,9 @@
 
 Compares a freshly produced routing benchmark JSON against a committed
 baseline and fails when any *speedup ratio* — compiled-vs-dict per kernel
-(``bench_compiled_graph.py``) or patch-vs-recompile for traffic updates
-(``bench_traffic_updates.py``) — drops by more than ``--max-slowdown``
+(``bench_compiled_graph.py``), patch-vs-recompile for traffic updates
+(``bench_traffic_updates.py``), or the fault-free plain-vs-resilient
+throughput ratio (``bench_resilience.py``) — drops by more than ``--max-slowdown``
 (default 30%).  Ratios, not absolute timings, are compared: both sides of a
 ratio come from the same machine and run, which makes the guard robust to CI
 hardware variance.  Only grids present in both reports (matched by
@@ -59,6 +60,14 @@ def collect_ratios(report: dict) -> dict[str, float]:
             speedup = grid.get(name)
             if speedup:
                 ratios[f"ch/{label}/{short}"] = float(speedup)
+    for grid in report.get("resilience", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        # plain/resilient throughput on the fault-free path: ~1.0 when the
+        # resilience layer is near-free, shrinking as its overhead grows —
+        # higher-is-better like every other ratio here.
+        ratio = grid.get("faultfree_throughput_ratio")
+        if ratio:
+            ratios[f"resilience/{label}/faultfree_throughput"] = float(ratio)
     return ratios
 
 

@@ -118,7 +118,31 @@ def main() -> None:
     sanitizer.assert_clean()
     print(f"\nCoherence sanitizer: {len(sanitizer.findings)} stale cache hits")
 
-    # 8. Persist the fitted model; a serving process reloads it instantly.
+    # 8. Degraded mode: when every live engine fails (crash, timeout, open
+    #    circuit breaker), the service answers with the last known good
+    #    route for the OD pair instead of an error — flagged, never
+    #    silently.  FaultInjector scripts the failure deterministically.
+    from repro.service import FaultInjector, FunctionEngine
+    from repro.routing import fastest_path
+
+    injector = FaultInjector(seed=7)
+    flaky = injector.engine(
+        FunctionEngine(network, lambda s, d: fastest_path(network, s, d), name="flaky"),
+        script=["ok", "error"],  # first call answers, second one crashes
+    )
+    resilient = RoutingService(enable_cache=False)
+    resilient.register("flaky", flaky)
+    check_request = RouteRequest(requests[0].source, requests[0].destination)
+    resilient.route(check_request)  # the good answer primes the stale store
+    degraded = resilient.route(check_request)  # the crash degrades, not errors
+    print(
+        f"\nDegraded mode: ok={degraded.ok} degraded={degraded.degraded} "
+        f"case={degraded.diagnostics.case} "
+        f"served_cost_version={degraded.diagnostics.served_cost_version}"
+    )
+    print(f"  degraded responses counted: {resilient.stats().degraded_responses}")
+
+    # 9. Persist the fitted model; a serving process reloads it instantly.
     with tempfile.TemporaryDirectory() as tmp:
         model_file = Path(tmp) / "l2r-model.pkl.gz"
         pipeline.save(model_file)

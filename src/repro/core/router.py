@@ -43,9 +43,14 @@ class RouteDiagnostics:
 
     case: str
     """``"in-region-same"``, ``"in-region"``, ``"in-out-region"``, ``"out-region"``,
-    ``"fallback-fastest"``, or ``"cost-override"`` (service-level override)."""
+    ``"fallback-fastest"``, ``"cost-override"`` (service-level override), or
+    ``"degraded-stale"`` (resilience layer served a stale cached route)."""
     region_hops: int = 0
     used_b_edges: int = 0
+    served_cost_version: int | None = None
+    """For ``"degraded-stale"`` answers: the network cost version the served
+    path was computed under (``None`` elsewhere) — consumers can tell exactly
+    how stale a degraded route is."""
 
 
 class RegionRouter:

@@ -62,6 +62,68 @@ class StaleHierarchyError(ReproError):
         self.current_version = current_version
 
 
+class TransientEngineError(ReproError):
+    """A routing engine failed in a way that may succeed on retry.
+
+    The canonical *retryable* failure: injected faults, flaky downstream
+    calls, transient resource exhaustion.  Request-level failures
+    (:class:`NoPathError`, :class:`VertexNotFoundError`) are deliberately
+    *not* transient — retrying them wastes budget and they do not indicate
+    engine ill-health to a circuit breaker.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request's wall-clock deadline budget ran out before an answer.
+
+    Raised (or reported on the response) by the service's resilience layer
+    when the remaining :class:`~repro.service.resilience.DeadlineBudget`
+    reaches zero while walking the engine fallback chain.
+    """
+
+    def __init__(self, budget_s: float, elapsed_s: float, stage: str = "") -> None:
+        message = (
+            f"deadline budget of {budget_s:.3f}s exhausted after {elapsed_s:.3f}s"
+        )
+        if stage:
+            message = f"{message} ({stage})"
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class CircuitOpenError(TransientEngineError):
+    """An engine's circuit breaker is open; the call was never attempted.
+
+    Transient by construction: the breaker will transition to half-open
+    after its recovery period and the engine may answer again.
+    """
+
+    def __init__(self, engine: str, state: str = "open") -> None:
+        super().__init__(
+            f"circuit breaker for engine {engine!r} is {state}; skipping the call"
+        )
+        self.engine = engine
+        self.state = state
+
+
+class ServiceOverloadedError(ReproError):
+    """The service shed this request: too many already in flight.
+
+    The admission controller's fast-reject path — raised before any engine
+    work happens so overload turns into cheap, immediate errors instead of
+    queueing collapse.
+    """
+
+    def __init__(self, in_flight: int, max_in_flight: int) -> None:
+        super().__init__(
+            f"service overloaded: {in_flight} requests in flight "
+            f"(limit {max_in_flight}); request shed"
+        )
+        self.in_flight = in_flight
+        self.max_in_flight = max_in_flight
+
+
 class TrajectoryError(ReproError):
     """Problems with trajectory data (too few records, unmatched points...)."""
 

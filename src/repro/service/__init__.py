@@ -5,6 +5,9 @@
 * :mod:`repro.service.service` — the :class:`RoutingService` facade
   (registry, batch routing, fallback chains, LRU route cache)
 * :mod:`repro.service.stats` — :class:`ServiceStats` monitoring snapshots
+* :mod:`repro.service.resilience` — deadline budgets, bounded retries,
+  per-engine circuit breakers, admission control
+* :mod:`repro.service.faults` — deterministic fault injection for chaos tests
 * :mod:`repro.service.persistence` — save / load fitted L2R models
 """
 
@@ -18,18 +21,33 @@ from .engine import (
     L2REngine,
     RoutingEngine,
 )
+from .faults import FaultCounters, FaultInjector
 from .persistence import ModelPersistenceError, load_model, save_model
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    DeadlineBudget,
+    RetryPolicy,
+)
 from .service import RoutingService
 from .stats import ServiceStats, StatsAccumulator
 
 __all__ = [
+    "AdmissionController",
     "AlgorithmEngine",
     "BaseEngine",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
     "ContractionEngine",
+    "DeadlineBudget",
+    "FaultCounters",
+    "FaultInjector",
     "FunctionEngine",
     "L2REngine",
     "ModelPersistenceError",
+    "RetryPolicy",
     "RouteCache",
     "RouteRequest",
     "RouteResponse",

@@ -44,6 +44,14 @@ class RouteRequest:
     may pick a different equal-cost path than the Dijkstra reference."""
     request_id: str | None = None
     """Caller-chosen correlation id, echoed back unchanged."""
+    deadline_s: float | None = None
+    """Per-request wall-clock budget (seconds).  The service threads a
+    :class:`~repro.service.resilience.DeadlineBudget` through the fallback
+    chain and retry backoff: once the budget is spent, remaining engines are
+    skipped and the request degrades (stale cached route, flagged) or fails
+    with ``DeadlineExceededError``.  ``None`` defers to the service-level
+    default (``RoutingService(deadline_s=...)``); both ``None`` means no
+    deadline."""
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,16 @@ class RouteResponse:
     call rather than a single-request engine invocation.  ``latency_s`` is
     then the batch's wall-clock time amortized over its requests, and the
     service accounts it separately (see ``ServiceStats``)."""
+    degraded: bool = False
+    """True when every live engine failed (timeout, crash, open breaker)
+    within the request's budget and the service served a **stale cached
+    route** instead of an error.  The path may predate live-traffic cost
+    updates; ``diagnostics.served_cost_version`` records the network cost
+    version the answer was computed under.  Degraded responses are never
+    re-cached."""
+    retries: int = 0
+    """Engine attempts beyond the first across the whole fallback chain
+    (the resilience layer's bounded-retry accounting for this request)."""
     error: str | None = None
     """Error description for failed requests (``path`` is ``None`` then)."""
 

@@ -1,0 +1,309 @@
+"""Deterministic fault injection for chaos-testing the serving stack.
+
+A :class:`FaultInjector` wraps any :class:`~repro.service.engine.RoutingEngine`
+or :class:`~repro.traffic.feed.TrafficFeed` with a *seeded* schedule of
+latency spikes, raised :class:`~repro.exceptions.TransientEngineError`\\ s,
+and dropped / delayed traffic batches.  Every random decision comes from a
+per-wrapper ``np.random.Generator`` derived from the injector seed (in the
+style of the seeded condition grids of SNIPPETS.md Snippet 3), so a chaos
+run is exactly replayable: the same seed produces the same fault sequence,
+the same breaker trips, and the same shed / degraded counters — in tests
+and in CI.
+
+Two wrapper kinds:
+
+* :meth:`FaultInjector.engine` — a :class:`FaultyEngine` that, per call,
+  may sleep (latency spike) and/or raise a ``TransientEngineError`` before
+  delegating.  It deliberately does **not** forward ``batch_cost``, so the
+  service cannot batch around it — faults always apply.
+* :meth:`FaultInjector.feed` — a :class:`FaultyFeed` whose ``apply`` may
+  drop the batch (returning an empty result), delay it, or raise, modelling
+  lossy / crashing ingestion in front of a
+  :class:`~repro.traffic.drain.TrafficDrain`.
+
+Instead of probabilities, an explicit ``script`` (sequence of action names,
+cycled) pins the exact failure pattern — the breaker state-transition tests
+are written against scripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import TransientEngineError
+from .api import RouteRequest, RouteResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..traffic.feed import TrafficFeed
+    from ..traffic.updates import TrafficUpdate, TrafficUpdateResult
+    from .engine import RoutingEngine
+
+#: Engine actions a script may name.
+ENGINE_ACTIONS = ("ok", "error", "slow")
+#: Feed actions a script may name.
+FEED_ACTIONS = ("ok", "error", "drop", "delay")
+
+
+@dataclass
+class FaultCounters:
+    """Mutable per-wrapper accounting (thread-safe via the wrapper lock)."""
+
+    calls: int = 0
+    injected_errors: int = 0
+    injected_spikes: int = 0
+    dropped_batches: int = 0
+    delayed_batches: int = 0
+    actions: list[str] = field(default_factory=list)
+    """Action taken per call, in order — the replayable schedule itself."""
+
+
+class FaultInjector:
+    """Factory for seeded faulty wrappers sharing one experiment seed.
+
+    Each wrapper gets its own child generator (``default_rng([seed, n])``
+    where ``n`` is the wrapper index), so the fault schedule of one wrapper
+    is independent of how often the others are called — concurrency between
+    wrappers cannot perturb replay.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._wrappers = 0
+        self._lock = threading.Lock()
+
+    def _child_rng(self) -> np.random.Generator:
+        with self._lock:
+            index = self._wrappers
+            self._wrappers += 1
+        return np.random.default_rng([self.seed, index])
+
+    def engine(
+        self,
+        engine: "RoutingEngine",
+        *,
+        error_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> "FaultyEngine":
+        """Wrap a routing engine with a seeded (or scripted) fault schedule."""
+        return FaultyEngine(
+            engine,
+            rng=self._child_rng(),
+            error_rate=error_rate,
+            spike_rate=spike_rate,
+            spike_s=spike_s,
+            script=script,
+        )
+
+    def feed(
+        self,
+        feed: "TrafficFeed",
+        *,
+        error_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> "FaultyFeed":
+        """Wrap a traffic feed with a seeded (or scripted) fault schedule."""
+        return FaultyFeed(
+            feed,
+            rng=self._child_rng(),
+            error_rate=error_rate,
+            drop_rate=drop_rate,
+            delay_rate=delay_rate,
+            delay_s=delay_s,
+            script=script,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector(seed={self.seed}, wrappers={self._wrappers})"
+
+
+class _ScheduledWrapper:
+    """Shared decision machinery: scripted actions or seeded draws."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        script: Sequence[str] | None,
+        valid_actions: tuple[str, ...],
+    ) -> None:
+        self._rng = rng
+        self._lock = threading.Lock()
+        self.counters = FaultCounters()
+        if script is not None:
+            unknown = sorted(set(script) - set(valid_actions))
+            if unknown:
+                raise ValueError(
+                    f"unknown fault-script action(s) {unknown}; valid: {valid_actions}"
+                )
+            self._script: "itertools.cycle[str] | None" = itertools.cycle(script)
+        else:
+            self._script = None
+
+    def _decide(self, rates: Sequence[tuple[str, float]]) -> str:
+        """One action for this call: scripted, or first rate that fires.
+
+        Exactly one uniform draw happens per configured rate per call —
+        whether or not an earlier rate already fired — so the consumed
+        randomness (and therefore the whole downstream schedule) depends
+        only on the call index, never on prior outcomes.
+        """
+        with self._lock:
+            self.counters.calls += 1
+            if self._script is not None:
+                action = next(self._script)
+            else:
+                action = "ok"
+                for name, rate in rates:
+                    draw = float(self._rng.random())
+                    if action == "ok" and rate > 0.0 and draw < rate:
+                        action = name
+            self.counters.actions.append(action)
+            return action
+
+
+class FaultyEngine(_ScheduledWrapper):
+    """A routing engine that injects scheduled latency spikes and errors.
+
+    Satisfies the :class:`~repro.service.engine.RoutingEngine` protocol.
+    ``peak_hours``, ``cache_version``, and ``network`` are forwarded from
+    the wrapped engine (cache and degraded-serving semantics must not
+    change); ``batch_cost`` is *not*, so batched ``route_many`` kernels
+    cannot bypass the faults.
+    """
+
+    def __init__(
+        self,
+        engine: "RoutingEngine",
+        *,
+        rng: np.random.Generator,
+        error_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> None:
+        super().__init__(rng, script, ENGINE_ACTIONS)
+        self.inner = engine
+        self.name = engine.name
+        self.error_rate = error_rate
+        self.spike_rate = spike_rate
+        self.spike_s = spike_s
+
+    @property
+    def peak_hours(self):
+        return getattr(self.inner, "peak_hours", None)
+
+    @property
+    def cache_version(self):
+        return getattr(self.inner, "cache_version", None)
+
+    @property
+    def network(self):
+        """Forwarded so degraded responses can report the served cost
+        version; batching stays blocked because ``batch_cost`` is not
+        forwarded (``route_many`` requires both)."""
+        return getattr(self.inner, "network", None)
+
+    def route(self, request: RouteRequest) -> RouteResponse:
+        action = self._decide(
+            (("error", self.error_rate), ("slow", self.spike_rate))
+        )
+        if action == "slow":
+            with self._lock:
+                self.counters.injected_spikes += 1
+            time.sleep(self.spike_s)
+        elif action == "error":
+            with self._lock:
+                self.counters.injected_errors += 1
+            raise TransientEngineError(
+                f"injected fault in engine {self.name!r} "
+                f"(call {self.counters.calls})"
+            )
+        return self.inner.route(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyEngine({self.inner!r}, calls={self.counters.calls})"
+
+
+class FaultyFeed:
+    """A traffic feed whose ``apply`` may drop, delay, or crash per schedule.
+
+    Duck-types the :class:`~repro.traffic.feed.TrafficFeed` surface a
+    :class:`~repro.traffic.drain.TrafficDrain` uses (``apply``, ``network``,
+    ``subscribe``), so it can sit between a drain and the real feed.
+    """
+
+    def __init__(
+        self,
+        feed: "TrafficFeed",
+        *,
+        rng: np.random.Generator,
+        error_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> None:
+        self._scheduler = _ScheduledWrapper(rng, script, FEED_ACTIONS)
+        self.inner = feed
+        self.error_rate = error_rate
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.delay_s = delay_s
+
+    @property
+    def counters(self) -> FaultCounters:
+        return self._scheduler.counters
+
+    @property
+    def network(self):
+        return self.inner.network
+
+    def subscribe(self, callback):
+        return self.inner.subscribe(callback)
+
+    def apply(self, updates: "Iterable[TrafficUpdate]") -> "TrafficUpdateResult":
+        from ..traffic.updates import TrafficUpdateResult
+
+        batch = list(updates)
+        action = self._scheduler._decide(
+            (
+                ("error", self.error_rate),
+                ("drop", self.drop_rate),
+                ("delay", self.delay_rate),
+            )
+        )
+        counters = self._scheduler.counters
+        lock = self._scheduler._lock
+        if action == "error":
+            with lock:
+                counters.injected_errors += 1
+            raise TransientEngineError(
+                f"injected fault applying traffic batch (call {counters.calls})"
+            )
+        if action == "drop":
+            with lock:
+                counters.dropped_batches += 1
+            # The batch is lost: report an empty, truthful result.
+            return TrafficUpdateResult(
+                touched_edges=frozenset(),
+                cost_version=self.inner.network.cost_version,
+                applied=0,
+            )
+        if action == "delay":
+            with lock:
+                counters.delayed_batches += 1
+            time.sleep(self.delay_s)
+        return self.inner.apply(batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyFeed({self.inner!r}, calls={self.counters.calls})"

@@ -1,0 +1,460 @@
+"""Resilience primitives of the serving layer.
+
+Production routing traffic is heavy-tailed: slow engines, crashing engines,
+and overload are the common case at scale, not the exception.  This module
+carries the four mechanisms :class:`~repro.service.RoutingService` composes
+to stay up under those conditions:
+
+* :class:`DeadlineBudget` — a per-request wall-clock budget, threaded through
+  ``route`` / ``route_many`` and consumed across fallback hops and retry
+  backoff sleeps, so one slow engine cannot eat the whole request;
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *seeded* jitter (replayable in tests), applied only to retryable
+  (:class:`~repro.exceptions.TransientEngineError`-shaped) failures;
+* :class:`CircuitBreaker` — per-engine closed / open / half-open breaker over
+  a sliding failure-rate window; an open breaker skips the engine entirely
+  so the fallback chain is consulted without paying the failure latency;
+* :class:`AdmissionController` — a bound on concurrently served requests
+  with a :class:`~repro.exceptions.ServiceOverloadedError` fast-reject path,
+  turning overload into cheap immediate sheds instead of queueing collapse.
+
+All four are deliberately clock-injectable (``clock=time.monotonic`` by
+default) so the chaos suite can drive state transitions deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    TransientEngineError,
+)
+
+Clock = Callable[[], float]
+
+
+# ---------------------------------------------------------------------- #
+# Deadline budgets
+# ---------------------------------------------------------------------- #
+class DeadlineBudget:
+    """Wall-clock budget for one request, consumed across fallback hops.
+
+    The budget starts ticking at construction; every stage of the serving
+    pipeline (engine attempts, retry backoff sleeps, fallback hops) checks
+    :meth:`remaining` / :meth:`check` before spending more time.  Engines
+    are cooperative — a hop that already started is not preempted — so the
+    budget bounds *additional* work, which is the useful guarantee a
+    GIL-bound service can actually make.
+    """
+
+    __slots__ = ("budget_s", "_started", "_deadline", "_clock")
+
+    def __init__(self, budget_s: float, clock: Clock = time.monotonic) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget_s = float(budget_s)
+        self._clock = clock
+        self._started = clock()
+        # Precomputed absolute deadline: `expired` is checked on every
+        # fallback hop of every request, so it must be one clock read and
+        # one comparison, not a property chain.
+        self._deadline = self._started + self.budget_s
+
+    @classmethod
+    def start(
+        cls, budget_s: float | None, clock: Clock = time.monotonic
+    ) -> "DeadlineBudget | None":
+        """A running budget, or ``None`` when no deadline was requested."""
+        if budget_s is None:
+            return None
+        return cls(budget_s, clock=clock)
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._deadline
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent."""
+        elapsed = self.elapsed()
+        if elapsed >= self.budget_s:
+            raise DeadlineExceededError(self.budget_s, elapsed, stage=stage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeadlineBudget(budget_s={self.budget_s}, remaining={self.remaining():.3f})"
+
+
+# ---------------------------------------------------------------------- #
+# Retry policy
+# ---------------------------------------------------------------------- #
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Only *retryable* failures are retried: transient engine errors (and any
+    extra exception types passed in), never request-level failures like
+    ``NoPathError`` — retrying a request that deterministically has no
+    answer only burns deadline budget.  Jitter is drawn from a seeded
+    ``np.random.Generator`` so two policies built with the same seed produce
+    identical backoff schedules (the chaos suite depends on this).
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        base_delay_s: float = 0.005,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        retryable: tuple[type[BaseException], ...] = (TransientEngineError,),
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base_delay_s < 0 or multiplier < 1.0 or jitter < 0:
+            raise ValueError("backoff parameters must be non-negative (multiplier >= 1)")
+        self.max_retries = max_retries
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.retryable = retryable
+        self._retryable_names = frozenset(cls.__name__ for cls in retryable)
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float | None:
+        """Backoff before retry number ``attempt`` (0-based); ``None`` = stop.
+
+        Draws one jitter sample per granted retry, under a lock, so the
+        consumed randomness is a deterministic function of the number of
+        retries granted — independent of which requests needed them.
+        """
+        if attempt >= self.max_retries:
+            return None
+        base = self.base_delay_s * (self.multiplier**attempt)
+        with self._lock:
+            fraction = float(self._rng.random())
+        return base * (1.0 + self.jitter * fraction)
+
+    def is_retryable(self, failure: BaseException | str | None) -> bool:
+        """Whether a failure (exception or response error string) may retry.
+
+        Engines built on ``BaseEngine`` report failures as response strings
+        of the form ``"TypeName: message"`` — the type-name prefix is matched
+        against the retryable classes (and their registered subclasses by
+        isinstance when a real exception is available).
+        """
+        if failure is None:
+            return False
+        if isinstance(failure, BaseException):
+            return isinstance(failure, self.retryable)
+        name = failure.split(":", 1)[0].strip()
+        return name in self._retryable_names or name in _TRANSIENT_ERROR_NAMES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"base_delay_s={self.base_delay_s}, multiplier={self.multiplier})"
+        )
+
+
+def _transient_subclass_names() -> frozenset[str]:
+    """Names of every known TransientEngineError subclass (string matching
+    for failures that were flattened into response error strings)."""
+    names = set()
+    stack = [TransientEngineError]
+    while stack:
+        cls = stack.pop()
+        names.add(cls.__name__)
+        stack.extend(cls.__subclasses__())
+    return frozenset(names)
+
+
+_TRANSIENT_ERROR_NAMES = _transient_subclass_names()
+
+
+def is_transient_failure(failure: BaseException | str | None) -> bool:
+    """Whether a failure indicates engine ill-health (vs a request error).
+
+    Circuit breakers only count these: a ``NoPathError`` proves the engine
+    is alive and answering, so it must not open the breaker.
+    """
+    if failure is None:
+        return False
+    if isinstance(failure, BaseException):
+        return isinstance(
+            failure, (TransientEngineError, DeadlineExceededError, TimeoutError)
+        )
+    name = failure.split(":", 1)[0].strip()
+    return name in _TRANSIENT_ERROR_NAMES or name in {"TimeoutError", "DeadlineExceededError"}
+
+
+# ---------------------------------------------------------------------- #
+# Circuit breaker
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Tuning of one per-engine :class:`CircuitBreaker`."""
+
+    window: int = 16
+    """Sliding window of most-recent outcomes the failure rate is computed
+    over."""
+    failure_threshold: float = 0.5
+    """Open when the windowed failure fraction reaches this value."""
+    min_samples: int = 4
+    """Never open before this many outcomes are in the window (a single
+    startup failure must not blackhole an engine)."""
+    recovery_s: float = 5.0
+    """Seconds an open breaker waits before letting half-open probes through."""
+    half_open_probes: int = 1
+    """Concurrent trial requests allowed while half-open."""
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.failure_threshold <= 1.0):
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.window < 1 or self.min_samples < 1 or self.half_open_probes < 1:
+            raise ValueError("window/min_samples/half_open_probes must be >= 1")
+        if self.recovery_s < 0:
+            raise ValueError("recovery_s must be >= 0")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a sliding failure-rate window.
+
+    * **closed** — calls flow; outcomes land in the window.  When the window
+      holds at least ``min_samples`` outcomes and the failure fraction
+      reaches ``failure_threshold``, the breaker *trips* open.
+    * **open** — :meth:`allow` answers ``False`` (callers skip straight to
+      the fallback chain) until ``recovery_s`` elapsed, then transitions to
+      half-open.
+    * **half-open** — up to ``half_open_probes`` concurrent trial calls are
+      let through; a success closes the breaker (window reset), a failure
+      re-opens it (counted as another trip).
+
+    Thread-safe; the clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: CircuitBreakerConfig | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.config = config or CircuitBreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._window: deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (open may report
+        half-open once the recovery period elapsed)."""
+        with self._lock:
+            return self._observable_state()
+
+    def _observable_state(self) -> str:
+        """State as a caller would observe it; lock held by caller."""
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.config.recovery_s
+        ):
+            return "half-open"
+        return self._state
+
+    @property
+    def trips(self) -> int:
+        """Times the breaker transitioned to open (including re-opens)."""
+        with self._lock:
+            return self._trips
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (may move open -> half-open)."""
+        # Lock-free fast path: reading the state string is atomic under the
+        # GIL, and the worst race (a concurrent trip to open) only lets one
+        # already-started request through — indistinguishable from that
+        # request having raced ahead of the trip.
+        if self._state == "closed":
+            return True
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at < self.config.recovery_s:
+                    return False
+                self._state = "half-open"
+                self._probes_in_flight = 0
+            # half-open: admit a bounded number of concurrent probes.
+            if self._probes_in_flight >= self.config.half_open_probes:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == "half-open":
+                self._state = "closed"
+                self._window.clear()
+                self._probes_in_flight = 0
+                return
+            self._window.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            if self._state == "half-open":
+                # The probe failed: straight back to open, another trip.
+                self._state = "open"
+                self._opened_at = now
+                self._trips += 1
+                self._probes_in_flight = 0
+                return
+            if self._state == "open":
+                return
+            self._window.append(False)
+            if len(self._window) >= self.config.min_samples:
+                failures = sum(1 for ok in self._window if not ok)
+                if failures / len(self._window) >= self.config.failure_threshold:
+                    self._state = "open"
+                    self._opened_at = now
+                    self._trips += 1
+                    self._window.clear()
+
+    def open_error(self, engine: str) -> CircuitOpenError:
+        """The structured error describing a skipped call."""
+        return CircuitOpenError(engine, state=self.state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, trips={self.trips})"
+
+
+# ---------------------------------------------------------------------- #
+# Admission control
+# ---------------------------------------------------------------------- #
+class AdmissionController:
+    """Bounds concurrently served requests; sheds the excess immediately.
+
+    :meth:`acquire` either admits the request or raises
+    :class:`ServiceOverloadedError` — optionally after waiting up to
+    ``max_wait_s`` for a slot (the wait always passes an explicit timeout,
+    so a stuck service cannot strand callers).  Use as a context manager::
+
+        with controller.admit():
+            ... serve the request ...
+    """
+
+    def __init__(self, max_in_flight: int, max_wait_s: float = 0.0) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.max_wait_s = max_wait_s
+        # A plain Lock (not the default RLock) keeps the uncontended
+        # acquire/release pair cheap; nothing here re-enters.  The fast
+        # paths enter ``_lock`` directly (C-level context manager) instead
+        # of going through the Condition's Python-level ``__enter__``.
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._waiters = 0
+        self._shed = 0
+        self._admitted = 0
+
+    @property
+    def in_flight(self) -> int:
+        with self._condition:
+            return self._in_flight
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected with :class:`ServiceOverloadedError`."""
+        with self._condition:
+            return self._shed
+
+    @property
+    def admitted(self) -> int:
+        with self._condition:
+            return self._admitted
+
+    def acquire(self) -> None:
+        """Admit one request or raise :class:`ServiceOverloadedError`."""
+        with self._lock:
+            if self._in_flight < self.max_in_flight:  # uncontended fast path
+                self._in_flight += 1
+                self._admitted += 1
+                return
+            deadline = time.monotonic() + self.max_wait_s
+            while self._in_flight >= self.max_in_flight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._shed += 1
+                    raise ServiceOverloadedError(self._in_flight, self.max_in_flight)
+                self._waiters += 1
+                try:
+                    self._condition.wait(timeout=remaining)
+                finally:
+                    self._waiters -= 1
+            self._in_flight += 1
+            self._admitted += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            if self._waiters:
+                self._condition.notify()
+
+    def admit(self) -> "_Admission":
+        """Context-manager form of :meth:`acquire` / :meth:`release`."""
+        return _Admission(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(in_flight={self.in_flight}/"
+            f"{self.max_in_flight}, shed={self.shed})"
+        )
+
+
+class _Admission:
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+
+    def __enter__(self) -> AdmissionController:
+        self._controller.acquire()
+        return self._controller
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._controller.release()
+
+
+def sleep_within(
+    delay_s: float, budget: DeadlineBudget | None, sleep: Callable[[float], None] = time.sleep
+) -> bool:
+    """Sleep ``delay_s`` if the budget allows it; returns whether it slept.
+
+    The retry loop's guard: a backoff that would outlive the remaining
+    deadline is skipped (returning ``False``) so the caller can fail fast
+    instead of sleeping through its own deadline.
+    """
+    if delay_s <= 0:
+        return True
+    if budget is not None and budget.remaining() <= delay_s:
+        return False
+    sleep(delay_s)
+    return True

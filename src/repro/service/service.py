@@ -13,19 +13,39 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import replace
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..core.config import PeakHours
-from ..exceptions import ConfigurationError, ReproError
+from ..core.router import RouteDiagnostics
+from ..exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+)
 from ..network.compiled import dispatch as _compiled
 from ..network.road_network import VertexId
 from ..routing.path import Path
 from .api import RouteRequest, RouteResponse
 from .cache import CacheStats, RouteCache
 from .engine import RoutingEngine
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    DeadlineBudget,
+    RetryPolicy,
+    is_transient_failure,
+    sleep_within,
+)
 from .stats import ServiceStats, StatsAccumulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..traffic.drain import TrafficDrain
 
 
 class RoutingService:
@@ -39,6 +59,14 @@ class RoutingService:
         traffic_invalidate_threshold: int = 64,
         goal_directed: bool | None = None,
         batch_min_size: int = 8,
+        deadline_s: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreakerConfig | None = None,
+        max_in_flight: int | None = None,
+        admission_wait_s: float = 0.0,
+        serve_degraded: bool = True,
+        stale_route_capacity: int = 512,
+        batch_result_timeout_s: float = 60.0,
     ) -> None:
         """``traffic_invalidate_threshold`` bounds the delta-aware cache scan:
         a live-traffic batch touching more edges than this drops the whole
@@ -48,7 +76,29 @@ class RoutingService:
         ``goal_directed`` field unset — the service-wide opt-in to ALT
         landmark search for single-cost queries.  ``batch_min_size`` is the
         smallest group of compatible ``route_many`` requests worth a batched
-        ``dijkstra_many`` call; smaller groups use the thread pool."""
+        ``dijkstra_many`` call; smaller groups use the thread pool.
+
+        The resilience knobs (all off by default, preserving the fault-free
+        fast path):
+
+        * ``deadline_s`` — service-wide wall-clock budget per request
+          (``RouteRequest.deadline_s`` overrides per request); the budget is
+          consumed across fallback hops and retry backoff;
+        * ``retry_policy`` — bounded seeded-jitter retries for transient
+          engine failures (never for request errors like ``NoPathError``);
+        * ``breaker`` — when set, every registered engine gets its own
+          :class:`CircuitBreaker` with this config; open breakers skip the
+          engine and go straight to its fallback chain;
+        * ``max_in_flight`` — admission control: requests beyond this many
+          concurrently served are shed with ``ServiceOverloadedError``
+          (after waiting at most ``admission_wait_s`` for a slot);
+        * ``serve_degraded`` — when the whole chain fails within budget,
+          serve the last known good route for the OD pair flagged
+          ``degraded=True`` (``stale_route_capacity`` bounds that store)
+          instead of a bare error;
+        * ``batch_result_timeout_s`` — hard per-future timeout of the
+          ``route_many`` thread-pool fan-out, so one stuck worker cannot
+          hang a whole batch."""
         self._engines: dict[str, RoutingEngine] = {}
         self._fallbacks: dict[str, str] = {}
         self._default_engine: str | None = None
@@ -67,6 +117,23 @@ class RoutingService:
         self._retired_executors: list[ThreadPoolExecutor] = []
         self._pool_users: dict[ThreadPoolExecutor, int] = {}
         self._executor_lock = threading.Lock()
+        self._deadline_s = deadline_s
+        self._retry_policy = retry_policy
+        self._breaker_config = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._admission = (
+            AdmissionController(max_in_flight, max_wait_s=admission_wait_s)
+            if max_in_flight is not None
+            else None
+        )
+        self._serve_degraded = serve_degraded
+        self._stale_capacity = stale_route_capacity
+        self._stale_routes: OrderedDict[tuple, tuple[RouteResponse, int | None]] = (
+            OrderedDict()
+        )
+        self._stale_lock = threading.Lock()
+        self._batch_result_timeout_s = batch_result_timeout_s
+        self._drain: "TrafficDrain | None" = None
 
     # ------------------------------------------------------------------ #
     # Registry
@@ -115,6 +182,8 @@ class RoutingService:
             self._fallbacks[name] = fallback
         if default or self._default_engine is None:
             self._default_engine = name
+        if self._breaker_config is not None and name not in self._breakers:
+            self._breakers[name] = CircuitBreaker(self._breaker_config)
         return self
 
     def _adopt_peak_hours(self, name: str, engine: RoutingEngine) -> None:
@@ -181,6 +250,27 @@ class RoutingService:
         self.engine(fallback)
         self._fallbacks[name] = fallback
 
+    def breaker(self, name: str) -> CircuitBreaker | None:
+        """The engine's circuit breaker (``None`` without breaker config)."""
+        self.engine(name)  # validates
+        return self._breakers.get(name)
+
+    @property
+    def admission(self) -> AdmissionController | None:
+        """The admission controller (``None`` without ``max_in_flight``)."""
+        return self._admission
+
+    def attach_drain(self, drain: "TrafficDrain") -> "TrafficDrain":
+        """Adopt a :class:`~repro.traffic.drain.TrafficDrain` for monitoring
+        and lifecycle: its counters surface in :meth:`stats` and
+        :meth:`close` stops it before draining in-flight requests."""
+        self._drain = drain
+        return drain
+
+    @property
+    def drain(self) -> "TrafficDrain | None":
+        return self._drain
+
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
@@ -193,11 +283,17 @@ class RoutingService:
         """Answer one request with the named (or default) engine.
 
         The answer is served from the route cache when possible; on failure
-        the engine's fallback chain is followed.  The returned response always
-        reports the engine that actually produced the path, the latency, and
-        the cache-hit flag.  ``_probe_cache`` (internal) marks the cache
-        lookup as a follow-up to one ``route_many`` already counted, keeping
-        the hit/miss counters at one outcome per logical request.
+        the engine's fallback chain is followed within the request's deadline
+        budget, and — when the whole chain fails — a stale cached route is
+        served flagged ``degraded=True`` before falling back to a structured
+        error.  Requests beyond the admission limit are shed immediately
+        with a ``ServiceOverloadedError`` error response (cache hits are
+        always served: they cost no engine work).  The returned response
+        always reports the engine that actually produced the path, the
+        latency, and the cache-hit flag.  ``_probe_cache`` (internal) marks
+        the cache lookup as a follow-up to one ``route_many`` already
+        counted, keeping the hit/miss counters at one outcome per logical
+        request.
         """
         name = engine or self._default_engine
         if name is None:
@@ -217,6 +313,24 @@ class RoutingService:
                 self._stats.record(cached)
                 return cached
 
+        admission = self._admission
+        if admission is not None:
+            try:
+                admission.acquire()
+            except ServiceOverloadedError as exc:
+                # Fast reject: no engine work, no fallback walk, no caching.
+                response = RouteResponse.from_error(request, name, exc)
+                self._stats.record(response)
+                return response
+        try:
+            return self._route_admitted(name, request)
+        finally:
+            if admission is not None:
+                admission.release()
+
+    def _route_admitted(self, name: str, request: RouteRequest) -> RouteResponse:
+        """Compute one admitted request: fallback chain, degraded serving,
+        cache insert, stats."""
         # Snapshot generations before computing: the guard rejects the insert
         # if either the requested engine or the engine that actually answered
         # (a fallback) was re-registered — or any live-traffic batch landed —
@@ -227,8 +341,15 @@ class RoutingService:
         # edge) but a missed insert only costs one recompute.
         generations = dict(self._engine_generation)
         traffic_generation = self._traffic_generation
-        response = self._route_with_fallbacks(name, request)
-        if self._cache is not None:
+        budget = DeadlineBudget.start(
+            request.deadline_s if request.deadline_s is not None else self._deadline_s
+        )
+        response = self._route_with_fallbacks(name, request, budget)
+        if not response.ok and self._serve_degraded:
+            degraded = self._degraded_response(name, request, response)
+            if degraded is not None:
+                response = degraded
+        if self._cache is not None and not response.degraded:
 
             def _still_current() -> bool:
                 return self._traffic_generation == traffic_generation and all(
@@ -242,6 +363,8 @@ class RoutingService:
             self._cache.put(
                 name, response, guard=_still_current, version=self._cache_tag(name)
             )
+        if response.ok and not response.degraded:
+            self._remember_last_good(name, response)
         self._stats.record(response)
         return response
 
@@ -316,14 +439,34 @@ class RoutingService:
             else:
                 pool = self._acquire_executor(max_workers)
                 try:
-                    computed = pool.map(
-                        lambda position: self.route(
-                            batch[position], engine=name, _probe_cache=True
-                        ),
-                        unbatched,
-                    )
-                    for position, response in zip(unbatched, computed):
-                        responses[position] = response
+                    futures = [
+                        (
+                            position,
+                            pool.submit(
+                                self.route, batch[position], name, True
+                            ),
+                        )
+                        for position in unbatched
+                    ]
+                    for position, future in futures:
+                        # Bounded wait: one stuck worker degrades its own slot
+                        # to a deadline error instead of hanging the batch.
+                        try:
+                            responses[position] = future.result(
+                                timeout=self._batch_result_timeout_s
+                            )
+                        except FutureTimeoutError:
+                            self._stats.record_deadline_exceeded()
+                            exc = DeadlineExceededError(
+                                self._batch_result_timeout_s,
+                                self._batch_result_timeout_s,
+                                stage="route_many-worker",
+                            )
+                            response = RouteResponse.from_error(
+                                batch[position], name, exc
+                            )
+                            self._stats.record(response)
+                            responses[position] = response
                 finally:
                     self._release_executor(pool)
         return responses  # type: ignore[return-value]
@@ -459,14 +602,39 @@ class RoutingService:
                 self._retired_executors.remove(pool)
                 pool.shutdown(wait=False)
 
-    def close(self) -> None:
-        """Release the batch worker threads (the service stays usable).
+    def close(self, timeout_s: float | None = 5.0) -> bool:
+        """Orderly shutdown; idempotent; the service stays usable after.
 
-        Pools still held by an in-flight batch are retired, not shut down —
-        the batch's release reaps them — so close() can never crash a
-        concurrent :meth:`route_many`.
+        The ordering matters: the attached :class:`TrafficDrain` (if any) is
+        stopped *first* — no new re-weights land mid-drain of the request
+        side — then in-flight batches are given up to ``timeout_s`` to
+        finish, then the worker pools are released.  Pools still held by an
+        in-flight batch after the timeout are retired, not shut down — the
+        batch's release reaps them — so close() can never crash or deadlock
+        a concurrent :meth:`route_many`, even one running on this thread's
+        own stack.  Returns ``False`` when something (drain thread,
+        in-flight batch) failed to stop within the timeout.
         """
+        clean = True
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        if self._drain is not None:
+            budget = (
+                max(0.0, deadline - time.monotonic()) if deadline is not None else 5.0
+            )
+            clean = self._drain.close(timeout_s=budget) and clean
+        # Bounded wait for in-flight batches: each holds a usage count on its
+        # pool, so "all counts zero" means no route_many is mid-flight.
+        while deadline is not None and time.monotonic() < deadline:
+            with self._executor_lock:
+                busy = any(count > 0 for count in self._pool_users.values())
+            if not busy:
+                break
+            time.sleep(0.005)
         with self._executor_lock:
+            if any(count > 0 for count in self._pool_users.values()):
+                clean = False
             still_busy: list[ThreadPoolExecutor] = []
             for retired in self._retired_executors:
                 if self._pool_users.get(retired, 0) == 0:
@@ -483,12 +651,23 @@ class RoutingService:
                     self._retired_executors.append(self._executor)
                 self._executor = None
                 self._executor_workers = 0
+        return clean
 
-    def _route_with_fallbacks(self, name: str, request: RouteRequest) -> RouteResponse:
+    def _route_with_fallbacks(
+        self,
+        name: str,
+        request: RouteRequest,
+        budget: DeadlineBudget | None = None,
+    ) -> RouteResponse:
         """Run the engine, following its fallback chain on failure.
 
-        Fallback names that were never registered (``register()`` accepts
-        forward references) are skipped rather than crashing the request.
+        Each hop is guarded by the resilience layer: an open circuit breaker
+        skips the engine (the skip is the hop's failure), the deadline
+        ``budget`` stops the walk once spent, and transient failures are
+        retried per the service's :class:`RetryPolicy` before falling
+        through.  Fallback names that were never registered (``register()``
+        accepts forward references) are skipped rather than crashing the
+        request.
         """
         chain = [name]
         current = name
@@ -502,7 +681,12 @@ class RoutingService:
 
         started = time.perf_counter()
         first_failure: RouteResponse | None = None
+        retries_total = 0
+        deadline_hit = False
         for position, engine_name in enumerate(chain):
+            if budget is not None and budget.expired:
+                deadline_hit = True
+                break
             # A fallback engine may already have this answer cached under its
             # own key — serve it instead of recomputing.  The latency still
             # covers the failed primary attempt(s) that got us here.
@@ -515,22 +699,34 @@ class RoutingService:
                         request,
                         fallback_used=True,
                         latency_s=time.perf_counter() - started,
+                        retries=retries_total,
                     )
-            # Engines built on BaseEngine report failures on the response;
-            # the protocol cannot enforce that on arbitrary engines, and a
-            # raising engine must not abort a route_many batch.
-            try:
-                response = self._engines[engine_name].route(request)
-            except ReproError as exc:
-                response = RouteResponse.from_error(request, engine_name, exc)
+            breaker = self._breakers.get(engine_name)
+            if breaker is not None and not breaker.allow():
+                # Open breaker: skip the engine without paying its failure
+                # latency; the skip itself is this hop's (transient) failure.
+                if first_failure is None:
+                    first_failure = RouteResponse.from_error(
+                        request, engine_name, breaker.open_error(engine_name)
+                    )
+                continue
+            response, attempts = self._attempt_engine(
+                engine_name, request, budget, breaker
+            )
+            retries_total += attempts - 1
             # Report the *registry* name: two aliases may wrap engines with
             # the same internal name (e.g. two L2R model versions), and
             # stats / cache invalidation key on what the caller registered.
             if response.engine != engine_name:
                 response = response.with_request(request, engine=engine_name)
             if response.ok:
+                changes: dict[str, object] = {}
                 if position > 0:
-                    response = response.with_request(request, fallback_used=True)
+                    changes["fallback_used"] = True
+                if retries_total:
+                    changes["retries"] = retries_total
+                if changes:
+                    response = response.with_request(request, **changes)
                 return response
             if first_failure is None:
                 first_failure = response
@@ -538,7 +734,19 @@ class RoutingService:
         # asked for — its error is the informative one for debugging.  A
         # fallback name that never got registered (typo?) is surfaced here,
         # exactly when it would have mattered.
+        if deadline_hit:
+            self._stats.record_deadline_exceeded()
+            if first_failure is None:
+                assert budget is not None
+                exc = DeadlineExceededError(
+                    budget.budget_s, budget.elapsed(), stage="fallback-chain"
+                )
+                first_failure = RouteResponse.from_error(
+                    request, name, exc, latency_s=time.perf_counter() - started
+                )
         assert first_failure is not None  # chain is never empty
+        if retries_total and first_failure.retries != retries_total:
+            first_failure = first_failure.with_request(request, retries=retries_total)
         if unresolved is not None:
             first_failure = first_failure.with_request(
                 request,
@@ -546,6 +754,120 @@ class RoutingService:
                 f"(fallback {unresolved!r} is not registered)",
             )
         return first_failure
+
+    def _attempt_engine(
+        self,
+        engine_name: str,
+        request: RouteRequest,
+        budget: DeadlineBudget | None,
+        breaker: CircuitBreaker | None,
+    ) -> tuple[RouteResponse, int]:
+        """One engine's attempt(s) at a request; returns (response, attempts).
+
+        Engines built on ``BaseEngine`` report failures on the response; the
+        protocol cannot enforce that on arbitrary engines, and a raising
+        engine must not abort a ``route_many`` batch — exceptions are folded
+        into error responses here.  Transient failures feed the breaker and
+        are retried (with budget-bounded backoff); request-level errors like
+        ``NoPathError`` count as breaker *successes* — the engine is alive
+        and answering — and are never retried.
+        """
+        policy = self._retry_policy
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            failure_exc: BaseException | None = None
+            try:
+                response = self._engines[engine_name].route(request)
+            except ReproError as exc:
+                failure_exc = exc
+                response = RouteResponse.from_error(
+                    request, engine_name, exc, latency_s=time.perf_counter() - started
+                )
+            attempt += 1
+            failure: BaseException | str | None = (
+                None if response.ok else (failure_exc or response.error)
+            )
+            if breaker is not None:
+                if response.ok or not is_transient_failure(failure):
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+            if response.ok or policy is None:
+                return response, attempt
+            if not policy.is_retryable(failure):
+                return response, attempt
+            delay = policy.delay(attempt - 1)
+            if delay is None:
+                return response, attempt
+            if budget is not None and budget.expired:
+                return response, attempt
+            if not sleep_within(delay, budget):
+                return response, attempt
+
+    # ------------------------------------------------------------------ #
+    # Degraded serving (stale-route store)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stale_key(name: str, request: RouteRequest) -> tuple:
+        """Identity of one (engine, OD-pair, preference) answer line.
+
+        Deliberately coarser than the route-cache key: no peak bucket and no
+        cost version — degraded serving *wants* the last known good answer
+        even when it is stale, that is the point."""
+        return (
+            name,
+            request.source,
+            request.destination,
+            request.driver_id,
+            request.cost_override,
+            request.goal_directed,
+        )
+
+    def _remember_last_good(self, name: str, response: RouteResponse) -> None:
+        """Keep the freshest good answer per OD line for degraded serving."""
+        if not self._serve_degraded or self._stale_capacity < 1:
+            return
+        key = self._stale_key(name, response.request)
+        answering = self._engines.get(response.engine)
+        network = getattr(answering, "network", None)
+        version = getattr(network, "cost_version", None) if network is not None else None
+        with self._stale_lock:
+            self._stale_routes[key] = (response, version)
+            self._stale_routes.move_to_end(key)
+            while len(self._stale_routes) > self._stale_capacity:
+                self._stale_routes.popitem(last=False)
+
+    def _degraded_response(
+        self, name: str, request: RouteRequest, failure: RouteResponse
+    ) -> RouteResponse | None:
+        """A stale-but-flagged answer for a request whose whole chain failed.
+
+        Only *engine-health* failures degrade (timeouts, crashes, open
+        breakers): a ``NoPathError`` is a correct answer about the request
+        and must stay an error.  The served response carries
+        ``degraded=True`` and diagnostics recording the cost version it was
+        computed under; it is never re-cached.
+        """
+        if not is_transient_failure(failure.error):
+            return None
+        with self._stale_lock:
+            entry = self._stale_routes.get(self._stale_key(name, request))
+        if entry is None:
+            return None
+        stale, served_version = entry
+        diagnostics = RouteDiagnostics(
+            case="degraded-stale", served_cost_version=served_version
+        )
+        return stale.with_request(
+            request,
+            degraded=True,
+            diagnostics=diagnostics,
+            cache_hit=False,
+            fallback_used=False,
+            latency_s=failure.latency_s,
+            error=None,
+        )
 
     # ------------------------------------------------------------------ #
     # Live traffic
@@ -603,7 +925,14 @@ class RoutingService:
             if key not in counted:
                 counted.add(key)
                 reweights += count
-        return self._stats.snapshot(cache_stats, hierarchy_reweights=reweights)
+        return self._stats.snapshot(
+            cache_stats,
+            hierarchy_reweights=reweights,
+            shed=self._admission.shed if self._admission is not None else 0,
+            breaker_trips=sum(b.trips for b in self._breakers.values()),
+            breaker_states={n: b.state for n, b in self._breakers.items()},
+            drain=self._drain.stats() if self._drain is not None else None,
+        )
 
     def reset_stats(self) -> None:
         """Start a fresh monitoring window (keeps cached entries)."""

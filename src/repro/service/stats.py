@@ -13,9 +13,13 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .api import RouteResponse
 from .cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..traffic.drain import DrainStats
 
 
 def percentile(values: list[float], fraction: float) -> float:
@@ -62,6 +66,22 @@ class ServiceStats:
     hierarchy_reweights: int = 0
     """Live-traffic shortcut re-weights absorbed by contraction-hierarchy
     engines (cheap in-place re-customizations instead of full rebuilds)."""
+    shed: int = 0
+    """Requests rejected by admission control (``ServiceOverloadedError``)."""
+    retries: int = 0
+    """Engine attempts beyond the first, summed across served requests."""
+    deadline_exceeded: int = 0
+    """Requests whose deadline budget ran out mid-chain."""
+    degraded_responses: int = 0
+    """Responses served from the stale-route store with ``degraded=True``."""
+    breaker_trips: int = 0
+    """Circuit-breaker open transitions, summed over all engines."""
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    """Engine name -> current breaker state (only engines with breakers)."""
+    drain: "DrainStats | None" = None
+    """Snapshot of the attached :class:`~repro.traffic.drain.TrafficDrain`
+    (queue depth, staleness, crash counts), or ``None`` when no drain is
+    attached."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -96,11 +116,17 @@ class StatsAccumulator:
         self._traffic_touched = 0
         self._traffic_evicted = 0
         self._cost_version = 0
+        self._retries = 0
+        self._deadline_exceeded = 0
+        self._degraded = 0
 
     def record(self, response: RouteResponse) -> None:
         with self._lock:
             self._requests += 1
             self._by_engine[response.engine] += 1
+            self._retries += response.retries
+            if response.degraded:
+                self._degraded += 1
             if response.error is not None:
                 self._errors += 1
             # The service clears fallback_used on replays where the chain did
@@ -128,6 +154,11 @@ class StatsAccumulator:
             buffer[seen % self._max_latency_samples] = value
         return seen + 1
 
+    def record_deadline_exceeded(self) -> None:
+        """Count one request whose deadline budget expired mid-chain."""
+        with self._lock:
+            self._deadline_exceeded += 1
+
     def record_traffic(self, touched: int, evicted: int, cost_version: int) -> None:
         """Count one applied live-traffic batch and its cache evictions."""
         with self._lock:
@@ -138,10 +169,19 @@ class StatsAccumulator:
             # (feeds over different networks just report the latest bump).
             self._cost_version = max(self._cost_version, cost_version)
 
-    def snapshot(self, cache: CacheStats, hierarchy_reweights: int = 0) -> ServiceStats:
-        """Freeze the counters; ``hierarchy_reweights`` is sampled by the
-        service from its registered engines (engine state, not a window
-        counter, so :meth:`reset` does not zero it)."""
+    def snapshot(
+        self,
+        cache: CacheStats,
+        hierarchy_reweights: int = 0,
+        shed: int = 0,
+        breaker_trips: int = 0,
+        breaker_states: dict[str, str] | None = None,
+        drain: "DrainStats | None" = None,
+    ) -> ServiceStats:
+        """Freeze the counters; ``hierarchy_reweights``, ``shed``, the
+        breaker fields, and ``drain`` are sampled by the service from its
+        engines / admission controller / breakers / attached drain (component
+        state, not window counters, so :meth:`reset` does not zero them)."""
         with self._lock:
             latencies = list(self._latencies)
             batch_latencies = list(self._batch_latencies)
@@ -166,6 +206,13 @@ class StatsAccumulator:
                 traffic_evicted_routes=self._traffic_evicted,
                 cost_version=self._cost_version,
                 hierarchy_reweights=hierarchy_reweights,
+                shed=shed,
+                retries=self._retries,
+                deadline_exceeded=self._deadline_exceeded,
+                degraded_responses=self._degraded,
+                breaker_trips=breaker_trips,
+                breaker_states=dict(breaker_states or {}),
+                drain=drain,
             )
 
     def reset(self) -> None:
@@ -183,5 +230,8 @@ class StatsAccumulator:
             self._traffic_updates = 0
             self._traffic_touched = 0
             self._traffic_evicted = 0
+            self._retries = 0
+            self._deadline_exceeded = 0
+            self._degraded = 0
             # _cost_version is deliberately kept: it mirrors network state,
             # not a monitoring-window counter.

@@ -11,16 +11,22 @@ is the write path for such changes:
   transactionally to the network (patching the live compiled CSR view in
   place, see :class:`~repro.network.compiled.graph.CostStore`) and notifies
   subscribers such as :class:`~repro.service.RoutingService`;
+* :mod:`repro.traffic.drain` — :class:`TrafficDrain`, a bounded background
+  queue draining update batches into the feed off the request path
+  (last-write-wins coalescing, bounded-staleness accounting, crash-restart);
 * :mod:`repro.traffic.synthetic` — :func:`synthetic_congestion`, rush-hour
   waves for benchmarks and load tests.
 """
 
+from .drain import DrainStats, TrafficDrain
 from .feed import TrafficFeed
 from .synthetic import synthetic_congestion
 from .updates import EdgeKey, TrafficUpdate, TrafficUpdateResult
 
 __all__ = [
+    "DrainStats",
     "EdgeKey",
+    "TrafficDrain",
     "TrafficFeed",
     "TrafficUpdate",
     "TrafficUpdateResult",

@@ -1,0 +1,331 @@
+"""Streaming traffic ingestion: a background drain off the request path.
+
+PR 3's :class:`~repro.traffic.feed.TrafficFeed` applies update batches
+synchronously on the publisher's thread — correct, but it puts cache
+invalidation and compiled-store patching on whatever thread produced the
+update.  A :class:`TrafficDrain` decouples the two: producers
+:meth:`~TrafficDrain.submit` batches onto a bounded queue and return
+immediately; a daemon thread pulls everything queued, coalesces it
+(last-write-wins per directed edge), and pushes one merged batch through the
+feed.  Re-weights therefore happen off the request path, and a burst of
+updates costs one ``apply`` instead of many.
+
+Robustness properties, each observable through :meth:`stats`:
+
+* **bounded queue** — a full queue sheds the *newest* batch at submit time
+  (counted as ``dropped_batches``) instead of blocking the producer;
+* **bounded-staleness accounting** — every applied batch records how long
+  its oldest constituent waited (``last_staleness_s`` / ``max_staleness_s``);
+  waits beyond ``staleness_budget_s`` are counted as violations;
+* **crash-restart** — an exception inside ``feed.apply`` is counted
+  (``crashes``) and remembered (``last_error``), and the drain thread keeps
+  draining: ingestion never dies with one poisoned batch;
+* **poison-pill shutdown** — :meth:`close` enqueues a sentinel and joins the
+  thread with a timeout; it is idempotent and safe to call from
+  :meth:`RoutingService.close`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+from .updates import EdgeKey, TrafficUpdate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .feed import TrafficFeed
+
+
+class _AppliesBatches(Protocol):  # pragma: no cover - typing only
+    def apply(self, updates: Iterable[TrafficUpdate]) -> object: ...
+
+
+#: Poison pill ending the drain thread; compared by identity.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class DrainStats:
+    """Immutable snapshot of one :class:`TrafficDrain`'s counters."""
+
+    queue_depth: int = 0
+    """Batches currently waiting in the queue."""
+    submitted_batches: int = 0
+    applied_batches: int = 0
+    """Merged batches pushed through ``feed.apply`` (post-coalescing)."""
+    applied_updates: int = 0
+    """Individual updates surviving coalescing."""
+    coalesced_updates: int = 0
+    """Updates superseded by a newer queued update for the same edge."""
+    dropped_batches: int = 0
+    """Batches shed at submit time because the queue was full."""
+    crashes: int = 0
+    """Exceptions raised (and survived) inside ``feed.apply``."""
+    last_error: str | None = None
+    last_staleness_s: float = 0.0
+    """Queue wait of the oldest update in the most recently applied batch."""
+    max_staleness_s: float = 0.0
+    staleness_violations: int = 0
+    """Applied batches whose staleness exceeded ``staleness_budget_s``."""
+    running: bool = False
+
+
+class TrafficDrain:
+    """Background daemon pulling update batches into a :class:`TrafficFeed`.
+
+    ``feed`` may be a real feed or anything exposing ``apply`` (e.g. a
+    :class:`~repro.service.faults.FaultyFeed` in chaos tests).  The drain
+    starts on construction unless ``start=False`` (tests that need to stage
+    several batches before any apply call :meth:`drain_once` manually or
+    :meth:`start` later).
+    """
+
+    def __init__(
+        self,
+        feed: "TrafficFeed | _AppliesBatches",
+        *,
+        max_queue: int = 256,
+        poll_timeout_s: float = 0.05,
+        staleness_budget_s: float | None = None,
+        start: bool = True,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._feed = feed
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
+        self._poll_timeout_s = poll_timeout_s
+        self._staleness_budget_s = staleness_budget_s
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._stop = threading.Event()
+        self._applying = False
+        self._submitted = 0
+        self._applied_batches = 0
+        self._applied_updates = 0
+        self._coalesced = 0
+        self._dropped = 0
+        self._crashes = 0
+        self._last_error: str | None = None
+        self._last_staleness = 0.0
+        self._max_staleness = 0.0
+        self._staleness_violations = 0
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def submit(self, updates: Iterable[TrafficUpdate]) -> bool:
+        """Enqueue one batch; returns ``False`` when it was shed (queue full).
+
+        Never blocks: a producer on the request path must not wait for the
+        drain.  Empty batches are accepted and ignored.
+        """
+        batch = list(updates)
+        if not batch:
+            return True
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("TrafficDrain is closed")
+            self._submitted += 1
+        try:
+            self._queue.put((time.monotonic(), batch), block=False)
+        except queue.Full:
+            with self._lock:
+                self._dropped += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Drain side
+    # ------------------------------------------------------------------ #
+    def start(self) -> "TrafficDrain":
+        """Start the daemon thread (idempotent while running)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("TrafficDrain is closed")
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            thread = threading.Thread(
+                target=self._run, name="traffic-drain", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=self._poll_timeout_s)
+            except queue.Empty:
+                with self._idle:
+                    self._idle.notify_all()
+                if self._stop.is_set():
+                    return
+                continue
+            if item is _SHUTDOWN:
+                with self._idle:
+                    self._idle.notify_all()
+                return
+            self._drain_item(item)
+            if self._stop.is_set():
+                with self._idle:
+                    self._idle.notify_all()
+                return
+
+    def drain_once(self) -> int:
+        """Synchronously drain everything queued right now (test hook).
+
+        Returns the number of updates applied.  Runs on the caller's thread;
+        do not mix with a running drain thread on the same queue burst.
+        """
+        try:
+            item = self._queue.get(block=False)
+        except queue.Empty:
+            return 0
+        if item is _SHUTDOWN:
+            return 0
+        return self._drain_item(item)
+
+    def _drain_item(self, first: object) -> int:
+        """Coalesce ``first`` plus everything else queued; apply once."""
+        with self._lock:
+            self._applying = True
+        try:
+            oldest_enqueued, merged, coalesced = self._coalesce(first)
+            staleness = time.monotonic() - oldest_enqueued
+            try:
+                self._feed.apply(merged)
+            except Exception as exc:
+                # Crash-restart: an apply failure must never kill ingestion.
+                # The exception is counted and remembered; the thread resumes.
+                with self._lock:
+                    self._crashes += 1
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                return 0
+            with self._lock:
+                self._applied_batches += 1
+                self._applied_updates += len(merged)
+                self._coalesced += coalesced
+                self._last_staleness = staleness
+                self._max_staleness = max(self._max_staleness, staleness)
+                if (
+                    self._staleness_budget_s is not None
+                    and staleness > self._staleness_budget_s
+                ):
+                    self._staleness_violations += 1
+            return len(merged)
+        finally:
+            with self._idle:
+                self._applying = False
+                self._idle.notify_all()
+
+    def _coalesce(self, first: object) -> tuple[float, list[TrafficUpdate], int]:
+        """Merge the first item with everything else currently queued.
+
+        Last-write-wins per directed edge: when several queued updates hit
+        the same edge, only the newest survives (the recommended producer
+        protocol posts absolute values, for which LWW is exact; relative
+        scale/delta updates to the same edge across queued batches are
+        coalesced to the newest by design — compose them within one batch
+        when the intermediate steps matter).
+        """
+        oldest_enqueued, batch = first  # type: ignore[misc]
+        items = list(batch)
+        while True:
+            try:
+                extra = self._queue.get(block=False)
+            except queue.Empty:
+                break
+            if extra is _SHUTDOWN:
+                # Preserve the shutdown request for the run loop (re-queueing
+                # the pill could block if a producer refilled the queue).
+                self._stop.set()
+                break
+            enqueued_at, more = extra  # type: ignore[misc]
+            oldest_enqueued = min(oldest_enqueued, enqueued_at)
+            items.extend(more)
+        merged: dict[EdgeKey, TrafficUpdate] = {}
+        for update in items:
+            merged[update.key] = update
+        coalesced = len(items) - len(merged)
+        return oldest_enqueued, list(merged.values()), coalesced
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / monitoring
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout_s: float = 5.0) -> bool:
+        """Wait until everything queued so far has been applied.
+
+        Returns ``False`` on timeout.  Intended for tests and orderly
+        shutdown, not the hot path.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._idle:
+            while not self._queue.empty() or self._applying:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(timeout=min(remaining, self._poll_timeout_s))
+        return True
+
+    def close(self, timeout_s: float = 5.0) -> bool:
+        """Stop the drain thread (poison pill + bounded join); idempotent.
+
+        Already-queued batches ahead of the pill are drained first.  Returns
+        ``False`` when the thread failed to stop within the timeout.
+        """
+        with self._lock:
+            if self._closed:
+                thread = self._thread
+                return thread is None or not thread.is_alive()
+            self._closed = True
+            thread = self._thread
+        if thread is None or not thread.is_alive():
+            return True
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                self._queue.put(_SHUTDOWN, timeout=min(0.05, timeout_s))
+                break
+            except queue.Full:
+                if time.monotonic() >= deadline:
+                    return False
+        thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        return not thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> DrainStats:
+        """Immutable snapshot of the drain's counters."""
+        with self._lock:
+            thread = self._thread
+            return DrainStats(
+                queue_depth=self._queue.qsize(),
+                submitted_batches=self._submitted,
+                applied_batches=self._applied_batches,
+                applied_updates=self._applied_updates,
+                coalesced_updates=self._coalesced,
+                dropped_batches=self._dropped,
+                crashes=self._crashes,
+                last_error=self._last_error,
+                last_staleness_s=self._last_staleness,
+                max_staleness_s=self._max_staleness,
+                staleness_violations=self._staleness_violations,
+                running=thread is not None and thread.is_alive() and not self._closed,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"TrafficDrain(depth={stats.queue_depth}, applied={stats.applied_batches}, "
+            f"crashes={stats.crashes}, running={stats.running})"
+        )

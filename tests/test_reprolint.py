@@ -1,6 +1,6 @@
 """The reprolint static analyzer (:mod:`tools.reprolint`).
 
-Each rule RL001–RL007 gets a positive fixture (the violation fires), a
+Each rule RL001–RL008 gets a positive fixture (the violation fires), a
 negative fixture (the compliant idiom stays silent), and a suppression
 fixture (``# reprolint: disable=...`` moves the finding to ``suppressed``).
 Fixtures go through :func:`~tools.reprolint.lint_source` with a fake
@@ -300,6 +300,75 @@ class TestRL007MutableDefault:
 
 
 # -------------------------------------------------------------------- #
+# RL008 — bounded blocking calls in the serving layer
+# -------------------------------------------------------------------- #
+TRAFFIC_PATH = "src/repro/traffic/example.py"
+
+
+class TestRL008UnboundedBlocking:
+    def test_queue_get_without_timeout_is_flagged(self):
+        source = "def drain(self):\n    return self._queue.get()\n"
+        assert _codes(_lint(source, TRAFFIC_PATH)) == ["RL008"]
+
+    def test_queue_get_with_timeout_is_clean(self):
+        source = "def drain(self):\n    return self._queue.get(timeout=0.05)\n"
+        assert _lint(source, TRAFFIC_PATH).ok
+
+    def test_queue_get_nonblocking_is_clean(self):
+        source = "def drain(self):\n    return self._queue.get(block=False)\n"
+        assert _lint(source, TRAFFIC_PATH).ok
+
+    def test_dict_get_is_not_flagged(self):
+        source = "def lookup(self, key):\n    return self._engines.get(key)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_future_result_without_timeout_is_flagged(self):
+        source = "def wait(future):\n    return future.result()\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL008"]
+
+    def test_future_result_with_timeout_is_clean(self):
+        source = "def wait(future):\n    return future.result(timeout=60.0)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_thread_join_without_timeout_is_flagged(self):
+        source = "def stop(thread):\n    thread.join()\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL008"]
+
+    def test_thread_join_with_timeout_is_clean(self):
+        source = "def stop(thread):\n    thread.join(timeout=5.0)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_str_join_is_not_flagged(self):
+        source = "def fmt(parts):\n    return ', '.join(parts)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_condition_wait_without_timeout_is_flagged(self):
+        source = "def park(self):\n    with self._idle:\n        self._idle.wait()\n"
+        assert _codes(_lint(source, TRAFFIC_PATH)) == ["RL008"]
+
+    def test_condition_wait_with_timeout_is_clean(self):
+        source = (
+            "def park(self):\n    with self._idle:\n"
+            "        self._idle.wait(timeout=0.1)\n"
+        )
+        assert _lint(source, TRAFFIC_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "def drain(self):\n    return self._queue.get()\n"
+        assert _lint(source, UNSCOPED_PATH).ok
+
+    def test_suppression_comment_is_honored(self):
+        source = (
+            "def drain(self):\n"
+            "    # reprolint: disable-next-line=RL008 — bounded by caller.\n"
+            "    return self._queue.get()\n"
+        )
+        result = _lint(source, TRAFFIC_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL008"]
+
+
+# -------------------------------------------------------------------- #
 # Engine: suppressions, errors, reporters, gating
 # -------------------------------------------------------------------- #
 class TestSuppressions:
@@ -344,14 +413,14 @@ class TestEngine:
         assert payload["ok"] is False
         assert payload["files"] == 1
         assert [entry["rule"] for entry in payload["findings"]] == ["RL001"]
-        assert len(payload["rules"]) == len(ALL_RULES) == 7
+        assert len(payload["rules"]) == len(ALL_RULES) == 8
         assert {rule.rule_id for rule in ALL_RULES} == {
-            f"RL00{i}" for i in range(1, 8)
+            f"RL00{i}" for i in range(1, 9)
         }
 
     def test_render_text_summary_line(self):
         text = render_text(_lint("x = 1\n", "src/ok.py"), ALL_RULES)
-        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 7 rule(s)")
+        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 8 rule(s)")
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "service"

@@ -1,0 +1,628 @@
+"""The resilience layer: deadline budgets, retries, breakers, admission,
+the traffic drain, fault injection, and the service-level chaos properties.
+
+The chaos tests are **deterministic**: every random fault decision comes
+from a seeded ``FaultInjector`` schedule (or an explicit script), so a fixed
+seed produces the same breaker trips, sheds, and degraded counts on every
+run — the determinism tests assert exactly that by running twice.
+
+Properties under chaos:
+
+* no deadlock — every call completes (joins use timeouts, and the suite
+  itself would hang otherwise);
+* every successful response is either computed at the current cost version
+  or explicitly flagged ``degraded=True`` (checked with
+  ``repro.analysis.sanitize(strict=True)`` on the non-degraded path);
+* breaker state transitions match the scripted failure pattern;
+* ``RoutingService.close()`` mid-batch neither deadlocks nor crashes the
+  batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    NoPathError,
+    ServiceOverloadedError,
+    TransientEngineError,
+)
+from repro.network import small_demo_network
+from repro.routing import fastest_path
+from repro.service import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    DeadlineBudget,
+    FaultInjector,
+    FunctionEngine,
+    RetryPolicy,
+    RouteRequest,
+    RoutingService,
+)
+from repro.service.resilience import is_transient_failure, sleep_within
+from repro.traffic import TrafficDrain, TrafficFeed, TrafficUpdate
+
+
+@pytest.fixture()
+def network():
+    return small_demo_network(seed=3)
+
+
+def _engine(network, name="engine"):
+    return FunctionEngine(network, lambda s, d: fastest_path(network, s, d), name=name)
+
+
+def _no_path_engine(network, name="nopath"):
+    def fail(source, destination):
+        raise NoPathError(source, destination)
+
+    return FunctionEngine(network, fail, name=name)
+
+
+# ---------------------------------------------------------------------- #
+# DeadlineBudget
+# ---------------------------------------------------------------------- #
+class TestDeadlineBudget:
+    def test_consumes_with_injected_clock(self):
+        now = [0.0]
+        budget = DeadlineBudget(1.0, clock=lambda: now[0])
+        assert budget.remaining() == 1.0 and not budget.expired
+        now[0] = 0.6
+        assert budget.remaining() == pytest.approx(0.4)
+        now[0] = 1.2
+        assert budget.expired and budget.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            budget.check(stage="unit")
+        assert excinfo.value.budget_s == 1.0
+        assert excinfo.value.elapsed_s == pytest.approx(1.2)
+
+    def test_start_none_means_no_deadline(self):
+        assert DeadlineBudget.start(None) is None
+        assert DeadlineBudget.start(0.5).budget_s == 0.5
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            DeadlineBudget(0.0)
+
+    def test_sleep_within_skips_oversized_backoff(self):
+        now = [0.0]
+        budget = DeadlineBudget(0.010, clock=lambda: now[0])
+        slept: list[float] = []
+        assert sleep_within(0.005, budget, sleep=slept.append)
+        assert slept == [0.005]
+        now[0] = 0.008  # 2ms left: a 5ms backoff must be skipped
+        assert not sleep_within(0.005, budget, sleep=slept.append)
+        assert slept == [0.005]
+
+
+# ---------------------------------------------------------------------- #
+# RetryPolicy
+# ---------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_same_seed_same_backoff_schedule(self):
+        a = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=11)
+        b = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=11)
+        assert [a.delay(i) for i in range(3)] == [b.delay(i) for i in range(3)]
+
+    def test_stops_after_max_retries(self):
+        policy = RetryPolicy(max_retries=1)
+        assert policy.delay(0) is not None
+        assert policy.delay(1) is None
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.01, multiplier=2.0, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.01)
+        assert policy.delay(1) == pytest.approx(0.02)
+        assert policy.delay(2) == pytest.approx(0.04)
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientEngineError("boom"))
+        assert policy.is_retryable("TransientEngineError: boom")
+        assert policy.is_retryable("CircuitOpenError: engine 'x' breaker open")
+        assert not policy.is_retryable(NoPathError(0, 1))
+        assert not policy.is_retryable("NoPathError: no path")
+        assert not policy.is_retryable(None)
+
+    def test_transient_failure_classification(self):
+        assert is_transient_failure(TransientEngineError("x"))
+        assert is_transient_failure(DeadlineExceededError(1.0, 2.0))
+        assert is_transient_failure("DeadlineExceededError: over budget")
+        assert not is_transient_failure("NoPathError: nope")
+        assert not is_transient_failure(None)
+
+
+# ---------------------------------------------------------------------- #
+# CircuitBreaker
+# ---------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def _breaker(self, **overrides):
+        config = CircuitBreakerConfig(
+            window=8,
+            failure_threshold=0.5,
+            min_samples=2,
+            recovery_s=10.0,
+            **overrides,
+        )
+        now = [0.0]
+        return CircuitBreaker(config, clock=lambda: now[0]), now
+
+    def test_trips_open_after_failure_rate(self):
+        breaker, _ = self._breaker()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # min_samples guard
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_successes_keep_it_closed(self):
+        breaker, _ = self._breaker()
+        for _ in range(10):
+            breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        breaker, now = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        now[0] = 11.0  # past recovery_s
+        assert breaker.state == "half-open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # probes are bounded (half_open_probes=1)
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+        assert breaker.trips == 1
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, now = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        now[0] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.trips == 2
+        assert not breaker.allow()
+
+    def test_open_error_is_transient(self):
+        breaker, _ = self._breaker()
+        error = breaker.open_error("primary")
+        assert isinstance(error, CircuitOpenError)
+        assert is_transient_failure(error)
+
+
+# ---------------------------------------------------------------------- #
+# AdmissionController
+# ---------------------------------------------------------------------- #
+class TestAdmissionController:
+    def test_sheds_beyond_limit(self):
+        controller = AdmissionController(max_in_flight=2)
+        controller.acquire()
+        controller.acquire()
+        with pytest.raises(ServiceOverloadedError):
+            controller.acquire()
+        assert controller.shed == 1 and controller.in_flight == 2
+        controller.release()
+        controller.acquire()  # a freed slot admits again
+        assert controller.admitted == 3
+
+    def test_context_manager_releases_on_error(self):
+        controller = AdmissionController(max_in_flight=1)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                assert controller.in_flight == 1
+                raise RuntimeError("boom")
+        assert controller.in_flight == 0
+
+    def test_bounded_wait_for_a_slot(self):
+        controller = AdmissionController(max_in_flight=1, max_wait_s=2.0)
+        controller.acquire()
+        releaser = threading.Timer(0.05, controller.release)
+        releaser.start()
+        try:
+            controller.acquire()  # waits (bounded) until the timer fires
+        finally:
+            releaser.join(timeout=5.0)
+        assert controller.shed == 0
+
+
+# ---------------------------------------------------------------------- #
+# FaultInjector
+# ---------------------------------------------------------------------- #
+class TestFaultInjector:
+    def _schedule(self, seed, calls=40):
+        injector = FaultInjector(seed=seed)
+        network = small_demo_network(seed=3)
+        faulty = injector.engine(_engine(network), error_rate=0.3, spike_rate=0.2, spike_s=0.0)
+        for _ in range(calls):
+            try:
+                faulty.route(RouteRequest(0, 20))
+            except TransientEngineError:
+                pass
+        return list(faulty.counters.actions)
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(7) == self._schedule(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(7) != self._schedule(8)
+
+    def test_script_cycles_exactly(self, network):
+        injector = FaultInjector(seed=0)
+        faulty = injector.engine(_engine(network), script=["ok", "error", "slow"], spike_s=0.0)
+        observed = []
+        for _ in range(6):
+            try:
+                faulty.route(RouteRequest(0, 20))
+                observed.append("served")
+            except TransientEngineError:
+                observed.append("raised")
+        assert observed == ["served", "raised", "served"] * 2
+        assert faulty.counters.actions == ["ok", "error", "slow"] * 2
+        assert faulty.counters.injected_errors == 2
+        assert faulty.counters.injected_spikes == 2
+
+    def test_rejects_unknown_script_action(self, network):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0).engine(_engine(network), script=["explode"])
+
+    def test_faulty_feed_drop_and_crash(self, network):
+        injector = FaultInjector(seed=0)
+        feed = TrafficFeed(network)
+        faulty = injector.feed(feed, script=["drop", "error", "ok"])
+        update = TrafficUpdate.scale_by(0, 1, travel_time_s=2.0)
+        result = faulty.apply([update])
+        assert result.applied == 0 and not result.touched_edges
+        with pytest.raises(TransientEngineError):
+            faulty.apply([update])
+        assert faulty.apply([update]).applied == 1
+        assert faulty.counters.dropped_batches == 1
+        assert faulty.counters.injected_errors == 1
+
+
+# ---------------------------------------------------------------------- #
+# TrafficDrain
+# ---------------------------------------------------------------------- #
+class TestTrafficDrain:
+    def test_coalesces_last_write_wins(self, network):
+        feed = TrafficFeed(network)
+        drain = TrafficDrain(feed, start=False)
+        drain.submit([TrafficUpdate.set(0, 1, travel_time_s=100.0)])
+        drain.submit([TrafficUpdate.set(0, 1, travel_time_s=200.0)])
+        drain.submit([TrafficUpdate.set(1, 2, travel_time_s=50.0)])
+        applied = drain.drain_once()
+        assert applied == 2  # three updates, two distinct edges
+        stats = drain.stats()
+        assert stats.applied_batches == 1
+        assert stats.coalesced_updates == 1
+        assert network.edge(0, 1).travel_time_s == 200.0  # the newest won
+        assert network.edge(1, 2).travel_time_s == 50.0
+
+    def test_full_queue_sheds_newest(self, network):
+        drain = TrafficDrain(TrafficFeed(network), max_queue=2, start=False)
+        update = TrafficUpdate.scale_by(0, 1, travel_time_s=1.1)
+        assert drain.submit([update])
+        assert drain.submit([update])
+        assert not drain.submit([update])  # shed, never blocks
+        assert drain.stats().dropped_batches == 1
+
+    def test_crash_restart_keeps_draining(self, network):
+        injector = FaultInjector(seed=0)
+        faulty_feed = injector.feed(TrafficFeed(network), script=["error", "ok"])
+        drain = TrafficDrain(faulty_feed, start=False)
+        update = TrafficUpdate.scale_by(0, 1, travel_time_s=2.0)
+        drain.submit([update])
+        assert drain.drain_once() == 0  # the poisoned batch crashed apply
+        stats = drain.stats()
+        assert stats.crashes == 1
+        assert stats.last_error is not None and "TransientEngineError" in stats.last_error
+        drain.submit([update])
+        assert drain.drain_once() == 1  # ingestion survived the crash
+        assert drain.stats().applied_batches == 1
+
+    def test_crash_restart_with_live_thread(self, network):
+        injector = FaultInjector(seed=0)
+        faulty_feed = injector.feed(TrafficFeed(network), script=["error", "ok"])
+        drain = TrafficDrain(faulty_feed, poll_timeout_s=0.01)
+        update = TrafficUpdate.scale_by(0, 1, travel_time_s=2.0)
+        drain.submit([update])
+        assert drain.flush(timeout_s=5.0)
+        drain.submit([update])
+        assert drain.flush(timeout_s=5.0)
+        assert drain.close(timeout_s=5.0)
+        stats = drain.stats()
+        assert stats.crashes == 1 and stats.applied_batches == 1
+        assert not stats.running
+
+    def test_staleness_accounting(self, network):
+        drain = TrafficDrain(
+            TrafficFeed(network), staleness_budget_s=1e-9, start=False
+        )
+        drain.submit([TrafficUpdate.scale_by(0, 1, travel_time_s=1.5)])
+        time.sleep(0.002)
+        drain.drain_once()
+        stats = drain.stats()
+        assert stats.last_staleness_s > 0.0
+        assert stats.max_staleness_s >= stats.last_staleness_s
+        assert stats.staleness_violations == 1
+
+    def test_close_is_idempotent_and_submit_after_close_raises(self, network):
+        drain = TrafficDrain(TrafficFeed(network), poll_timeout_s=0.01)
+        assert drain.close(timeout_s=5.0)
+        assert drain.close(timeout_s=5.0)
+        with pytest.raises(RuntimeError):
+            drain.submit([TrafficUpdate.scale_by(0, 1, travel_time_s=2.0)])
+
+    def test_queued_batches_drain_before_shutdown(self, network):
+        feed = TrafficFeed(network)
+        drain = TrafficDrain(feed, start=False)
+        drain.submit([TrafficUpdate.set(0, 1, travel_time_s=123.0)])
+        drain.start()
+        assert drain.close(timeout_s=5.0)
+        assert network.edge(0, 1).travel_time_s == 123.0
+
+
+# ---------------------------------------------------------------------- #
+# Service-level resilience
+# ---------------------------------------------------------------------- #
+class TestServiceResilience:
+    def test_retry_recovers_transient_failure(self, network):
+        injector = FaultInjector(seed=0)
+        flaky = injector.engine(_engine(network), script=["error", "ok"])
+        service = RoutingService(
+            retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.0, seed=0),
+            enable_cache=False,
+        )
+        service.register("flaky", flaky)
+        response = service.route(RouteRequest(0, 20))
+        assert response.ok and not response.fallback_used
+        assert response.retries == 1
+        assert service.stats().retries == 1
+
+    def test_scripted_breaker_transitions(self, network):
+        injector = FaultInjector(seed=0)
+        faulty = injector.engine(_engine(network), script=["error"])
+        service = RoutingService(
+            breaker=CircuitBreakerConfig(
+                window=4, failure_threshold=0.5, min_samples=2, recovery_s=60.0
+            ),
+            enable_cache=False,
+            serve_degraded=False,
+        )
+        service.register("primary", faulty, fallback="backup", default=True)
+        service.register("backup", _engine(network, "backup"))
+
+        for _ in range(2):  # two scripted failures trip the breaker
+            assert service.route(RouteRequest(0, 20)).fallback_used
+        assert service.breaker("primary").state == "open"
+        assert service.stats().breaker_trips == 1
+
+        calls_when_open = faulty.counters.calls
+        response = service.route(RouteRequest(0, 21))
+        assert response.ok and response.fallback_used
+        assert faulty.counters.calls == calls_when_open  # skipped, not called
+        assert service.stats().breaker_states == {
+            "primary": "open",
+            "backup": "closed",
+        }
+
+    def test_breaker_half_open_recovery_through_service(self, network):
+        injector = FaultInjector(seed=0)
+        flaky = injector.engine(_engine(network), script=["error", "error", "ok"])
+        service = RoutingService(
+            breaker=CircuitBreakerConfig(
+                window=4, failure_threshold=0.5, min_samples=2, recovery_s=0.0
+            ),
+            enable_cache=False,
+            serve_degraded=False,
+        )
+        service.register("flaky", flaky, fallback="backup", default=True)
+        service.register("backup", _engine(network, "backup"))
+        service.route(RouteRequest(0, 20))
+        service.route(RouteRequest(0, 21))
+        assert service.breaker("flaky").trips == 1
+        # recovery_s=0: the next call is the half-open probe; script says ok.
+        response = service.route(RouteRequest(0, 22))
+        assert response.ok and not response.fallback_used
+        assert service.breaker("flaky").state == "closed"
+
+    def test_no_path_error_does_not_trip_breaker_or_degrade(self, network):
+        service = RoutingService(
+            breaker=CircuitBreakerConfig(min_samples=1, failure_threshold=0.1),
+            enable_cache=False,
+        )
+        service.register("nopath", _no_path_engine(network))
+        for _ in range(5):
+            response = service.route(RouteRequest(0, 20))
+            assert not response.ok and not response.degraded
+            assert "NoPathError" in response.error
+        assert service.breaker("nopath").state == "closed"
+        assert service.stats().breaker_trips == 0
+        assert service.stats().degraded_responses == 0
+
+    def test_degraded_serving_flags_stale_route(self, network):
+        injector = FaultInjector(seed=0)
+        flaky = injector.engine(_engine(network), script=["ok", "error"])
+        service = RoutingService(enable_cache=False)
+        service.register("flaky", flaky)
+        fresh = service.route(RouteRequest(0, 20))
+        assert fresh.ok and not fresh.degraded
+
+        degraded = service.route(RouteRequest(0, 20))
+        assert degraded.ok and degraded.degraded
+        assert degraded.path == fresh.path
+        assert degraded.diagnostics.case == "degraded-stale"
+        assert degraded.diagnostics.served_cost_version == network.cost_version
+        assert service.stats().degraded_responses == 1
+
+    def test_degraded_response_is_never_recached(self, network):
+        injector = FaultInjector(seed=0)
+        flaky = injector.engine(_engine(network), script=["ok", "error", "error"])
+        service = RoutingService(enable_cache=True)
+        service.register("flaky", flaky)
+        service.route(RouteRequest(0, 20))
+        service.clear_cache()  # force the degraded path on the next call
+        first = service.route(RouteRequest(0, 20))
+        assert first.degraded
+        second = service.route(RouteRequest(0, 20))
+        assert second.degraded and not second.cache_hit  # not replayed as fresh
+
+    def test_no_stale_store_hit_without_transient_failure(self, network):
+        service = RoutingService(enable_cache=False)
+        service.register("good", _engine(network), default=True)
+        service.register("nopath", _no_path_engine(network))
+        service.route(RouteRequest(0, 20))  # primes the stale store for "good"
+        response = service.route(RouteRequest(0, 20), engine="nopath")
+        assert not response.ok and not response.degraded
+
+    def test_deadline_expiry_yields_structured_error(self, network):
+        service = RoutingService(enable_cache=False, serve_degraded=False)
+        service.register("slow", _engine(network))
+        response = service.route(RouteRequest(0, 20, deadline_s=1e-12))
+        assert not response.ok
+        assert "DeadlineExceededError" in response.error
+        assert service.stats().deadline_exceeded == 1
+
+    def test_deadline_expiry_serves_degraded_when_primed(self, network):
+        service = RoutingService(enable_cache=False)
+        service.register("engine", _engine(network))
+        primed = service.route(RouteRequest(0, 20))
+        assert primed.ok
+        response = service.route(RouteRequest(0, 20, deadline_s=1e-12))
+        assert response.ok and response.degraded
+
+    def test_admission_shed_is_counted_and_recovers(self, network):
+        service = RoutingService(enable_cache=False, max_in_flight=1)
+        service.register("engine", _engine(network))
+        service.admission.acquire()  # saturate the only slot
+        try:
+            response = service.route(RouteRequest(0, 20))
+            assert not response.ok
+            assert "ServiceOverloadedError" in response.error
+        finally:
+            service.admission.release()
+        assert service.stats().shed == 1
+        assert service.route(RouteRequest(0, 20)).ok  # slot freed, serves again
+
+    def test_cache_hits_bypass_admission(self, network):
+        service = RoutingService(enable_cache=True, max_in_flight=1)
+        service.register("engine", _engine(network))
+        warm = service.route(RouteRequest(0, 20))
+        assert warm.ok
+        service.admission.acquire()
+        try:
+            hit = service.route(RouteRequest(0, 20))
+            assert hit.ok and hit.cache_hit  # no engine work -> always served
+        finally:
+            service.admission.release()
+
+    def test_sanitize_strict_clean_on_non_degraded_path(self, network):
+        service = RoutingService(enable_cache=True)
+        service.register("engine", _engine(network))
+        feed = TrafficFeed(network, services=[service])
+        with sanitize(strict=True) as sanitizer:
+            for destination in (20, 21, 22):
+                assert service.route(RouteRequest(0, destination)).ok
+            feed.apply([TrafficUpdate.scale_by(0, 1, travel_time_s=3.0)])
+            for destination in (20, 21, 22):
+                response = service.route(RouteRequest(0, destination))
+                assert response.ok and not response.degraded
+        assert sanitizer.findings == []
+
+    def test_chaos_run_is_deterministic(self, network):
+        def run(seed: int):
+            injector = FaultInjector(seed=seed)
+            flaky = injector.engine(_engine(network), error_rate=0.4)
+            service = RoutingService(
+                breaker=CircuitBreakerConfig(
+                    window=4, failure_threshold=0.5, min_samples=2, recovery_s=60.0
+                ),
+                retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.0, seed=seed),
+                enable_cache=False,
+            )
+            service.register("flaky", flaky, fallback="backup", default=True)
+            service.register("backup", _engine(network, "backup"))
+            outcomes = []
+            for i in range(30):
+                response = service.route(RouteRequest(0, 20 + (i % 5)))
+                outcomes.append(
+                    (response.ok, response.fallback_used, response.degraded,
+                     response.retries)
+                )
+            stats = service.stats()
+            return (
+                outcomes,
+                list(flaky.counters.actions),
+                stats.breaker_trips,
+                stats.degraded_responses,
+                stats.retries,
+                stats.fallbacks,
+            )
+
+        assert run(7) == run(7)
+
+    def test_close_mid_batch_does_not_deadlock(self, network):
+        service = RoutingService(enable_cache=False, batch_min_size=10_000)
+        service.register("engine", _engine(network))
+        requests = [RouteRequest(i % 30, (i * 7) % 30) for i in range(200)]
+        results: list = []
+
+        def batch():
+            results.append(service.route_many(requests, max_workers=4))
+
+        worker = threading.Thread(target=batch)
+        worker.start()
+        closed = service.close(timeout_s=10.0)
+        worker.join(timeout=30.0)
+        assert not worker.is_alive(), "route_many deadlocked against close()"
+        assert len(results) == 1 and len(results[0]) == len(requests)
+        assert closed in (True, False)  # close returned (bounded), no hang
+        # The service stays usable after close().
+        assert service.route(RouteRequest(0, 20)).ok
+
+    def test_close_stops_attached_drain_first(self, network):
+        service = RoutingService(enable_cache=True)
+        service.register("engine", _engine(network))
+        feed = TrafficFeed(network, services=[service])
+        drain = service.attach_drain(TrafficDrain(feed, poll_timeout_s=0.01))
+        drain.submit([TrafficUpdate.scale_by(0, 1, travel_time_s=2.0)])
+        assert service.close(timeout_s=5.0)
+        assert drain.closed and not drain.stats().running
+        assert service.stats().drain is not None
+        assert service.stats().drain.applied_batches == 1  # drained, not lost
+
+    def test_stats_surface_drain_counters(self, network):
+        service = RoutingService(enable_cache=False)
+        service.register("engine", _engine(network))
+        assert service.stats().drain is None
+        drain = service.attach_drain(
+            TrafficDrain(TrafficFeed(network), start=False)
+        )
+        drain.submit([TrafficUpdate.scale_by(0, 1, travel_time_s=1.5)])
+        drain.drain_once()
+        snapshot = service.stats().drain
+        assert snapshot is not None and snapshot.applied_batches == 1
+
+    def test_route_many_under_chaos_answers_every_slot(self, network):
+        injector = FaultInjector(seed=13)
+        flaky = injector.engine(_engine(network), error_rate=0.3)
+        service = RoutingService(
+            retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.0, seed=13),
+            enable_cache=False,
+        )
+        service.register("flaky", flaky, fallback="backup", default=True)
+        service.register("backup", _engine(network, "backup"))
+        requests = [RouteRequest(i % 30, (i * 3 + 1) % 30) for i in range(40)]
+        responses = service.route_many(requests, max_workers=4)
+        assert len(responses) == len(requests)
+        for response in responses:
+            assert response is not None
+            assert response.ok or response.degraded or response.error

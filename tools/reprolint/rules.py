@@ -591,6 +591,107 @@ class MutableDefaultRule(Rule):
         return Visitor()
 
 
+# ---------------------------------------------------------------------- #
+# RL008 — every potentially-blocking wait in the serving layer is bounded
+# ---------------------------------------------------------------------- #
+class UnboundedBlockingRule(Rule):
+    """RL008: blocking primitives in service/traffic must pass a timeout.
+
+    The resilience layer's guarantees (deadline budgets, orderly ``close``,
+    no-deadlock chaos suite) only hold if nothing in ``service/`` or
+    ``traffic/`` can block forever.  ``queue.Queue.get``, ``Future.result``,
+    ``Thread.join``, and ``Condition``/``Event`` ``.wait`` therefore always
+    pass an explicit ``timeout`` (or ``block=False`` for queue gets) — an
+    unbounded wait anywhere in these layers is a latent deadlock.
+    """
+
+    rule_id = "RL008"
+    severity = "error"
+    description = (
+        "potentially-unbounded blocking call in the serving layer "
+        "(pass an explicit timeout)"
+    )
+    path_scopes = ("repro/service/", "repro/traffic/")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        def keyword_names(node: ast.Call) -> set[str]:
+            return {kw.arg for kw in node.keywords if kw.arg is not None}
+
+        def is_false_constant(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Constant) and expr.value is False
+
+        def receiver_mentions(node: ast.expr, needle: str) -> bool:
+            return any(needle in name.lower() for name in _attr_chain_names(node))
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    self._check(node, func)
+                self.generic_visit(node)
+
+            def _check(self, node: ast.Call, func: ast.Attribute) -> None:
+                method = func.attr
+                keywords = keyword_names(node)
+                if "timeout" in keywords:
+                    return
+                if method == "get":
+                    # Only queue-like receivers: dict.get is everywhere and
+                    # never blocks.  Non-blocking gets pass block=False.
+                    if not receiver_mentions(func.value, "queue"):
+                        return
+                    blockless = any(
+                        kw.arg == "block" and is_false_constant(kw.value)
+                        for kw in node.keywords
+                    ) or (len(node.args) >= 1 and is_false_constant(node.args[0]))
+                    if blockless or len(node.args) >= 2:
+                        return
+                    context.report(
+                        rule,
+                        node,
+                        "queue .get() without timeout/block=False can block a "
+                        "drain or worker thread forever; pass an explicit timeout",
+                    )
+                elif method == "result":
+                    # Future.result() blocks until completion; a positional
+                    # arg is the timeout.
+                    if node.args:
+                        return
+                    context.report(
+                        rule,
+                        node,
+                        "Future.result() without a timeout can hang a batch on "
+                        "one stuck worker; pass result(timeout=...)",
+                    )
+                elif method == "join":
+                    # A zero-arg .join() is thread-shaped (str.join / os.path
+                    # .join always take arguments); a positional arg is the
+                    # thread timeout.
+                    if node.args or node.keywords:
+                        return
+                    context.report(
+                        rule,
+                        node,
+                        "Thread.join() without a timeout can hang shutdown on a "
+                        "stuck thread; pass join(timeout=...)",
+                    )
+                elif method == "wait":
+                    # Condition.wait / Event.wait; a positional arg is the
+                    # timeout.
+                    if node.args:
+                        return
+                    context.report(
+                        rule,
+                        node,
+                        ".wait() without a timeout can strand a waiter if the "
+                        "notify is lost; pass wait(timeout=...)",
+                    )
+
+        return Visitor()
+
+
 #: The default rule battery, in id order.
 ALL_RULES: tuple[Rule, ...] = (
     VersionStampRule(),
@@ -600,4 +701,5 @@ ALL_RULES: tuple[Rule, ...] = (
     SilentExceptRule(),
     WallClockRule(),
     MutableDefaultRule(),
+    UnboundedBlockingRule(),
 )
