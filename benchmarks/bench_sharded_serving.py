@@ -1,0 +1,308 @@
+"""Benchmark: sharded multi-process serving vs the in-process service.
+
+The PR 8 contract: a :class:`~repro.service.ShardedRoutingService` with 4
+worker processes must serve a mixed ``route_many`` workload (Shortest +
+Fastest engines, random OD pairs) at **>= 2.5x** the single-process
+throughput on the 60x60 grid — while staying **100% cost-identical** to the
+in-process reference on every sampled query.
+
+Two gates, enforced differently:
+
+* **cost identity** is unconditional — any mismatch fails the run on any
+  machine;
+* the **speedup gate** needs real parallelism, so it is skipped (with a
+  note in the JSON) when fewer than 4 CPU cores are available — a 1-core
+  container can only measure IPC overhead, not the scaling contract.
+
+The merged ``sharded`` section reports per-worker-count throughput ratios
+plus the cross-shard/in-shard throughput split so
+``check_bench_regression.py`` can hold the floors.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py --min-speedup 2.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.baselines.cost_centric import FastestBaseline, ShortestBaseline
+from repro.network import grid_city_network
+from repro.routing import CostFeature
+from repro.service import RouteRequest, RoutingService, ShardedRoutingService
+from repro.service.sharding.overlay import path_cost
+
+#: (engine name, cost feature) halves of the mixed workload.
+WORKLOAD = (
+    ("Shortest", CostFeature.DISTANCE),
+    ("Fastest", CostFeature.TRAVEL_TIME),
+)
+
+FULL_GRIDS = [(60, 60)]
+# The acceptance contract is stated on the 60x60 grid, so smoke keeps it
+# and trims the query count instead of the network.
+SMOKE_GRIDS = [(60, 60)]
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _requests(network, count: int, seed: int) -> list[RouteRequest]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    requests = []
+    while len(requests) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            requests.append(RouteRequest(source=a, destination=b))
+    return requests
+
+
+def _split_pairs(network, plan, count: int, seed: int):
+    """Pure in-shard and pure cross-shard request batches of equal size."""
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    in_shard: list[RouteRequest] = []
+    cross: list[RouteRequest] = []
+    while len(in_shard) < count or len(cross) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a == b:
+            continue
+        bucket = in_shard if plan.shard_of(a) == plan.shard_of(b) else cross
+        if len(bucket) < count:
+            bucket.append(RouteRequest(source=a, destination=b))
+    return in_shard, cross
+
+
+def _single_process_service(network) -> RoutingService:
+    service = RoutingService(enable_cache=False)
+    service.register("Shortest", ShortestBaseline(network).as_engine(), default=True)
+    service.register("Fastest", FastestBaseline(network).as_engine())
+    return service
+
+
+def _run_workload(service, requests) -> list:
+    responses = []
+    half = len(requests) // 2
+    for (engine, _), chunk in zip(WORKLOAD, (requests[:half], requests[half:])):
+        responses.extend(service.route_many(chunk, engine=engine))
+    return responses
+
+
+def _time_workload(service, requests, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _run_workload(service, requests)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _identity_mismatches(network, responses, reference) -> int:
+    mismatches = 0
+    half = len(responses) // 2
+    for index, (got, want) in enumerate(zip(responses, reference)):
+        feature = WORKLOAD[0][1] if index < half else WORKLOAD[1][1]
+        got_cost = (
+            path_cost(network, tuple(got.path), feature) if got.path else math.inf
+        )
+        want_cost = (
+            path_cost(network, tuple(want.path), feature) if want.path else math.inf
+        )
+        same_inf = math.isinf(got_cost) and math.isinf(want_cost)
+        if not same_inf and not math.isclose(got_cost, want_cost, rel_tol=1e-9):
+            mismatches += 1
+    return mismatches
+
+
+def bench_grid(
+    rows: int, cols: int, *, query_count: int, repeats: int, seed: int
+) -> dict:
+    network = grid_city_network(rows=rows, cols=cols, seed=seed)
+    network.compiled()
+    requests = _requests(network, query_count, seed + 1)
+
+    single = _single_process_service(network)
+    _run_workload(single, requests)  # warm lazy caches before timing
+    single_seconds = _time_workload(single, requests, repeats)
+    reference = _run_workload(single, requests)
+
+    grid_report: dict = {
+        "rows": rows,
+        "cols": cols,
+        "vertices": network.vertex_count,
+        "edges": network.edge_count,
+        "queries": len(requests),
+        "single_process_seconds": round(single_seconds, 6),
+        "single_process_rps": round(len(requests) / single_seconds, 1),
+        "workers": [],
+    }
+
+    for worker_count in WORKER_COUNTS:
+        # cache_size=0: the workers' answer caches would otherwise serve the
+        # repeated timing rounds from memory, inflating throughput into a
+        # cache benchmark (the single-process side runs uncached too).
+        with ShardedRoutingService(
+            network, shard_count=worker_count, cache_size=0
+        ) as service:
+            responses = _run_workload(service, requests)  # warm worker caches
+            mismatches = _identity_mismatches(network, responses, reference)
+            service.reset_stats()
+            sharded_seconds = _time_workload(service, requests, repeats)
+            stats = service.stats()
+            entry = {
+                "workers": worker_count,
+                "seconds": round(sharded_seconds, 6),
+                "rps": round(len(requests) / sharded_seconds, 1),
+                "throughput_vs_single": round(single_seconds / sharded_seconds, 3),
+                "cross_shard_fraction": round(
+                    stats.cross_shard_requests
+                    / max(1, stats.cross_shard_requests + stats.in_shard_requests),
+                    3,
+                ),
+                "identity_mismatches": mismatches,
+            }
+            if worker_count == max(WORKER_COUNTS):
+                # Cross-shard overhead: pure cross-shard vs pure in-shard
+                # batches through the same deployment (same run, same
+                # machine — a robust ratio).
+                in_shard, cross = _split_pairs(
+                    network, service.plan, max(8, query_count // 4), seed + 2
+                )
+                service.route_many(in_shard)
+                service.route_many(cross)
+                in_seconds = _time_workload(service, in_shard + in_shard, repeats)
+                cross_seconds = _time_workload(service, cross + cross, repeats)
+                grid_report["in_shard_seconds"] = round(in_seconds, 6)
+                grid_report["cross_shard_seconds"] = round(cross_seconds, 6)
+                grid_report["cross_vs_in_shard_throughput_ratio"] = round(
+                    in_seconds / cross_seconds, 3
+                )
+            grid_report["workers"].append(entry)
+            print(
+                f"  {worker_count} worker(s): {entry['rps']:.0f} req/s "
+                f"({entry['throughput_vs_single']:.2f}x single-process, "
+                f"{entry['cross_shard_fraction'] * 100:.0f}% cross-shard, "
+                f"{mismatches} identity mismatches)"
+            )
+    return grid_report
+
+
+def merge_report(output: FilePath, sharded_report: dict) -> dict:
+    """Merge the sharded section into the (possibly existing) routing JSON."""
+    if output.exists():
+        report = json.loads(output.read_text())
+    else:
+        report = {"benchmark": "bench_sharded_serving"}
+    report["sharded"] = sharded_report
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="trimmed workload (CI)")
+    parser.add_argument("--queries", type=int, default=None, help="OD pairs per grid")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing rounds")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.5,
+        help="fail when the 4-worker deployment is below this multiple of "
+        "single-process throughput (skipped on hosts with < 4 cores); "
+        "0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    queries = args.queries or (80 if args.smoke else 240)
+    cores = available_cores()
+
+    sharded_report: dict = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": cores,
+        "worker_counts": list(WORKER_COUNTS),
+        "min_speedup": args.min_speedup,
+        "speedup_gate_enforced": bool(args.min_speedup) and cores >= max(WORKER_COUNTS),
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(
+            f"benchmarking sharded serving on {rows}x{cols} grid "
+            f"({queries} queries, {cores} cores)...",
+            flush=True,
+        )
+        sharded_report["grids"].append(
+            bench_grid(
+                rows, cols, query_count=queries, repeats=args.repeats, seed=args.seed
+            )
+        )
+
+    largest = sharded_report["grids"][-1]
+    best = max(largest["workers"], key=lambda entry: entry["throughput_vs_single"])
+    sharded_report["largest_grid_best_speedup"] = best["throughput_vs_single"]
+
+    output = FilePath(args.output)
+    report = merge_report(output, sharded_report)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"merged sharded section into {output} "
+        f"(best speedup {best['throughput_vs_single']:.2f}x with "
+        f"{best['workers']} workers)"
+    )
+
+    total_mismatches = sum(
+        entry["identity_mismatches"]
+        for grid in sharded_report["grids"]
+        for entry in grid["workers"]
+    )
+    if total_mismatches:
+        print(
+            f"FAIL: {total_mismatches} sharded answers diverged from the "
+            "single-process reference costs (identity gate is unconditional)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if sharded_report["speedup_gate_enforced"]:
+        four = [
+            entry
+            for grid in sharded_report["grids"]
+            for entry in grid["workers"]
+            if entry["workers"] == max(WORKER_COUNTS)
+        ]
+        worst = min(entry["throughput_vs_single"] for entry in four)
+        if worst < args.min_speedup:
+            print(
+                f"FAIL: {max(WORKER_COUNTS)}-worker throughput is only "
+                f"{worst:.2f}x single-process (gate: {args.min_speedup:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.min_speedup:
+        print(
+            f"note: speedup gate skipped ({cores} cores < {max(WORKER_COUNTS)}; "
+            "identity gate still enforced)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

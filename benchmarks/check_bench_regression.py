@@ -68,6 +68,18 @@ def collect_ratios(report: dict) -> dict[str, float]:
         ratio = grid.get("faultfree_throughput_ratio")
         if ratio:
             ratios[f"resilience/{label}/faultfree_throughput"] = float(ratio)
+    for grid in report.get("sharded", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        # Sharded-vs-single-process throughput per worker count, plus the
+        # cross-shard/in-shard throughput split — all same-run, same-machine
+        # ratios (higher is better).
+        for entry in grid.get("workers", []):
+            speedup = entry.get("throughput_vs_single")
+            if speedup:
+                ratios[f"sharded/{label}/{entry['workers']}w_throughput"] = float(speedup)
+        split = grid.get("cross_vs_in_shard_throughput_ratio")
+        if split:
+            ratios[f"sharded/{label}/cross_vs_in_shard"] = float(split)
     return ratios
 
 

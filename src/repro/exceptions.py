@@ -124,6 +124,13 @@ class ServiceOverloadedError(ReproError):
         self.max_in_flight = max_in_flight
 
 
+class ShardingError(ReproError):
+    """Problems in the sharded serving layer (worker boot, transport, pool
+    lifecycle).  Worker *request* failures are reported on responses, not
+    raised; this covers infrastructure faults the coordinator cannot map to
+    a single request."""
+
+
 class TrajectoryError(ReproError):
     """Problems with trajectory data (too few records, unmatched points...)."""
 

@@ -445,6 +445,110 @@ def try_route_many(
     return results
 
 
+def try_cost_rows(
+    network: "RoadNetwork",
+    sources: list["VertexId"],
+    edge_cost,
+    reverse: bool = False,
+) -> tuple[np.ndarray, dict["VertexId", int]] | None:
+    """Batched SSSP cost rows over one shared cost view.
+
+    Returns ``(matrix, index_of)`` where ``matrix[i, j]`` is the cost from
+    ``sources[i]`` to the vertex with compiled index ``j`` (with
+    ``reverse=True``: the cost *to* ``sources[i]`` from ``j``), ``inf``
+    marking unreachable vertices, and ``index_of`` maps vertex ids to the
+    column indices.  Returns ``None`` when the batch backend cannot run —
+    opaque cost, compiled search disabled, or an unknown source vertex.
+    The sharding layer's boundary-overlay stitching is the primary caller.
+    """
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array, version = resolved
+    index_of = graph.index_of
+    source_indices: list[int] = []
+    for source in sources:
+        index = index_of.get(source)
+        if index is None:
+            return None
+        source_indices.append(index)
+
+    from . import batch
+
+    matrix = batch.dijkstra_many(graph, key, array, version, source_indices, reverse=reverse)
+    return matrix, index_of
+
+
+def try_route_from_rows(
+    network: "RoadNetwork",
+    rows: np.ndarray,
+    legs: list[tuple[int, "VertexId", "VertexId"]],
+    edge_cost,
+    reverse: bool = False,
+) -> list[list["VertexId"] | tuple[()] | None] | None:
+    """Reconstruct point-to-point paths from precomputed SSSP cost rows.
+
+    ``rows`` is the matrix a prior :func:`try_cost_rows` call returned for
+    the same network, cost, and ``reverse`` flag; ``legs`` holds ``(row,
+    source, destination)`` triples where ``row`` indexes ``rows`` —
+    forward rows are keyed by the leg's source, reverse rows by its
+    destination.  Because the deterministic walk only needs the distance
+    row plus the current weights, every leg is answered **without a new
+    SSSP**.  Returns ``None`` when unavailable (opaque cost, disabled,
+    non-positive weights, stale row shape); otherwise a legs-aligned list:
+    vertex-id path, ``()`` for a provably unreachable leg, or ``None`` for
+    a leg the caller must re-derive (unknown vertex, or the exact-equality
+    walk detecting the row no longer matches the live cost view).
+    """
+    if not _recognized(edge_cost):
+        return None
+    graph = _view(network)
+    if graph is None:
+        return None
+    resolved = graph.resolve_cost(edge_cost)
+    if resolved is None:
+        return None
+    key, array, version = resolved
+    if not sparse._all_positive(graph, key, array, version):
+        return None
+    if rows.ndim != 2 or rows.shape[1] != graph.vertex_count:
+        return None
+    if reverse:
+        weights = graph.forward_weights(key, array, version)
+    else:
+        weights = graph.reverse_weights(key, array, version)
+
+    index_of = graph.index_of
+    row_cache: dict[int, list[float]] = {}
+    results: list[list["VertexId"] | tuple[()] | None] = [None] * len(legs)
+    for position, (row_index, source, destination) in enumerate(legs):
+        s = index_of.get(source)
+        t = index_of.get(destination)
+        if s is None or t is None:
+            continue  # unknown vertex: the per-request path raises properly
+        if s == t:
+            results[position] = [source]
+            continue
+        row = row_cache.get(row_index)
+        if row is None:
+            row = row_cache[row_index] = rows[row_index].tolist()
+        if not np.isfinite(row[s if reverse else t]):
+            results[position] = ()
+            continue
+        if reverse:
+            indices = sparse.reconstruct_path_indices_forward(graph, row, weights, s, t)
+        else:
+            indices = sparse.reconstruct_path_indices(graph, row, weights, s, t)
+        if indices is not None:
+            results[position] = graph.path_ids(indices)
+    return results
+
+
 def try_ch(
     network: "RoadNetwork",
     source: "VertexId",

@@ -1,0 +1,536 @@
+"""Shared-memory export of a compiled road-network snapshot.
+
+The :class:`~repro.network.compiled.graph.Topology` / ``CostStore`` split
+makes the CSR arrays of a snapshot trivially shareable across processes: the
+topology buffers are immutable for the snapshot's lifetime, and the
+per-feature cost arrays are patched copy-on-write by live traffic, so a
+worker process can serve queries from *views* over one shared segment
+instead of its own copies.
+
+One :func:`export_graph` call packs everything into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment::
+
+    [ header int64[8] | array 0 | array 1 | ... ]     (16-byte aligned)
+
+with the topology buffers (``offsets`` / ``targets`` / reverse CSR /
+``r_slots`` / ``vertex_ids`` / per-slot ``edge_keys``), the per-feature cost
+arrays, and ``road_type_values`` packed back to back.  The header block
+carries the magic, the layout version, the shape counters, and — the one
+*mutable* slot — the network cost version the cost arrays currently
+reflect, so attached workers can detect staleness and resync without any
+side channel.
+
+Lifecycle etiquette (enforced by reprolint RL009):
+
+* the **owner** creates the segment and is the only party that ever calls
+  :meth:`SharedGraphSegment.unlink`; creation is paired with
+  ``close()``/``unlink()`` cleanup on every failure path;
+* **workers** attach by name through :func:`attach` and only ever
+  :meth:`SegmentView.close` their mapping — a worker that unlinks would
+  tear the segment out from under its siblings.
+
+Every array is forced C-contiguous with its expected dtype at export time
+and verified again at attach time: a transposed or casted view would
+silently corrupt the zero-copy reconstruction otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from ...exceptions import NetworkError
+from .graph import EDGE_COST_ATTRIBUTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..road_network import RoadNetwork, VertexId
+    from .graph import CompiledGraph
+
+#: ``b"RPRO"`` as one little-endian int64: guards against attaching a
+#: foreign (or torn) segment as a compiled-graph export.
+MAGIC = 0x4F525052
+
+#: Bumped whenever the packed layout changes incompatibly.
+LAYOUT_VERSION = 1
+
+_HEADER_SLOTS = 8
+HEADER_BYTES = _HEADER_SLOTS * 8
+_ALIGN = 16
+
+_SLOT_MAGIC = 0
+_SLOT_LAYOUT = 1
+_SLOT_VERTICES = 2
+_SLOT_EDGES = 3
+_SLOT_COST_VERSION = 4
+_SLOT_PAYLOAD = 5
+
+#: Expected dtype (as a canonical string) per exported array name.
+_TOPOLOGY_DTYPES: dict[str, str] = {
+    "offsets": "int64",
+    "targets": "int64",
+    "r_offsets": "int64",
+    "r_targets": "int64",
+    "r_slots": "int64",
+    "vertex_ids": "int64",
+    "edge_keys": "int64",
+    "road_type_values": "int64",
+}
+
+
+def _cost_name(attribute: str) -> str:
+    return f"cost:{attribute}"
+
+
+def expected_dtype(name: str) -> np.dtype:
+    """The pinned dtype for one exported array name."""
+    if name.startswith("cost:"):
+        return np.dtype(np.float64)
+    try:
+        return np.dtype(_TOPOLOGY_DTYPES[name])
+    except KeyError as exc:
+        raise NetworkError(f"unknown shared-segment array {name!r}") from exc
+
+
+def _exportable(name: str, raw: object) -> np.ndarray:
+    """Force one array into its exportable form, or refuse loudly.
+
+    C-contiguity and the pinned dtype are *forced* (a cast or a transposed
+    view is normalized into a packed copy); anything that cannot be
+    represented — wrong dimensionality, lossy casts from non-numeric data —
+    raises :class:`NetworkError` instead of silently corrupting the
+    zero-copy reconstruction on the attach side.
+    """
+    dtype = expected_dtype(name)
+    try:
+        arr = np.ascontiguousarray(raw, dtype=dtype)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise NetworkError(
+            f"array {name!r} cannot be exported as {dtype.name}: {exc}"
+        ) from exc
+    expected_ndim = 2 if name == "edge_keys" else 1
+    if arr.ndim != expected_ndim:
+        raise NetworkError(
+            f"array {name!r} must be {expected_ndim}-dimensional for export, "
+            f"got shape {arr.shape}"
+        )
+    if not arr.flags.c_contiguous or arr.dtype != dtype:
+        raise NetworkError(
+            f"array {name!r} failed export normalization "
+            f"(contiguous={arr.flags.c_contiguous}, dtype={arr.dtype})"
+        )
+    return arr
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one packed array inside the segment (picklable)."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Everything a worker needs to attach and rebuild the views.
+
+    Shipped to worker processes over the spawn pickle; the segment itself
+    is looked up by name in the operating system's shared-memory namespace.
+    """
+
+    segment_name: str
+    size: int
+    arrays: tuple[ArraySpec, ...]
+    cost_attributes: tuple[str, ...]
+
+    def spec_for(self, name: str) -> ArraySpec:
+        for spec in self.arrays:
+            if spec.name == name:
+                return spec
+        raise NetworkError(f"shared segment carries no array named {name!r}")
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    On Python < 3.13 an attaching process registers the segment with the
+    :mod:`multiprocessing.resource_tracker`, which then unlinks the
+    segment when *this* process exits — exactly the double-unlink the
+    worker-side lifecycle must avoid (only the owner unlinks).  Newer
+    interpreters expose ``track=False``; older ones get registration
+    suppressed during the attach call.  (Register-then-unregister is not
+    an option: the tracker's name cache is shared across all workers, so
+    concurrent attachments race their unregister calls into KeyErrors.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError as exc:  # pragma: no cover - stdlib drift
+        # Tracked attachment would unlink the segment when this process
+        # exits; refuse rather than sabotage the owner's lifecycle.
+        raise NetworkError(f"cannot untrack shared-memory attachment: {exc}") from exc
+
+    original_register = resource_tracker.register
+
+    def _register_except_segments(target: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original_register(target, rtype)
+
+    resource_tracker.register = _register_except_segments
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def _view_from(buf: memoryview, spec: ArraySpec, *, writeable: bool) -> np.ndarray:
+    arr: np.ndarray = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=buf, offset=spec.offset)
+    if not writeable:
+        arr.flags.writeable = False
+    return arr
+
+
+def _header_view(buf: memoryview) -> np.ndarray:
+    return np.ndarray((_HEADER_SLOTS,), dtype=np.int64, buffer=buf)
+
+
+class SegmentView:
+    """A worker-side attachment: zero-copy read-only views, never unlinks.
+
+    ``close()`` drops this process's mapping; the segment itself lives until
+    the owner unlinks it.  Safe to close more than once.
+    """
+
+    def __init__(self, spec: SegmentSpec, handle: shared_memory.SharedMemory) -> None:
+        self.spec = spec
+        self._shm = handle
+        self._header = _header_view(handle.buf)
+        self._views = {
+            array_spec.name: _view_from(handle.buf, array_spec, writeable=False)
+            for array_spec in spec.arrays
+        }
+        _verify_header(self._header, spec)
+
+    @property
+    def cost_version(self) -> int:
+        """The network cost version the shared cost arrays reflect."""
+        return int(self._header[_SLOT_COST_VERSION])
+
+    @property
+    def vertex_count(self) -> int:
+        return int(self._header[_SLOT_VERTICES])
+
+    @property
+    def edge_count(self) -> int:
+        return int(self._header[_SLOT_EDGES])
+
+    def array(self, name: str) -> np.ndarray:
+        """The zero-copy read-only view of one packed array."""
+        return self._views[name]
+
+    def cost_array(self, attribute: str) -> np.ndarray:
+        return self._views[_cost_name(attribute)]
+
+    def cost_arrays(self) -> dict[str, np.ndarray]:
+        return {attr: self.cost_array(attr) for attr in self.spec.cost_attributes}
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent); never unlinks."""
+        if self._shm is None:
+            return
+        self._views = {}
+        self._header = None  # type: ignore[assignment]
+        self._shm.close()
+        self._shm = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "SegmentView":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SharedGraphSegment:
+    """The owner handle: created by :func:`export_graph`, patched by the
+    traffic path, and — on the owner alone — unlinked at shutdown."""
+
+    def __init__(self, spec: SegmentSpec, handle: shared_memory.SharedMemory) -> None:
+        self.spec = spec
+        self._shm = handle
+        self._header = _header_view(handle.buf)
+        self._views = {
+            array_spec.name: _view_from(handle.buf, array_spec, writeable=True)
+            for array_spec in spec.arrays
+        }
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.segment_name
+
+    @property
+    def cost_version(self) -> int:
+        return int(self._header[_SLOT_COST_VERSION])
+
+    def array(self, name: str) -> np.ndarray:
+        return self._views[name]
+
+    def patch(
+        self, graph: "CompiledGraph", slots: Iterable[int], cost_version: int
+    ) -> int:
+        """Refresh the shared cost arrays for ``slots`` from ``graph``.
+
+        Called by the owner *after* the master network applied a traffic
+        batch; copies the post-update values for the touched CSR slots into
+        the segment and advances the header's cost-version counter so late
+        attachers (and restarted workers) resync against current state.
+        Returns the number of slots written.
+        """
+        if self._shm is None:
+            raise NetworkError("shared segment is closed")
+        index = np.asarray(list(slots), dtype=np.int64)
+        if index.size:
+            for attr in self.spec.cost_attributes:
+                source = graph.array(attr)
+                self._views[_cost_name(attr)][index] = source[index]
+        self._header[_SLOT_COST_VERSION] = int(cost_version)
+        return int(index.size)
+
+    def close(self) -> None:
+        """Drop the owner's mapping (idempotent)."""
+        if self._shm is None:
+            return
+        self._views = {}
+        self._header = None  # type: ignore[assignment]
+        self._shm.close()
+        self._shm = None  # type: ignore[assignment]
+
+    def unlink(self) -> None:
+        """Remove the segment from the system namespace (idempotent).
+
+        Owner-only: attached workers keep their mappings alive until they
+        close, but no new attach can succeed afterwards.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        if self._shm is not None:
+            self._shm.unlink()
+            return
+        # Already closed: reattach (untracked) just long enough to unlink.
+        try:
+            handle = _attach_untracked(self.spec.segment_name)
+        except FileNotFoundError:
+            return
+        try:
+            handle.unlink()
+        finally:
+            handle.close()
+
+    def __enter__(self) -> "SharedGraphSegment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+
+def _verify_header(header: np.ndarray, spec: SegmentSpec) -> None:
+    if int(header[_SLOT_MAGIC]) != MAGIC:
+        raise NetworkError(
+            f"segment {spec.segment_name!r} does not carry a compiled-graph "
+            f"export (bad magic {int(header[_SLOT_MAGIC]):#x})"
+        )
+    if int(header[_SLOT_LAYOUT]) != LAYOUT_VERSION:
+        raise NetworkError(
+            f"segment {spec.segment_name!r} uses layout "
+            f"{int(header[_SLOT_LAYOUT])}, expected {LAYOUT_VERSION}"
+        )
+
+
+def _collect_arrays(graph: "CompiledGraph") -> list[tuple[str, np.ndarray]]:
+    topology = graph.topology
+    edge_keys = np.empty((topology.edge_count, 2), dtype=np.int64)
+    try:
+        for (source, target), slot in topology.slot_of.items():
+            edge_keys[slot, 0] = source
+            edge_keys[slot, 1] = target
+        vertex_ids = _exportable("vertex_ids", topology.vertex_ids)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise NetworkError(
+            f"only integer vertex ids can be exported to shared memory: {exc}"
+        ) from exc
+    pairs: list[tuple[str, np.ndarray]] = [
+        ("offsets", _exportable("offsets", topology.offsets)),
+        ("targets", _exportable("targets", topology.targets)),
+        ("r_offsets", _exportable("r_offsets", topology.r_offsets)),
+        ("r_targets", _exportable("r_targets", topology.r_targets)),
+        ("r_slots", _exportable("r_slots", topology.r_slots)),
+        ("vertex_ids", vertex_ids),
+        ("edge_keys", _exportable("edge_keys", edge_keys)),
+        ("road_type_values", _exportable("road_type_values", graph.road_type_values)),
+    ]
+    for attr in EDGE_COST_ATTRIBUTES:
+        pairs.append((_cost_name(attr), _exportable(_cost_name(attr), graph.array(attr))))
+    return pairs
+
+
+def export_graph(
+    graph: "CompiledGraph", *, cost_version: int = 0, name: str | None = None
+) -> SharedGraphSegment:
+    """Export one compiled snapshot into a fresh shared-memory segment.
+
+    ``cost_version`` seeds the header's mutable counter (the owner's network
+    cost version at export time).  The returned owner handle must be
+    ``close()``-d and ``unlink()``-ed when serving ends; use it as a context
+    manager for scoped lifetimes.
+    """
+    pairs = _collect_arrays(graph)
+    offset = HEADER_BYTES
+    specs: list[ArraySpec] = []
+    for array_name, arr in pairs:
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append(
+            ArraySpec(
+                name=array_name,
+                dtype=arr.dtype.name,
+                shape=tuple(int(dim) for dim in arr.shape),
+                offset=offset,
+            )
+        )
+        offset += arr.nbytes
+    total = max(offset, HEADER_BYTES + 8)
+
+    shm = (
+        shared_memory.SharedMemory(create=True, size=total)
+        if name is None
+        else shared_memory.SharedMemory(create=True, size=total, name=name)
+    )
+    try:
+        header = _header_view(shm.buf)
+        header[:] = 0
+        header[_SLOT_MAGIC] = MAGIC
+        header[_SLOT_LAYOUT] = LAYOUT_VERSION
+        header[_SLOT_VERTICES] = graph.vertex_count
+        header[_SLOT_EDGES] = graph.edge_count
+        header[_SLOT_COST_VERSION] = int(cost_version)
+        header[_SLOT_PAYLOAD] = total
+        for spec, (_, arr) in zip(specs, pairs):
+            _view_from(shm.buf, spec, writeable=True)[...] = arr
+        segment_spec = SegmentSpec(
+            segment_name=shm.name,
+            size=total,
+            arrays=tuple(specs),
+            cost_attributes=EDGE_COST_ATTRIBUTES,
+        )
+        return SharedGraphSegment(segment_spec, shm)
+    except BaseException:
+        # Failed exports must not leak the segment: close our mapping and
+        # unlink the half-written name before propagating.
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def attach(spec: SegmentSpec) -> SegmentView:
+    """Attach to an exported segment as a worker (close-only lifecycle).
+
+    Validates the header magic/layout and every view's dtype and
+    C-contiguity before handing the views out; a mismatched segment raises
+    :class:`NetworkError` after closing the attachment.
+    """
+    handle = _attach_untracked(spec.segment_name)
+    try:
+        view = SegmentView(spec, handle)
+        for array_spec in spec.arrays:
+            arr = view.array(array_spec.name)
+            if arr.dtype != expected_dtype(array_spec.name) or not arr.flags.c_contiguous:
+                raise NetworkError(
+                    f"attached array {array_spec.name!r} is not a contiguous "
+                    f"{expected_dtype(array_spec.name).name} view"
+                )
+        return view
+    except BaseException:
+        handle.close()
+        raise
+
+
+def verify_topology(graph: "CompiledGraph", view: SegmentView) -> bool:
+    """Whether a view's topology buffers match a locally compiled snapshot.
+
+    Workers run this once at boot as an integrity gate: the pickled network
+    they received and the segment they attached must describe the same CSR
+    topology, or slot-indexed cost patches would land on the wrong edges.
+    """
+    topology = graph.topology
+    if view.vertex_count != topology.vertex_count:
+        return False
+    if view.edge_count != topology.edge_count:
+        return False
+    return (
+        np.array_equal(view.array("offsets"), np.asarray(topology.offsets, dtype=np.int64))
+        and np.array_equal(view.array("targets"), np.asarray(topology.targets, dtype=np.int64))
+        and np.array_equal(view.array("r_slots"), topology.r_slots)
+        and np.array_equal(
+            view.array("vertex_ids"), np.asarray(topology.vertex_ids, dtype=np.int64)
+        )
+    )
+
+
+def sync_network(network: "RoadNetwork", view: SegmentView) -> frozenset[tuple["VertexId", "VertexId"]]:
+    """Bring a worker's network copy up to the segment's cost state.
+
+    Diffs the shared per-feature arrays against the locally compiled ones,
+    maps changed CSR slots back to edge keys through the exported
+    ``edge_keys`` table, and applies the delta through
+    :meth:`~repro.network.road_network.RoadNetwork.update_edge_costs` — so
+    the worker's ``Edge`` objects, compiled arrays, and version counters all
+    advance through the one sanctioned patch path.  Returns the changed
+    edge keys (empty when already current).
+    """
+    graph = network.compiled()
+    if view.edge_count != graph.edge_count:
+        raise NetworkError(
+            f"segment describes {view.edge_count} edges but the network "
+            f"compiled to {graph.edge_count}; topology drift cannot be synced"
+        )
+    edge_keys = view.array("edge_keys")
+    changes: dict[tuple["VertexId", "VertexId"], dict[str, float]] = {}
+    for attr in view.spec.cost_attributes:
+        mine = graph.array(attr)
+        theirs = view.cost_array(attr)
+        for slot in np.flatnonzero(mine != theirs).tolist():
+            key = (int(edge_keys[slot, 0]), int(edge_keys[slot, 1]))
+            changes.setdefault(key, {})[attr] = float(theirs[slot])
+    if not changes:
+        return frozenset()
+    return network.update_edge_costs(changes)
+
+
+def adopt_shared_costs(graph: "CompiledGraph", view: SegmentView) -> bool:
+    """Swap a snapshot's private cost arrays for the segment's views.
+
+    Zero-copy boot path for workers: after :func:`sync_network` the local
+    arrays and the shared ones are value-identical, so the store can serve
+    the shared read-only views directly and drop its private copies (one
+    set of cost arrays per *machine*, not per worker).  Later live-traffic
+    patches copy-on-write away from the views through the store's normal
+    ``apply_updates``, so workers never write the segment.  Returns
+    ``False`` — leaving the store untouched — when any array disagrees.
+    """
+    store = graph.costs
+    shared = {attr: view.cost_array(attr) for attr in view.spec.cost_attributes}
+    with store._memo_lock:
+        for attr, arr in shared.items():
+            if not np.array_equal(store._arrays[attr], arr):
+                return False
+        for attr, arr in shared.items():
+            store._arrays[attr] = arr
+    return True

@@ -9,6 +9,8 @@
   per-engine circuit breakers, admission control
 * :mod:`repro.service.faults` — deterministic fault injection for chaos tests
 * :mod:`repro.service.persistence` — save / load fitted L2R models
+* :mod:`repro.service.sharding` — sharded multi-process serving over a
+  shared-memory compiled graph (:class:`ShardedRoutingService`)
 """
 
 from .api import RouteRequest, RouteResponse
@@ -31,6 +33,12 @@ from .resilience import (
     RetryPolicy,
 )
 from .service import RoutingService
+from .sharding import (
+    ShardedRoutingService,
+    ShardPlan,
+    ShardWorkerPool,
+    build_shard_plan,
+)
 from .stats import ServiceStats, StatsAccumulator
 
 __all__ = [
@@ -54,7 +62,11 @@ __all__ = [
     "RoutingEngine",
     "RoutingService",
     "ServiceStats",
+    "ShardPlan",
+    "ShardWorkerPool",
+    "ShardedRoutingService",
     "StatsAccumulator",
+    "build_shard_plan",
     "load_model",
     "save_model",
 ]

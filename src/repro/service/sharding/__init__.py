@@ -1,0 +1,56 @@
+"""Sharded multi-process serving over a shared-memory compiled graph.
+
+The subsystem splits into independently testable layers:
+
+* :mod:`~repro.service.sharding.plan` — partitioning the network into
+  shards (regions clustering, boundary structure);
+* :mod:`~repro.service.sharding.overlay` — the boundary overlay graph and
+  exact cross-shard stitching;
+* :mod:`~repro.service.sharding.protocol` — the transport-agnostic message
+  dataclasses;
+* :mod:`~repro.service.sharding.worker` / :mod:`~repro.service.sharding.
+  pool` — the spawn-based worker loop and its process lifecycle;
+* :mod:`~repro.service.sharding.service` — the
+  :class:`ShardedRoutingService` facade keeping the ``RoutingService`` API.
+"""
+
+from .overlay import BoundaryOverlay, CrossShardRouter
+from .plan import ShardPlan, build_shard_plan
+from .pool import ShardWorkerPool
+from .protocol import (
+    DEFAULT_ENGINES,
+    CostDiff,
+    Fatal,
+    Hello,
+    QueueTransport,
+    RouteAnswer,
+    RouteResults,
+    RouteWork,
+    Shutdown,
+    VersionAck,
+    WorkerPayload,
+)
+from .service import ShardedRoutingService
+from .worker import ShardWorker, resync_network
+
+__all__ = [
+    "BoundaryOverlay",
+    "CostDiff",
+    "CrossShardRouter",
+    "DEFAULT_ENGINES",
+    "Fatal",
+    "Hello",
+    "QueueTransport",
+    "RouteAnswer",
+    "RouteResults",
+    "RouteWork",
+    "ShardPlan",
+    "ShardWorker",
+    "ShardWorkerPool",
+    "ShardedRoutingService",
+    "Shutdown",
+    "VersionAck",
+    "WorkerPayload",
+    "build_shard_plan",
+    "resync_network",
+]

@@ -1,0 +1,211 @@
+"""The spawn-based worker pool behind a :class:`ShardedRoutingService`.
+
+One process per worker, each booted from a :class:`WorkerPayload` pickled
+exactly once; all later coordination flows over ``multiprocessing`` queues
+(a private inbox per worker, one shared outbox back to the coordinator).
+``spawn`` — not ``fork`` — so workers never inherit the coordinator's
+thread/lock state and behave identically on every platform.
+
+The pool is deliberately dumb about routing: it moves protocol messages,
+tracks liveness, and restarts dead workers (a restarted worker re-runs the
+full boot protocol, so it resyncs cost state from the shared segment rather
+than trusting anything in this process).  Request semantics — resubmission,
+response assembly, version barriers — live in the service facade.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from ...exceptions import ShardingError
+from .protocol import Fatal, Hello, Shutdown
+from .worker import _worker_entry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .protocol import WorkerPayload
+
+#: Grace given to one orderly worker exit before escalating to terminate().
+_JOIN_TIMEOUT_S = 5.0
+
+
+class ShardWorkerPool:
+    """Lifecycle and transport for a set of shard worker processes."""
+
+    def __init__(
+        self,
+        payloads: Sequence["WorkerPayload"],
+        *,
+        boot_timeout_s: float = 120.0,
+    ) -> None:
+        if not payloads:
+            raise ShardingError("a worker pool needs at least one worker payload")
+        self._payloads = list(payloads)
+        self._boot_timeout_s = boot_timeout_s
+        self._ctx = multiprocessing.get_context("spawn")
+        self._outbox = self._ctx.Queue()
+        self._inboxes = [self._ctx.Queue() for _ in self._payloads]
+        self._processes: list[multiprocessing.process.BaseProcess | None] = [
+            None for _ in self._payloads
+        ]
+        self._stash: list[object] = []
+        self._restarts = 0
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def restarts(self) -> int:
+        """Workers respawned after dying (crash chaos, OOM kills...)."""
+        return self._restarts
+
+    def start(self) -> None:
+        """Spawn every worker and wait out the boot handshakes."""
+        if self._started:
+            return
+        self._started = True
+        for worker_id in range(self.size):
+            self._spawn(worker_id)
+        self._await_hello(set(range(self.size)))
+
+    def _spawn(self, worker_id: int) -> None:
+        process = self._ctx.Process(
+            target=_worker_entry,
+            args=(self._payloads[worker_id], self._inboxes[worker_id], self._outbox),
+            name=f"shard-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[worker_id] = process
+
+    def _await_hello(self, expected: set[int]) -> None:
+        """Collect boot handshakes; stash unrelated traffic for recv()."""
+        deadline = time.monotonic() + self._boot_timeout_s
+        waiting = set(expected)
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardingError(
+                    f"workers {sorted(waiting)} did not finish booting within "
+                    f"{self._boot_timeout_s:.0f}s"
+                )
+            try:
+                message = self._outbox.get(timeout=min(0.5, remaining))
+            except queue.Empty:
+                dead = [w for w in waiting if not self._is_alive(w)]
+                if dead:
+                    raise ShardingError(
+                        f"workers {dead} died during boot without a report"
+                    ) from None
+                continue
+            if isinstance(message, Fatal) and message.worker_id in waiting:
+                raise ShardingError(
+                    f"worker {message.worker_id} failed to boot: {message.error}"
+                )
+            if isinstance(message, Hello) and message.worker_id in waiting:
+                waiting.discard(message.worker_id)
+            else:
+                self._stash.append(message)
+
+    def _is_alive(self, worker_id: int) -> bool:
+        process = self._processes[worker_id]
+        return process is not None and process.is_alive()
+
+    def alive(self) -> list[bool]:
+        return [self._is_alive(worker_id) for worker_id in range(self.size)]
+
+    def restart_dead(self) -> list[int]:
+        """Respawn every dead worker; returns the restarted ids.
+
+        The respawned process re-runs the whole boot protocol (attach,
+        topology check, segment resync), so whatever state died with its
+        predecessor is rebuilt from the authoritative shared segment.
+        """
+        if self._closed:
+            raise ShardingError("worker pool is closed")
+        dead: list[int] = []
+        for worker_id in range(self.size):
+            if not self._is_alive(worker_id):
+                process = self._processes[worker_id]
+                if process is not None:
+                    process.join(timeout=_JOIN_TIMEOUT_S)
+                self._spawn(worker_id)
+                dead.append(worker_id)
+        if dead:
+            self._restarts += len(dead)
+            self._await_hello(set(dead))
+        return dead
+
+    def close(self, timeout_s: float = _JOIN_TIMEOUT_S) -> bool:
+        """Orderly shutdown; idempotent; returns False on terminate().
+
+        Shutdown is broadcast to every inbox, workers get ``timeout_s`` to
+        drain and exit (closing their segment views on the way out), and
+        stragglers are terminated.  Queue feeder threads are cancelled so a
+        half-full queue can never hang interpreter exit.
+        """
+        if self._closed:
+            return True
+        self._closed = True
+        clean = True
+        for worker_id in range(self.size):
+            if self._is_alive(worker_id):
+                try:
+                    self._inboxes[worker_id].put(Shutdown())
+                except (ValueError, OSError):
+                    clean = False
+        deadline = time.monotonic() + timeout_s
+        for worker_id, process in enumerate(self._processes):
+            if process is None:
+                continue
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                clean = False
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_S)
+        for q in [self._outbox, *self._inboxes]:
+            q.cancel_join_thread()
+            q.close()
+        return clean
+
+    def __enter__(self) -> "ShardWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def submit(self, worker_id: int, message: object) -> None:
+        """Enqueue one message for one worker."""
+        if self._closed:
+            raise ShardingError("worker pool is closed")
+        self._inboxes[worker_id].put(message)
+
+    def broadcast(self, message: object) -> int:
+        """Enqueue one message for every worker; returns the copy count."""
+        if self._closed:
+            raise ShardingError("worker pool is closed")
+        for inbox in self._inboxes:
+            inbox.put(message)
+        return self.size
+
+    def recv(self, timeout_s: float = 1.0) -> object:
+        """The next worker-to-coordinator message (stashed first).
+
+        Raises ``queue.Empty`` on timeout — callers own the retry loop and
+        its liveness checks.
+        """
+        if self._stash:
+            return self._stash.pop(0)
+        return self._outbox.get(timeout=timeout_s)

@@ -1,0 +1,176 @@
+"""Transport-agnostic message protocol between coordinator and shard workers.
+
+Every message crossing the process boundary is a small frozen dataclass, so
+the same worker loop can later sit behind any transport that moves pickled
+(or otherwise serialized) records — multiprocessing queues today, sockets in
+a multi-node deployment tomorrow.  The coordinator-to-worker direction
+carries :class:`RouteWork` batches, versioned :class:`CostDiff` broadcasts,
+and :class:`Shutdown`; the worker-to-coordinator direction carries
+:class:`Hello` (boot handshake), :class:`RouteResults`, and
+:class:`VersionAck` (broadcast-lag accounting).
+
+Answers travel as compact :class:`RouteAnswer` records — vertex tuples, not
+:class:`~repro.service.api.RouteResponse` objects — because the coordinator
+already holds the originating requests and rebuilding the response there
+keeps the wire payload (and pickling cost) proportional to the paths, not to
+the request metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from ...routing.costs import CostFeature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...network.compiled.shm import SegmentSpec
+    from ...network.road_network import RoadNetwork, VertexId
+    from ..api import RouteRequest
+    from .plan import ShardPlan
+
+#: The default worker engine registry: name → the cost feature it optimizes.
+DEFAULT_ENGINES: tuple[tuple[str, CostFeature], ...] = (
+    ("Shortest", CostFeature.DISTANCE),
+    ("Fastest", CostFeature.TRAVEL_TIME),
+)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Worker boot handshake: the shard is attached, synced, and serving."""
+
+    worker_id: int
+    shard_id: int
+    pid: int
+    cost_version: int
+    """The segment cost version the worker booted against."""
+
+
+@dataclass(frozen=True)
+class Fatal:
+    """Worker boot or loop failure: the process is exiting."""
+
+    worker_id: int
+    error: str
+
+
+@dataclass(frozen=True)
+class RouteWork:
+    """One batch of requests for a single worker, all from its shard."""
+
+    task_id: int
+    engine: str | None
+    requests: tuple["RouteRequest", ...]
+    positions: tuple[int, ...]
+    """Caller-side slot of each request in the originating batch."""
+    crash_at: int | None = None
+    """Chaos-test hook: the worker hard-exits (``os._exit``) before
+    answering the request at this index.  Stripped by the pool before any
+    resubmission, so a restarted worker serves the batch normally."""
+
+
+@dataclass(frozen=True)
+class RouteAnswer:
+    """One request's answer in wire form (the coordinator rebuilds the
+    :class:`~repro.service.api.RouteResponse` around it)."""
+
+    position: int
+    vertices: tuple["VertexId", ...] | None
+    engine: str
+    latency_s: float = 0.0
+    cross_shard: bool = False
+    cache_hit: bool = False
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class RouteResults:
+    """A worker's answers for one :class:`RouteWork` batch."""
+
+    task_id: int
+    worker_id: int
+    answers: tuple[RouteAnswer, ...]
+
+
+@dataclass(frozen=True)
+class CostDiff:
+    """A versioned live-traffic broadcast: absolute post-update values.
+
+    ``changes`` maps each touched edge key to its new per-feature values
+    (absolute, not deltas — applying the same diff twice is idempotent,
+    which is what makes worker restarts and queue replays safe).  A worker
+    whose current version is not ``base_version`` missed a broadcast and
+    resyncs from the shared segment instead of applying the diff.
+    """
+
+    version: int
+    base_version: int
+    changes: tuple[tuple[tuple["VertexId", "VertexId"], tuple[tuple[str, float], ...]], ...]
+
+    def as_updates(self) -> dict[tuple["VertexId", "VertexId"], dict[str, float]]:
+        return {key: dict(values) for key, values in self.changes}
+
+
+@dataclass(frozen=True)
+class VersionAck:
+    """A worker's confirmation that its caches reflect ``version``."""
+
+    worker_id: int
+    version: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Orderly stop: the worker closes its segment view and exits."""
+
+    reason: str = "close"
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything one spawned worker needs to boot (ships over the spawn
+    pickle exactly once; all later state flows through the transport)."""
+
+    worker_id: int
+    shard_id: int
+    plan: "ShardPlan"
+    network: "RoadNetwork"
+    """The full network snapshot (cost state possibly stale: the worker
+    resyncs against the shared segment before serving)."""
+    spec: "SegmentSpec"
+    engines: tuple[tuple[str, CostFeature], ...] = DEFAULT_ENGINES
+    default_engine: str = "Shortest"
+    cache_size: int = 512
+
+
+class Transport(Protocol):
+    """The minimal duplex channel a worker loop is written against."""
+
+    def send(self, message: object) -> None:  # pragma: no cover - protocol
+        ...
+
+    def recv(self, timeout_s: float | None = None) -> object:  # pragma: no cover
+        ...
+
+
+@dataclass
+class QueueTransport:
+    """The in-host transport: a pair of ``multiprocessing`` queues.
+
+    ``inbox`` is this endpoint's receive side, ``outbox`` its send side; the
+    coordinator and each worker hold mirrored pairs over the same two
+    queues.  ``recv`` raises ``queue.Empty`` on timeout — always pass a
+    timeout from the serving loops (reprolint RL008 enforces this).
+    """
+
+    inbox: object
+    outbox: object
+    default_timeout_s: float = field(default=1.0)
+
+    def send(self, message: object) -> None:
+        self.outbox.put(message)  # type: ignore[attr-defined]
+
+    def recv(self, timeout_s: float | None = None) -> object:
+        wait = self.default_timeout_s if timeout_s is None else timeout_s
+        return self.inbox.get(timeout=wait)  # type: ignore[attr-defined]

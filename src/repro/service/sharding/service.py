@@ -1,0 +1,461 @@
+"""The :class:`ShardedRoutingService` facade — the RoutingService API over a
+multi-process worker pool.
+
+The coordinator owns the master :class:`~repro.network.road_network.
+RoadNetwork`, exports its compiled snapshot into one shared-memory segment,
+partitions the vertices into shards, and spawns one worker process per
+shard.  Queries are dispatched to the worker owning the *source* vertex
+(cross-shard destinations are the worker's problem — it stitches through the
+boundary overlay); live traffic is applied to the master network through a
+:class:`~repro.traffic.TrafficFeed`, patched into the shared segment, and
+broadcast to every worker as a versioned :class:`CostDiff` so they self-evict
+stale caches and acknowledge the new version (the ack round-trip is the
+``broadcast_lag_s`` statistic).
+
+Lifecycle: the coordinator is the segment *owner* — :meth:`close` shuts the
+pool down, then closes and unlinks the segment.  Use the service as a
+context manager so no test or bench path can leak a segment.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ...exceptions import ConfigurationError, ShardingError
+from ...network.compiled import shm
+from ...routing.costs import FEATURE_EDGE_ATTRIBUTES
+from ...routing.path import Path
+from ...traffic.feed import TrafficFeed
+from ..api import RouteRequest, RouteResponse
+from ..cache import CacheStats
+from ..stats import ServiceStats, StatsAccumulator
+from .plan import ShardPlan, build_shard_plan
+from .pool import ShardWorkerPool
+from .protocol import (
+    DEFAULT_ENGINES,
+    CostDiff,
+    Fatal,
+    Hello,
+    RouteResults,
+    RouteWork,
+    VersionAck,
+    WorkerPayload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...network.road_network import RoadNetwork, VertexId
+    from ...traffic.updates import TrafficUpdate, TrafficUpdateResult
+
+_COST_ATTRIBUTES = tuple(FEATURE_EDGE_ATTRIBUTES.values())
+
+
+class ShardedRoutingService:
+    """Sharded multi-process serving with the ``RoutingService`` surface.
+
+    ``route`` / ``route_many`` / ``stats`` / ``close`` keep their in-process
+    semantics; ``apply_traffic`` replaces the TrafficFeed wiring (the
+    coordinator must own the write path to keep segment and broadcast in
+    lockstep).  The coordinator is intentionally single-threaded per
+    operation — calls are serialized by one lock.
+    """
+
+    def __init__(
+        self,
+        network: "RoadNetwork",
+        shard_count: int = 2,
+        *,
+        method: str = "regions",
+        cache_size: int = 512,
+        boot_timeout_s: float = 120.0,
+        request_timeout_s: float = 60.0,
+        traffic_timeout_s: float = 30.0,
+    ) -> None:
+        self._network = network
+        self._engine_features = dict(DEFAULT_ENGINES)
+        self._default_engine = DEFAULT_ENGINES[0][0]
+        self._request_timeout_s = request_timeout_s
+        self._traffic_timeout_s = traffic_timeout_s
+        self._lock = threading.RLock()
+        self._stats = StatsAccumulator()
+        self._feed = TrafficFeed(network)
+        self._plan: ShardPlan = build_shard_plan(network, shard_count, method=method)
+
+        self._pool: ShardWorkerPool | None = None
+        self._segment: shm.SharedGraphSegment | None = shm.export_graph(
+            network.compiled(), cost_version=network.cost_version
+        )
+        try:
+            payloads = [
+                WorkerPayload(
+                    worker_id=shard_id,
+                    shard_id=shard_id,
+                    plan=self._plan,
+                    network=network,
+                    spec=self._segment.spec,
+                    engines=DEFAULT_ENGINES,
+                    default_engine=self._default_engine,
+                    cache_size=cache_size,
+                )
+                for shard_id in range(self._plan.shard_count)
+            ]
+            self._pool = ShardWorkerPool(payloads, boot_timeout_s=boot_timeout_s)
+            self._pool.start()
+        except BaseException:
+            if self._pool is not None:
+                self._pool.close()
+            self._segment.close()
+            self._segment.unlink()
+            self._segment = None
+            raise
+
+        self._task_counter = 0
+        self._results: dict[int, RouteResults] = {}
+        self._acks: dict[int, int] = {}
+        self._shard_requests: dict[int, int] = {}
+        self._cross_shard = 0
+        self._in_shard = 0
+        self._broadcast_lag_s = 0.0
+        self._crash_worker: int | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def segment_name(self) -> str | None:
+        """The shared segment's OS name (``None`` after close)."""
+        return self._segment.name if self._segment is not None else None
+
+    def engines(self) -> list[str]:
+        return list(self._engine_features)
+
+    @property
+    def default_engine(self) -> str:
+        return self._default_engine
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def route(self, request: RouteRequest, engine: str | None = None) -> RouteResponse:
+        """Answer one request (dispatched to its source shard's worker)."""
+        return self.route_many([request], engine=engine)[0]
+
+    def route_between(
+        self,
+        source: "VertexId",
+        destination: "VertexId",
+        *,
+        engine: str | None = None,
+        **request_fields: object,
+    ) -> RouteResponse:
+        request = RouteRequest(
+            source=source, destination=destination, **request_fields  # type: ignore[arg-type]
+        )
+        return self.route(request, engine=engine)
+
+    def route_many(
+        self,
+        requests: Sequence[RouteRequest] | Iterable[RouteRequest],
+        engine: str | None = None,
+    ) -> list[RouteResponse]:
+        """Answer a batch, preserving order.
+
+        Requests are partitioned by source shard and shipped as one
+        :class:`RouteWork` per involved worker; a worker found dead while
+        its batch is pending is restarted (it resyncs from the shared
+        segment) and the batch is resubmitted — with any chaos crash hook
+        stripped, so a crash test observes exactly one crash.
+        """
+        batch = list(requests)
+        if not batch:
+            return []
+        name = engine or self._default_engine
+        if name not in self._engine_features:
+            raise ConfigurationError(
+                f"no engine named {name!r} is registered "
+                f"(have: {sorted(self._engine_features)})"
+            )
+        with self._lock:
+            self._ensure_open()
+            return self._route_many_locked(batch, name)
+
+    def _route_many_locked(
+        self, batch: list[RouteRequest], name: str
+    ) -> list[RouteResponse]:
+        assert self._pool is not None
+        responses: list[RouteResponse | None] = [None] * len(batch)
+        by_shard: dict[int, list[int]] = {}
+        for position, request in enumerate(batch):
+            shard_id = self._plan.shard_of(request.source)
+            if shard_id is None:
+                responses[position] = RouteResponse(
+                    request=request,
+                    path=None,
+                    engine=name,
+                    error=f"VertexNotFoundError: vertex {request.source!r} "
+                    "is not in the network",
+                )
+                continue
+            by_shard.setdefault(shard_id, []).append(position)
+
+        pending: dict[int, tuple[int, RouteWork]] = {}
+        for shard_id, positions in by_shard.items():
+            self._task_counter += 1
+            crash_at = None
+            if self._crash_worker == shard_id:
+                crash_at = 0
+                self._crash_worker = None
+            work = RouteWork(
+                task_id=self._task_counter,
+                engine=name,
+                requests=tuple(batch[position] for position in positions),
+                positions=tuple(positions),
+                crash_at=crash_at,
+            )
+            self._pool.submit(shard_id, work)
+            pending[work.task_id] = (shard_id, work)
+            self._shard_requests[shard_id] = (
+                self._shard_requests.get(shard_id, 0) + len(positions)
+            )
+
+        deadline = time.monotonic() + self._request_timeout_s
+        while pending and time.monotonic() < deadline:
+            self._pump(timeout_s=0.05)
+            for task_id in list(pending):
+                result = self._results.pop(task_id, None)
+                if result is None:
+                    continue
+                del pending[task_id]
+                self._fold_results(batch, result, responses)
+            if pending:
+                self._revive_and_resubmit(pending)
+
+        for shard_id, work in pending.values():
+            for request, position in zip(work.requests, work.positions):
+                responses[position] = RouteResponse(
+                    request=request,
+                    path=None,
+                    engine=name,
+                    error=f"ShardingError: shard {shard_id} worker did not answer "
+                    f"within {self._request_timeout_s:.0f}s",
+                )
+
+        final: list[RouteResponse] = []
+        for position, response in enumerate(responses):
+            assert response is not None
+            self._stats.record(response)
+            final.append(response)
+        return final
+
+    def _fold_results(
+        self,
+        batch: list[RouteRequest],
+        result: RouteResults,
+        responses: list[RouteResponse | None],
+    ) -> None:
+        for answer in result.answers:
+            request = batch[answer.position]
+            path = Path.of(answer.vertices) if answer.vertices is not None else None
+            if answer.cross_shard:
+                self._cross_shard += 1
+            else:
+                self._in_shard += 1
+            responses[answer.position] = RouteResponse(
+                request=request,
+                path=path,
+                engine=answer.engine,
+                latency_s=answer.latency_s,
+                cache_hit=answer.cache_hit,
+                batched=True,
+                error=answer.error,
+            )
+
+    def _revive_and_resubmit(self, pending: dict[int, tuple[int, RouteWork]]) -> None:
+        """Restart dead workers and resubmit their unanswered batches."""
+        assert self._pool is not None
+        if all(self._pool.alive()):
+            return
+        restarted = set(self._pool.restart_dead())
+        if not restarted:
+            return
+        for task_id, (shard_id, work) in list(pending.items()):
+            if shard_id in restarted:
+                clean = replace(work, crash_at=None)
+                pending[task_id] = (shard_id, clean)
+                self._pool.submit(shard_id, clean)
+
+    def _pump(self, timeout_s: float) -> None:
+        """Drain one coordinator-bound message into the routing tables."""
+        assert self._pool is not None
+        try:
+            message = self._pool.recv(timeout_s=timeout_s)
+        except queue.Empty:
+            return
+        if isinstance(message, RouteResults):
+            # Duplicates (a worker that died *after* sending, then got its
+            # batch resubmitted) are harmless: last write wins and both
+            # carry the same answers.
+            self._results[message.task_id] = message
+        elif isinstance(message, VersionAck):
+            current = self._acks.get(message.worker_id, 0)
+            self._acks[message.worker_id] = max(current, message.version)
+        elif isinstance(message, (Hello, Fatal)):
+            # Late handshakes from restarts / crash reports: liveness is
+            # tracked through the pool, nothing to do here.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Live traffic
+    # ------------------------------------------------------------------ #
+    def apply_traffic(
+        self,
+        updates: Iterable["TrafficUpdate"],
+        *,
+        wait: bool = True,
+        timeout_s: float | None = None,
+    ) -> "TrafficUpdateResult":
+        """Apply one live-traffic batch across the whole deployment.
+
+        Master network first (transactional), then the shared segment
+        (late attachers and restarted workers resync from it), then the
+        versioned :class:`CostDiff` broadcast.  With ``wait=True`` the call
+        returns only after every worker acknowledged the new version — the
+        barrier the cost-identity guarantees are stated under; the measured
+        apply-to-last-ack time is exported as ``broadcast_lag_s``.
+        """
+        with self._lock:
+            self._ensure_open()
+            assert self._pool is not None and self._segment is not None
+            base_version = self._network.cost_version
+            result = self._feed.apply(updates)
+            self._stats.record_traffic(
+                len(result.touched_edges), 0, result.cost_version
+            )
+            if not result.touched_edges:
+                return result
+            graph = self._network.compiled()
+            slot_of = graph.topology.slot_of
+            self._segment.patch(
+                graph,
+                [slot_of[key] for key in result.touched_edges],
+                result.cost_version,
+            )
+            started = time.perf_counter()
+            changes = tuple(
+                (
+                    key,
+                    tuple(
+                        (attr, float(getattr(self._network.edge(*key), attr)))
+                        for attr in _COST_ATTRIBUTES
+                    ),
+                )
+                for key in sorted(result.touched_edges)
+            )
+            self._pool.broadcast(
+                CostDiff(
+                    version=result.cost_version,
+                    base_version=base_version,
+                    changes=changes,
+                )
+            )
+            if wait:
+                self._await_acks(
+                    result.cost_version,
+                    self._traffic_timeout_s if timeout_s is None else timeout_s,
+                )
+                self._broadcast_lag_s = time.perf_counter() - started
+            return result
+
+    def _await_acks(self, version: int, timeout_s: float) -> None:
+        assert self._pool is not None
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(
+                self._acks.get(worker_id, 0) >= version
+                for worker_id in range(self._pool.size)
+            ):
+                return
+            self._pump(timeout_s=0.05)
+            if not all(self._pool.alive()):
+                # A worker that died mid-broadcast resyncs from the segment
+                # at boot, which carries this version already.
+                for worker_id in self._pool.restart_dead():
+                    self._acks[worker_id] = version
+        raise ShardingError(
+            f"traffic broadcast v{version} was not acknowledged by all "
+            f"workers within {timeout_s:.0f}s"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Monitoring / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """A frozen snapshot including the sharding counters."""
+        with self._lock:
+            return self._stats.snapshot(
+                CacheStats(hits=0, misses=0, size=0, max_size=0),
+                shards=self._plan.shard_count,
+                shard_requests=dict(self._shard_requests),
+                cross_shard_requests=self._cross_shard,
+                in_shard_requests=self._in_shard,
+                broadcast_lag_s=self._broadcast_lag_s,
+                worker_restarts=self._pool.restarts if self._pool is not None else 0,
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats.reset()
+            self._shard_requests = {}
+            self._cross_shard = 0
+            self._in_shard = 0
+
+    def inject_crash(self, shard_id: int) -> None:
+        """Chaos hook: the next batch for ``shard_id`` hard-kills its worker
+        (test-only; the pool restart path must serve identical results)."""
+        with self._lock:
+            self._crash_worker = shard_id
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ShardingError("ShardedRoutingService is closed")
+
+    def close(self, timeout_s: float = 5.0) -> bool:
+        """Shut the pool down, then close and unlink the segment.
+
+        Idempotent.  The unlink happens *after* the workers exited (their
+        attached views keep the memory alive regardless, but unlinking last
+        keeps restart-during-close races impossible).
+        """
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+            clean = True
+            if self._pool is not None:
+                clean = self._pool.close(timeout_s=timeout_s)
+                self._pool = None
+            if self._segment is not None:
+                self._segment.close()
+                self._segment.unlink()
+                self._segment = None
+            return clean
+
+    def __enter__(self) -> "ShardedRoutingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedRoutingService(shards={self._plan.shard_count}, "
+            f"method={self._plan.method!r}, closed={self._closed})"
+        )

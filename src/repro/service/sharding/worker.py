@@ -1,0 +1,366 @@
+"""The shard worker: one spawned process serving one shard's queries.
+
+Boot protocol (the order matters):
+
+1. attach the shared segment (:func:`repro.network.compiled.shm.attach` —
+   close-only lifecycle, the worker never unlinks);
+2. verify the pickled network snapshot compiles to the *same* CSR topology
+   the segment describes (slot-indexed patches would land on wrong edges
+   otherwise);
+3. :func:`~repro.network.compiled.shm.sync_network` the snapshot up to the
+   segment's cost state (the pickle may predate live-traffic batches);
+4. adopt the segment's cost arrays zero-copy into the compiled snapshot
+   (one set of big float arrays per machine, not per worker);
+5. build the :class:`~repro.service.sharding.overlay.BoundaryOverlay` and
+   start answering.
+
+Live traffic arrives as versioned :class:`CostDiff` broadcasts; a worker
+whose version does not match the diff's base resyncs from the segment (the
+authoritative state) instead of applying the diff.  Either way every route
+answer cached under the old version is dropped — the self-eviction the
+coordinator's broadcast protocol is designed around.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ...exceptions import NetworkError, ReproError
+from ...network.compiled import shm
+from ...routing.costs import ALL_COST_FEATURES, FEATURE_EDGE_ATTRIBUTES, CostFeature, cost_function
+from ...routing.dijkstra import dijkstra
+from .overlay import BoundaryOverlay, CrossShardRouter
+from .protocol import (
+    CostDiff,
+    Fatal,
+    Hello,
+    QueueTransport,
+    RouteAnswer,
+    RouteResults,
+    RouteWork,
+    Shutdown,
+    Transport,
+    VersionAck,
+    WorkerPayload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...network.road_network import RoadNetwork, VertexId
+
+#: How long one ``recv`` blocks before the loop re-checks its running flag.
+_POLL_TIMEOUT_S = 0.2
+
+
+def resync_network(network: "RoadNetwork", view: shm.SegmentView) -> frozenset[tuple["VertexId", "VertexId"]]:
+    """Bring a network's *edge objects* up to the segment's cost state.
+
+    Unlike :func:`~repro.network.compiled.shm.sync_network` (which diffs the
+    compiled arrays and is the right tool at boot), this compares the
+    authoritative ``Edge`` attribute values — correct even after
+    :func:`~repro.network.compiled.shm.adopt_shared_costs` made the compiled
+    arrays aliases of the segment (patched in place by the owner, so an
+    array diff would see nothing while the edges are stale).
+    """
+    edge_keys = view.array("edge_keys")
+    changes: dict[tuple["VertexId", "VertexId"], dict[str, float]] = {}
+    for attr in view.spec.cost_attributes:
+        shared = view.cost_array(attr)
+        for slot in range(view.edge_count):
+            key = (int(edge_keys[slot, 0]), int(edge_keys[slot, 1]))
+            value = float(shared[slot])
+            if getattr(network.edge(*key), attr) != value:
+                changes.setdefault(key, {})[attr] = value
+    if not changes:
+        return frozenset()
+    return network.update_edge_costs(changes)
+
+
+class ShardWorker:
+    """The serving loop behind one shard; transport-agnostic."""
+
+    def __init__(self, payload: WorkerPayload, transport: Transport) -> None:
+        self.payload = payload
+        self.transport = transport
+        self.network = payload.network
+        self.view: shm.SegmentView | None = None
+        self.overlay: BoundaryOverlay | None = None
+        self.router: CrossShardRouter | None = None
+        self.version = 0
+        self._engine_features = dict(payload.engines)
+        self._answers: OrderedDict[
+            tuple[CostFeature, "VertexId", "VertexId"],
+            tuple[tuple["VertexId", ...] | None, bool],
+        ] = OrderedDict()
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def boot(self) -> None:
+        view = shm.attach(self.payload.spec)
+        try:
+            graph = self.network.compiled()
+            if not shm.verify_topology(graph, view):
+                raise NetworkError(
+                    f"worker {self.payload.worker_id}: segment "
+                    f"{self.payload.spec.segment_name!r} does not match the "
+                    "pickled network's CSR topology"
+                )
+            shm.sync_network(self.network, view)
+            shm.adopt_shared_costs(self.network.compiled(), view)
+            self.version = view.cost_version
+            self.overlay = BoundaryOverlay(self.network, self.payload.plan)
+            self.router = CrossShardRouter(self.network, self.overlay)
+        except BaseException:
+            view.close()
+            raise
+        self.view = view
+
+    def close(self) -> None:
+        """Idempotent: drop the segment mapping (never unlink — the owner's
+        job) and stop the loop."""
+        self._running = False
+        if self.view is not None:
+            self.view.close()
+            self.view = None
+
+    def run(self) -> None:
+        """Serve until :class:`Shutdown` (or transport teardown)."""
+        self._running = True
+        self.transport.send(
+            Hello(
+                worker_id=self.payload.worker_id,
+                shard_id=self.payload.shard_id,
+                pid=os.getpid(),
+                cost_version=self.version,
+            )
+        )
+        while self._running:
+            try:
+                message = self.transport.recv(timeout_s=_POLL_TIMEOUT_S)
+            except queue.Empty:
+                continue
+            except (EOFError, OSError):
+                break
+            self.handle(message)
+
+    def handle(self, message: object) -> None:
+        if isinstance(message, RouteWork):
+            self.transport.send(self.serve(message))
+        elif isinstance(message, CostDiff):
+            self.apply_diff(message)
+            self.transport.send(
+                VersionAck(worker_id=self.payload.worker_id, version=self.version)
+            )
+        elif isinstance(message, Shutdown):
+            self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, work: RouteWork) -> RouteResults:
+        if work.crash_at is not None:
+            # Chaos hook: die the way a segfaulting worker would — no
+            # goodbye message, no cleanup, mid-batch.
+            os._exit(23)
+        started = time.perf_counter()
+        answers: list[RouteAnswer] = []
+        engine = work.engine or self.payload.default_engine
+        default_feature = self._engine_features.get(engine)
+        if default_feature is None:
+            for request, position in zip(work.requests, work.positions):
+                answers.append(
+                    RouteAnswer(
+                        position=position,
+                        vertices=None,
+                        engine=engine,
+                        error=f"ConfigurationError: no engine named {engine!r} "
+                        f"on shard workers (have: {sorted(self._engine_features)})",
+                    )
+                )
+            return RouteResults(
+                task_id=work.task_id, worker_id=self.payload.worker_id, answers=tuple(answers)
+            )
+
+        groups: dict[CostFeature, list[int]] = {}
+        for index, request in enumerate(work.requests):
+            feature = request.cost_override or default_feature
+            groups.setdefault(feature, []).append(index)
+        slots: list[RouteAnswer | None] = [None] * len(work.requests)
+        for feature, members in groups.items():
+            self._serve_group(work, engine, feature, members, slots)
+        elapsed = time.perf_counter() - started
+        per_request = elapsed / max(1, len(work.requests))
+        finished = tuple(
+            replace(answer, latency_s=per_request)
+            for answer in slots
+            if answer is not None
+        )
+        return RouteResults(
+            task_id=work.task_id, worker_id=self.payload.worker_id, answers=finished
+        )
+
+    def _serve_group(
+        self,
+        work: RouteWork,
+        engine: str,
+        feature: CostFeature,
+        members: list[int],
+        slots: list[RouteAnswer | None],
+    ) -> None:
+        assert self.router is not None
+        plan = self.payload.plan
+        pending: list[int] = []
+        for index in members:
+            request = work.requests[index]
+            position = work.positions[index]
+            if plan.shard_of(request.source) is None or plan.shard_of(request.destination) is None:
+                missing = (
+                    request.source
+                    if plan.shard_of(request.source) is None
+                    else request.destination
+                )
+                slots[index] = RouteAnswer(
+                    position=position,
+                    vertices=None,
+                    engine=engine,
+                    error=f"VertexNotFoundError: vertex {missing!r} is not in the network",
+                )
+                continue
+            cached = self._answers.get((feature, request.source, request.destination))
+            if cached is not None:
+                vertices, cross_shard = cached
+                slots[index] = self._answer(position, engine, feature, vertices, cross_shard, True)
+                continue
+            pending.append(index)
+        if not pending:
+            return
+
+        pairs = [
+            (work.requests[index].source, work.requests[index].destination)
+            for index in pending
+        ]
+        routed = self.router.route_pairs(pairs, feature)
+        if routed is None:
+            # Compiled machinery unavailable: serve exactly, one reference
+            # search per pair on the full network.
+            routed = []
+            cost = cost_function(feature)
+            for source, destination in pairs:
+                try:
+                    routed.append((tuple(dijkstra(self.network, source, destination, cost)), False))
+                except ReproError:
+                    routed.append((None, False))
+        for index, (vertices, cross_shard) in zip(pending, routed):
+            request = work.requests[index]
+            self._remember(feature, request.source, request.destination, vertices, cross_shard)
+            slots[index] = self._answer(
+                work.positions[index], engine, feature, vertices, cross_shard, False
+            )
+
+    def _answer(
+        self,
+        position: int,
+        engine: str,
+        feature: CostFeature,
+        vertices: tuple["VertexId", ...] | None,
+        cross_shard: bool,
+        cache_hit: bool,
+    ) -> RouteAnswer:
+        if vertices is None:
+            return RouteAnswer(
+                position=position,
+                vertices=None,
+                engine=engine,
+                cross_shard=cross_shard,
+                cache_hit=cache_hit,
+                error="NoPathError: destination unreachable from source",
+            )
+        return RouteAnswer(
+            position=position,
+            vertices=vertices,
+            engine=engine,
+            cross_shard=cross_shard,
+            cache_hit=cache_hit,
+        )
+
+    def _remember(
+        self,
+        feature: CostFeature,
+        source: "VertexId",
+        destination: "VertexId",
+        vertices: tuple["VertexId", ...] | None,
+        cross_shard: bool,
+    ) -> None:
+        capacity = self.payload.cache_size
+        if capacity < 1:
+            return
+        self._answers[(feature, source, destination)] = (vertices, cross_shard)
+        self._answers.move_to_end((feature, source, destination))
+        while len(self._answers) > capacity:
+            self._answers.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # Live traffic
+    # ------------------------------------------------------------------ #
+    def apply_diff(self, diff: CostDiff) -> None:
+        """Apply one versioned broadcast (or resync on a version gap)."""
+        assert self.overlay is not None
+        if diff.version <= self.version:
+            return
+        if diff.base_version != self.version:
+            self.resync()
+            return
+        changes = diff.as_updates()
+        try:
+            self.network.update_edge_costs(changes)
+            self.overlay.apply(changes)
+        except ReproError:
+            # A diff that no longer applies cleanly (e.g. replayed against a
+            # restarted worker) is superseded by the segment's state.
+            self.resync()
+            return
+        self.version = diff.version
+        self._answers.clear()
+
+    def resync(self) -> None:
+        """Adopt the shared segment's cost state wholesale."""
+        assert self.view is not None and self.overlay is not None
+        changed = resync_network(self.network, self.view)
+        if changed:
+            updates: dict[tuple["VertexId", "VertexId"], dict[str, float]] = {}
+            for key in changed:
+                edge = self.network.edge(*key)
+                updates[key] = {
+                    FEATURE_EDGE_ATTRIBUTES[feature]: getattr(
+                        edge, FEATURE_EDGE_ATTRIBUTES[feature]
+                    )
+                    for feature in ALL_COST_FEATURES
+                }
+            self.overlay.apply(updates)
+        self.version = self.view.cost_version
+        self._answers.clear()
+
+
+def _worker_entry(payload: WorkerPayload, inbox: object, outbox: object) -> None:
+    """Spawn target: boot, serve, always close the segment view.
+
+    Module-level so the spawn pickle can import it; boot failures are
+    reported as :class:`Fatal` so the pool does not hang on the handshake.
+    """
+    transport = QueueTransport(inbox=inbox, outbox=outbox)
+    worker = ShardWorker(payload, transport)
+    try:
+        worker.boot()
+    except BaseException as exc:  # noqa: BLE001 - reported, then re-raised
+        transport.send(Fatal(worker_id=payload.worker_id, error=f"{type(exc).__name__}: {exc}"))
+        raise
+    try:
+        worker.run()
+    finally:
+        worker.close()

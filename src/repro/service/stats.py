@@ -82,6 +82,21 @@ class ServiceStats:
     """Snapshot of the attached :class:`~repro.traffic.drain.TrafficDrain`
     (queue depth, staleness, crash counts), or ``None`` when no drain is
     attached."""
+    shards: int = 0
+    """Worker shards behind a :class:`~repro.service.sharding.
+    ShardedRoutingService` (0 for an in-process service)."""
+    shard_requests: dict[int, int] = field(default_factory=dict)
+    """Shard id -> requests dispatched to that shard's worker."""
+    cross_shard_requests: int = 0
+    """Requests answered through the boundary overlay (source and
+    destination in different shards, or an in-shard escape path won)."""
+    in_shard_requests: int = 0
+    """Requests answered entirely within one shard's sub-network."""
+    broadcast_lag_s: float = 0.0
+    """Wall-clock seconds from the latest traffic batch landing in the
+    shared segment to the last worker acknowledging its version."""
+    worker_restarts: int = 0
+    """Worker processes respawned by the pool after dying mid-service."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -177,11 +192,18 @@ class StatsAccumulator:
         breaker_trips: int = 0,
         breaker_states: dict[str, str] | None = None,
         drain: "DrainStats | None" = None,
+        shards: int = 0,
+        shard_requests: dict[int, int] | None = None,
+        cross_shard_requests: int = 0,
+        in_shard_requests: int = 0,
+        broadcast_lag_s: float = 0.0,
+        worker_restarts: int = 0,
     ) -> ServiceStats:
         """Freeze the counters; ``hierarchy_reweights``, ``shed``, the
-        breaker fields, and ``drain`` are sampled by the service from its
-        engines / admission controller / breakers / attached drain (component
-        state, not window counters, so :meth:`reset` does not zero them)."""
+        breaker fields, ``drain``, and the sharding fields are sampled by
+        the service from its engines / admission controller / breakers /
+        attached drain / worker pool (component state, not window counters,
+        so :meth:`reset` does not zero them)."""
         with self._lock:
             latencies = list(self._latencies)
             batch_latencies = list(self._batch_latencies)
@@ -213,6 +235,12 @@ class StatsAccumulator:
                 breaker_trips=breaker_trips,
                 breaker_states=dict(breaker_states or {}),
                 drain=drain,
+                shards=shards,
+                shard_requests=dict(shard_requests or {}),
+                cross_shard_requests=cross_shard_requests,
+                in_shard_requests=in_shard_requests,
+                broadcast_lag_s=broadcast_lag_s,
+                worker_restarts=worker_restarts,
             )
 
     def reset(self) -> None:

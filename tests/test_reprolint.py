@@ -1,6 +1,6 @@
 """The reprolint static analyzer (:mod:`tools.reprolint`).
 
-Each rule RL001–RL008 gets a positive fixture (the violation fires), a
+Each rule RL001–RL009 gets a positive fixture (the violation fires), a
 negative fixture (the compliant idiom stays silent), and a suppression
 fixture (``# reprolint: disable=...`` moves the finding to ``suppressed``).
 Fixtures go through :func:`~tools.reprolint.lint_source` with a fake
@@ -369,6 +369,129 @@ class TestRL008UnboundedBlocking:
 
 
 # -------------------------------------------------------------------- #
+# RL009 — shared-memory segment lifecycle discipline
+# -------------------------------------------------------------------- #
+RL009_OWNER_BAD = """\
+from multiprocessing import shared_memory
+
+def export(total):
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    return shm.name
+"""
+
+RL009_OWNER_GOOD = """\
+from multiprocessing import shared_memory
+
+def export(total):
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        return build(shm)
+    except Exception:
+        shm.close()
+        shm.unlink()
+        raise
+"""
+
+RL009_ATTACH_BAD = """\
+from multiprocessing import shared_memory
+
+def peek(name):
+    shm = shared_memory.SharedMemory(name=name)
+    return bytes(shm.buf[:8])
+"""
+
+RL009_ATTACH_GOOD = """\
+from multiprocessing import shared_memory
+
+def peek(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:8])
+    finally:
+        shm.close()
+"""
+
+RL009_ATTACH_UNLINKS = """\
+from multiprocessing import shared_memory
+
+def steal(name):
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        shm.unlink()
+    finally:
+        shm.close()
+"""
+
+
+class TestRL009SharedMemoryLifecycle:
+    def test_owner_without_close_and_unlink_is_flagged(self):
+        result = _lint(RL009_OWNER_BAD, COMPILED_PATH)
+        assert _codes(result) == ["RL009"]
+        (finding,) = result.findings
+        assert "close" in finding.message and "unlink" in finding.message
+
+    def test_owner_with_close_and_unlink_is_clean(self):
+        assert _lint(RL009_OWNER_GOOD, COMPILED_PATH).ok
+
+    def test_owner_with_statement_still_needs_unlink(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def export(total):\n"
+            "    with shared_memory.SharedMemory(create=True, size=total) as shm:\n"
+            "        fill(shm)\n"
+        )
+        assert _codes(_lint(source, COMPILED_PATH)) == ["RL009"]
+
+    def test_owner_with_statement_plus_unlink_is_clean(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def export(total):\n"
+            "    with shared_memory.SharedMemory(create=True, size=total) as shm:\n"
+            "        fill(shm)\n"
+            "        shm.unlink()\n"
+        )
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_directly_returned_handle_transfers_the_obligation(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def open_segment(name):\n"
+            "    return shared_memory.SharedMemory(name=name)\n"
+        )
+        assert _lint(source, COMPILED_PATH).ok
+
+    def test_attach_without_close_is_flagged(self):
+        result = _lint(RL009_ATTACH_BAD, SERVICE_PATH)
+        assert _codes(result) == ["RL009"]
+        (finding,) = result.findings
+        assert "close-only" in finding.message
+
+    def test_attach_with_close_is_clean(self):
+        assert _lint(RL009_ATTACH_GOOD, SERVICE_PATH).ok
+
+    def test_attach_side_unlink_is_flagged(self):
+        result = _lint(RL009_ATTACH_UNLINKS, SERVICE_PATH)
+        assert _codes(result) == ["RL009"]
+        (finding,) = result.findings
+        assert "only the creating owner" in finding.message
+
+    def test_rule_applies_outside_src_too(self):
+        assert _codes(_lint(RL009_ATTACH_BAD, BENCH_PATH)) == ["RL009"]
+
+    def test_suppression_comment_is_honored(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def peek(name):\n"
+            "    # reprolint: disable-next-line=RL009 — probe closed by caller.\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return shm\n"
+        )
+        result = _lint(source, SERVICE_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL009"]
+
+
+# -------------------------------------------------------------------- #
 # Engine: suppressions, errors, reporters, gating
 # -------------------------------------------------------------------- #
 class TestSuppressions:
@@ -413,14 +536,14 @@ class TestEngine:
         assert payload["ok"] is False
         assert payload["files"] == 1
         assert [entry["rule"] for entry in payload["findings"]] == ["RL001"]
-        assert len(payload["rules"]) == len(ALL_RULES) == 8
+        assert len(payload["rules"]) == len(ALL_RULES) == 9
         assert {rule.rule_id for rule in ALL_RULES} == {
-            f"RL00{i}" for i in range(1, 9)
+            f"RL00{i}" for i in range(1, 10)
         }
 
     def test_render_text_summary_line(self):
         text = render_text(_lint("x = 1\n", "src/ok.py"), ALL_RULES)
-        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 8 rule(s)")
+        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 9 rule(s)")
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "service"

@@ -1,0 +1,383 @@
+"""Sharded multi-process serving (:mod:`repro.service.sharding`).
+
+Three layers of guarantees:
+
+* **plan** — every vertex lands in exactly one shard, boundary vertices are
+  exactly the endpoints of cut edges, sub-networks are faithful induced
+  copies;
+* **overlay** — cross-shard stitching through the boundary overlay is
+  *cost-identical* to full-network Dijkstra, on randomized grids, for every
+  cost feature, and stays identical through randomized live-traffic
+  sequences (the property tests);
+* **service** — the spawn-based deployment serves the same answers as an
+  in-process reference, survives a worker crash mid-batch with identical
+  results, honors the traffic ack barrier, and leaks no shared-memory
+  segment on shutdown.
+
+The multi-process tests boot real worker processes (slow on a cold
+interpreter), so they share one deployment per scenario and keep the grids
+small.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, NetworkError, ShardingError
+from repro.network import grid_city_network
+from repro.network.compiled import shm
+from repro.routing import CostFeature, cost_function, dijkstra
+from repro.service import (
+    RouteRequest,
+    RoutingService,
+    ShardedRoutingService,
+    build_shard_plan,
+)
+from repro.service.sharding import (
+    BoundaryOverlay,
+    CostDiff,
+    CrossShardRouter,
+    QueueTransport,
+)
+from repro.service.sharding.overlay import path_cost
+from repro.traffic import TrafficFeed
+from repro.traffic.updates import TrafficUpdate
+
+ALL_FEATURES = (CostFeature.DISTANCE, CostFeature.TRAVEL_TIME, CostFeature.FUEL)
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        probe = shm._attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+def _reference_cost(network, source, destination, feature) -> float:
+    try:
+        path = dijkstra(network, source, destination, cost_function(feature))
+    except Exception:
+        return math.inf
+    return path_cost(network, tuple(path), feature)
+
+
+# -------------------------------------------------------------------- #
+# Shard plans
+# -------------------------------------------------------------------- #
+class TestShardPlan:
+    def test_partition_covers_every_vertex_exactly_once(self):
+        network = grid_city_network(5, 5)
+        plan = build_shard_plan(network, 3)
+        seen = [v for shard in plan.shards for v in shard]
+        assert sorted(seen) == sorted(network.vertex_ids())
+        assert len(seen) == len(set(seen))
+        assert plan.shard_count == 3
+
+    def test_boundary_is_exactly_the_cut_edge_endpoints(self):
+        network = grid_city_network(4, 6)
+        plan = build_shard_plan(network, 2)
+        endpoints = set()
+        for source, target in plan.cut_edges:
+            assert plan.shard_of(source) != plan.shard_of(target)
+            endpoints.add(source)
+            endpoints.add(target)
+        assert plan.boundary_vertices == frozenset(endpoints)
+        for shard_id, boundary in enumerate(plan.boundary):
+            assert all(plan.shard_of(v) == shard_id for v in boundary)
+            assert list(boundary) == sorted(boundary)
+
+    def test_subnetwork_is_a_faithful_induced_copy(self):
+        network = grid_city_network(4, 4)
+        plan = build_shard_plan(network, 2)
+        sub = plan.subnetwork(network, 0)
+        members = set(plan.shards[0])
+        assert set(sub.vertex_ids()) == members
+        for edge in sub.edges():
+            original = network.edge(edge.source, edge.target)
+            assert edge.distance_m == original.distance_m
+            assert edge.travel_time_s == original.travel_time_s
+            assert edge.fuel_ml == original.fuel_ml
+            assert edge.road_type == original.road_type
+        expected = sum(
+            1
+            for e in network.edges()
+            if e.source in members and e.target in members
+        )
+        assert sum(1 for _ in sub.edges()) == expected
+
+    def test_unknown_vertex_has_no_shard(self):
+        network = grid_city_network(3, 3)
+        plan = build_shard_plan(network, 2)
+        assert plan.shard_of(10_000) is None
+
+    def test_infeasible_shard_count_is_refused(self):
+        network = grid_city_network(2, 2)
+        with pytest.raises(NetworkError):
+            build_shard_plan(network, 5)
+
+    def test_bfs_method_partitions_too(self):
+        network = grid_city_network(4, 4)
+        plan = build_shard_plan(network, 3, method="bfs")
+        assert plan.method == "bfs"
+        assert sorted(v for s in plan.shards for v in s) == sorted(
+            network.vertex_ids()
+        )
+
+
+# -------------------------------------------------------------------- #
+# Boundary overlay: exact cross-shard stitching (property tests)
+# -------------------------------------------------------------------- #
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.integers(min_value=3, max_value=5),
+    cols=st.integers(min_value=3, max_value=5),
+    shard_count=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cross_shard_routing_is_cost_identical_on_random_grids(
+    rows, cols, shard_count, seed
+):
+    network = grid_city_network(rows, cols, seed=seed % 1000)
+    plan = build_shard_plan(network, shard_count)
+    router = CrossShardRouter(network, BoundaryOverlay(network, plan))
+    rng = random.Random(seed)
+    vertices = sorted(network.vertex_ids())
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(10)
+    ]
+    for feature in ALL_FEATURES:
+        answers = router.route_pairs(pairs, feature)
+        assert answers is not None
+        for (source, destination), (path_vertices, _) in zip(pairs, answers):
+            expected = _reference_cost(network, source, destination, feature)
+            got = (
+                path_cost(network, path_vertices, feature)
+                if path_vertices is not None
+                else math.inf
+            )
+            assert math.isclose(got, expected, rel_tol=1e-9) or (
+                math.isinf(got) and math.isinf(expected)
+            ), (source, destination, feature, got, expected)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rounds=st.integers(min_value=1, max_value=3),
+)
+def test_identity_survives_randomized_traffic_sequences(seed, rounds):
+    network = grid_city_network(4, 4, seed=seed % 100)
+    plan = build_shard_plan(network, 3)
+    overlay = BoundaryOverlay(network, plan)
+    router = CrossShardRouter(network, overlay)
+    feed = TrafficFeed(network)
+    rng = random.Random(seed)
+    vertices = sorted(network.vertex_ids())
+    edges = [(e.source, e.target) for e in network.edges()]
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(8)]
+    for _ in range(rounds):
+        batch = [
+            TrafficUpdate.scale_by(
+                *rng.choice(edges),
+                travel_time_s=rng.uniform(0.5, 3.0),
+                fuel_ml=rng.uniform(0.8, 1.5),
+            )
+            for _ in range(6)
+        ]
+        result = feed.apply(batch)
+        changes = {
+            key: {
+                attr: float(getattr(network.edge(*key), attr))
+                for attr in ("distance_m", "travel_time_s", "fuel_ml")
+            }
+            for key in result.touched_edges
+        }
+        overlay.apply(changes)
+        for feature in ALL_FEATURES:
+            answers = router.route_pairs(pairs, feature)
+            assert answers is not None
+            for (source, destination), (path_vertices, _) in zip(pairs, answers):
+                expected = _reference_cost(network, source, destination, feature)
+                got = (
+                    path_cost(network, path_vertices, feature)
+                    if path_vertices is not None
+                    else math.inf
+                )
+                assert math.isclose(got, expected, rel_tol=1e-9), (
+                    source,
+                    destination,
+                    feature,
+                    got,
+                    expected,
+                )
+
+
+class TestBoundaryOverlay:
+    def test_overlay_matrix_matches_reference(self):
+        network = grid_city_network(4, 4)
+        plan = build_shard_plan(network, 2)
+        overlay = BoundaryOverlay(network, plan)
+        for feature in ALL_FEATURES:
+            matrix, index = overlay.matrix(feature)
+            assert set(index) == plan.boundary_vertices
+            for source, row in zip(overlay.order, matrix):
+                for target, value in zip(overlay.order, row):
+                    expected = _reference_cost(network, source, target, feature)
+                    assert math.isclose(
+                        float(value), expected, rel_tol=1e-9
+                    ) or (math.isinf(float(value)) and math.isinf(expected))
+
+    def test_reconstructed_paths_are_walkable(self):
+        network = grid_city_network(5, 4)
+        plan = build_shard_plan(network, 3)
+        router = CrossShardRouter(network, BoundaryOverlay(network, plan))
+        rng = random.Random(11)
+        vertices = sorted(network.vertex_ids())
+        pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(12)]
+        answers = router.route_pairs(pairs, CostFeature.DISTANCE)
+        assert answers is not None
+        for (source, destination), (path_vertices, _) in zip(pairs, answers):
+            assert path_vertices is not None
+            assert path_vertices[0] == source
+            assert path_vertices[-1] == destination
+            for a, b in zip(path_vertices, path_vertices[1:]):
+                assert network.has_edge(a, b)
+
+
+# -------------------------------------------------------------------- #
+# Protocol plumbing
+# -------------------------------------------------------------------- #
+class TestProtocol:
+    def test_queue_transport_times_out_instead_of_blocking(self):
+        transport = QueueTransport(
+            inbox=queue.Queue(), outbox=queue.Queue(), default_timeout_s=0.01
+        )
+        with pytest.raises(queue.Empty):
+            transport.recv()
+
+    def test_queue_transport_round_trip(self):
+        inbox: queue.Queue = queue.Queue()
+        outbox: queue.Queue = queue.Queue()
+        transport = QueueTransport(inbox=inbox, outbox=outbox)
+        inbox.put("ping")
+        assert transport.recv(timeout_s=1.0) == "ping"
+        transport.send("pong")
+        assert outbox.get(timeout=1.0) == "pong"
+
+    def test_cost_diff_as_updates(self):
+        diff = CostDiff(
+            version=3,
+            base_version=2,
+            changes=(
+                ((1, 2), (("travel_time_s", 9.0), ("fuel_ml", 1.5))),
+            ),
+        )
+        assert diff.as_updates() == {(1, 2): {"travel_time_s": 9.0, "fuel_ml": 1.5}}
+
+
+# -------------------------------------------------------------------- #
+# The multi-process deployment
+# -------------------------------------------------------------------- #
+def _costs(network, responses, feature):
+    return [
+        path_cost(network, tuple(r.path), feature) if r.path else math.inf
+        for r in responses
+    ]
+
+
+class TestShardedService:
+    def test_end_to_end_identity_traffic_and_crash_recovery(self):
+        network = grid_city_network(6, 6, seed=3)
+        rng = random.Random(7)
+        vertices = sorted(network.vertex_ids())
+        requests = [
+            RouteRequest(source=rng.choice(vertices), destination=rng.choice(vertices))
+            for _ in range(24)
+        ]
+        with ShardedRoutingService(network, shard_count=2) as service:
+            segment_name = service.segment_name
+            assert segment_name is not None and _segment_exists(segment_name)
+
+            # 1. Cost identity against full-network Dijkstra, both engines.
+            for engine, feature in (
+                ("Shortest", CostFeature.DISTANCE),
+                ("Fastest", CostFeature.TRAVEL_TIME),
+            ):
+                responses = service.route_many(requests, engine=engine)
+                expected = [
+                    _reference_cost(network, r.source, r.destination, feature)
+                    for r in requests
+                ]
+                for got, want in zip(_costs(network, responses, feature), expected):
+                    assert math.isclose(got, want, rel_tol=1e-9)
+
+            # 2. Error paths stay coordinator-side.
+            with pytest.raises(ConfigurationError):
+                service.route_many(requests, engine="Teleporter")
+            miss = service.route(RouteRequest(source=99_999, destination=0))
+            assert miss.path is None and "VertexNotFoundError" in (miss.error or "")
+
+            # 3. Traffic barrier: identity holds right after the acked apply.
+            edges = [(e.source, e.target) for e in network.edges()]
+            batch = [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.2, 3.0)
+                )
+                for _ in range(12)
+            ]
+            result = service.apply_traffic(batch, wait=True)
+            assert result.applied and result.cost_version == network.cost_version
+            responses = service.route_many(requests, engine="Fastest")
+            expected = [
+                _reference_cost(
+                    network, r.source, r.destination, CostFeature.TRAVEL_TIME
+                )
+                for r in requests
+            ]
+            for got, want in zip(
+                _costs(network, responses, CostFeature.TRAVEL_TIME), expected
+            ):
+                assert math.isclose(got, want, rel_tol=1e-9)
+
+            # 4. Crash chaos: a worker hard-killed mid-batch is restarted and
+            #    the resubmitted batch serves identical results.
+            service.inject_crash(1)
+            responses = service.route_many(requests, engine="Shortest")
+            expected = [
+                _reference_cost(network, r.source, r.destination, CostFeature.DISTANCE)
+                for r in requests
+            ]
+            for got, want in zip(
+                _costs(network, responses, CostFeature.DISTANCE), expected
+            ):
+                assert math.isclose(got, want, rel_tol=1e-9)
+
+            stats = service.stats()
+            assert stats.shards == 2
+            assert stats.worker_restarts >= 1
+            assert stats.cross_shard_requests + stats.in_shard_requests > 0
+            assert sum(stats.shard_requests.values()) > 0
+            assert stats.traffic_updates == 1
+            assert stats.requests == len(requests) * 4 + 1
+
+        # 5. Clean shutdown leaks no segment.
+        assert not _segment_exists(segment_name)
+        with pytest.raises(ShardingError):
+            service.route(requests[0])
+        assert service.close()  # idempotent

@@ -1,0 +1,225 @@
+"""Shared-memory export of compiled snapshots (:mod:`repro.network.compiled.shm`).
+
+The zero-copy contract: every array an owner exports comes back, through a
+worker-side :func:`attach`, as a read-only C-contiguous view with the pinned
+dtype and bit-identical contents; the header carries enough (magic, layout,
+shape counters, cost version) to reject foreign segments and detect stale
+cost state; and the owner/worker lifecycle split never leaks a segment —
+including on failed exports.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network import grid_city_network
+from repro.network.compiled import shm
+from repro.network.compiled.graph import EDGE_COST_ATTRIBUTES
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        probe = shm._attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+@pytest.fixture
+def network():
+    return grid_city_network(3, 3)
+
+
+@pytest.fixture
+def segment(network):
+    handle = shm.export_graph(network.compiled(), cost_version=network.cost_version)
+    yield handle
+    handle.close()
+    handle.unlink()
+
+
+class TestRoundTrip:
+    def test_every_array_survives_bit_identical(self, network, segment):
+        view = shm.attach(segment.spec)
+        try:
+            graph = network.compiled()
+            for spec in segment.spec.arrays:
+                attached = view.array(spec.name)
+                assert np.array_equal(attached, segment.array(spec.name)), spec.name
+                assert attached.dtype == shm.expected_dtype(spec.name), spec.name
+                assert attached.flags.c_contiguous, spec.name
+                assert not attached.flags.writeable, spec.name
+            for attr in EDGE_COST_ATTRIBUTES:
+                assert np.array_equal(view.cost_array(attr), graph.array(attr))
+        finally:
+            view.close()
+
+    def test_header_counters_and_cost_version(self, network, segment):
+        with shm.attach(segment.spec) as view:
+            graph = network.compiled()
+            assert view.vertex_count == graph.vertex_count
+            assert view.edge_count == graph.edge_count
+            assert view.cost_version == network.cost_version
+
+    def test_edge_keys_table_maps_slots_back_to_edges(self, network, segment):
+        with shm.attach(segment.spec) as view:
+            edge_keys = view.array("edge_keys")
+            for key, slot in network.compiled().topology.slot_of.items():
+                assert (int(edge_keys[slot, 0]), int(edge_keys[slot, 1])) == key
+
+    def test_view_close_is_idempotent_and_keeps_segment(self, segment):
+        view = shm.attach(segment.spec)
+        view.close()
+        view.close()
+        assert _segment_exists(segment.name)
+
+
+class TestExportNormalization:
+    def test_transposed_input_is_forced_contiguous(self):
+        raw = np.asarray(np.zeros((2, 5), dtype=np.int64).T, order="F")
+        assert not raw.flags.c_contiguous
+        arr = shm._exportable("edge_keys", raw)
+        assert arr.flags.c_contiguous and arr.dtype == np.int64
+
+    def test_casted_input_is_normalized_to_pinned_dtype(self):
+        arr = shm._exportable("offsets", np.arange(4, dtype=np.int32))
+        assert arr.dtype == np.int64
+        cost = shm._exportable("cost:distance_m", np.arange(4, dtype=np.float32))
+        assert cost.dtype == np.float64
+
+    def test_wrong_dimensionality_is_refused(self):
+        with pytest.raises(NetworkError, match="1-dimensional"):
+            shm._exportable("offsets", np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(NetworkError, match="2-dimensional"):
+            shm._exportable("edge_keys", np.zeros(4, dtype=np.int64))
+
+    def test_non_numeric_input_is_refused(self):
+        with pytest.raises(NetworkError, match="cannot be exported"):
+            shm._exportable("offsets", np.asarray(["a", "b"]))
+
+    def test_unknown_array_name_is_refused(self):
+        with pytest.raises(NetworkError, match="unknown shared-segment array"):
+            shm.expected_dtype("mystery")
+
+
+class TestCostPatches:
+    def test_patch_updates_attached_views_in_place(self, network, segment):
+        with shm.attach(segment.spec) as view:
+            edge = next(iter(network.edges()))
+            key = (edge.source, edge.target)
+            slot = network.compiled().topology.slot_of[key]
+            before = float(view.cost_array("travel_time_s")[slot])
+            network.update_edge_costs({key: {"travel_time_s": before * 3.0}})
+            written = segment.patch(
+                network.compiled(), [slot], cost_version=network.cost_version
+            )
+            assert written == 1
+            # Zero-copy: the already-attached view observes the patch live.
+            assert view.cost_array("travel_time_s")[slot] == pytest.approx(before * 3.0)
+            assert view.cost_version == network.cost_version
+
+    def test_sync_network_replays_the_segment_delta(self, network, segment):
+        edge = next(iter(network.edges()))
+        key = (edge.source, edge.target)
+        slot = network.compiled().topology.slot_of[key]
+        network.update_edge_costs({key: {"distance_m": 777.0}})
+        segment.patch(network.compiled(), [slot], cost_version=network.cost_version)
+
+        stale = grid_city_network(3, 3)
+        with shm.attach(segment.spec) as view:
+            changed = shm.sync_network(stale, view)
+            assert key in changed
+            assert stale.edge(*key).distance_m == pytest.approx(777.0)
+            assert shm.sync_network(stale, view) == frozenset()
+
+    def test_adopt_shared_costs_serves_patches_zero_copy(self, network, segment):
+        worker_net = grid_city_network(3, 3)
+        with shm.attach(segment.spec) as view:
+            graph = worker_net.compiled()
+            assert shm.adopt_shared_costs(graph, view)
+            edge = next(iter(network.edges()))
+            key = (edge.source, edge.target)
+            slot = network.compiled().topology.slot_of[key]
+            network.update_edge_costs({key: {"fuel_ml": 424.2}})
+            segment.patch(network.compiled(), [slot], cost_version=network.cost_version)
+            # The adopted store aliases the segment, so the patch is visible
+            # without any sync call.
+            assert graph.array("fuel_ml")[slot] == pytest.approx(424.2)
+
+    def test_adopt_refuses_a_diverged_store(self, network, segment):
+        worker_net = grid_city_network(3, 3)
+        edge = next(iter(worker_net.edges()))
+        worker_net.update_edge_costs({(edge.source, edge.target): {"fuel_ml": 9.9}})
+        with shm.attach(segment.spec) as view:
+            assert not shm.adopt_shared_costs(worker_net.compiled(), view)
+
+
+class TestTopologyVerification:
+    def test_matching_snapshot_verifies(self, network, segment):
+        with shm.attach(segment.spec) as view:
+            assert shm.verify_topology(network.compiled(), view)
+
+    def test_different_topology_is_rejected(self, segment):
+        other = grid_city_network(4, 2)
+        with shm.attach(segment.spec) as view:
+            assert not shm.verify_topology(other.compiled(), view)
+
+    def test_foreign_segment_fails_the_magic_check(self, segment):
+        # A zeroed header is what a foreign / torn segment looks like.
+        blank = shared_memory.SharedMemory(create=True, size=segment.spec.size)
+        try:
+            spec = shm.SegmentSpec(
+                segment_name=blank.name,
+                size=segment.spec.size,
+                arrays=segment.spec.arrays,
+                cost_attributes=segment.spec.cost_attributes,
+            )
+            with pytest.raises(NetworkError, match="bad magic"):
+                shm.attach(spec)
+        finally:
+            blank.close()
+            blank.unlink()
+
+
+class TestLifecycle:
+    def test_unlink_removes_the_name(self, network):
+        handle = shm.export_graph(network.compiled())
+        name = handle.name
+        assert _segment_exists(name)
+        handle.close()
+        handle.unlink()
+        assert not _segment_exists(name)
+        with pytest.raises(FileNotFoundError):
+            shm.attach(handle.spec)
+
+    def test_unlink_is_idempotent(self, network):
+        handle = shm.export_graph(network.compiled())
+        handle.close()
+        handle.unlink()
+        handle.unlink()
+
+    def test_context_manager_closes_and_unlinks(self, network):
+        with shm.export_graph(network.compiled()) as handle:
+            name = handle.name
+            assert _segment_exists(name)
+        assert not _segment_exists(name)
+
+    def test_failed_export_does_not_leak_the_segment(self, network):
+        name = "reprotest-failed-export"
+        with pytest.raises((TypeError, ValueError)):
+            shm.export_graph(network.compiled(), cost_version="not-an-int", name=name)
+        assert not _segment_exists(name)
+
+    def test_patch_after_close_is_refused(self, network):
+        handle = shm.export_graph(network.compiled())
+        handle.close()
+        try:
+            with pytest.raises(NetworkError, match="closed"):
+                handle.patch(network.compiled(), [0], cost_version=1)
+        finally:
+            handle.unlink()

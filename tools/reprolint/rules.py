@@ -692,6 +692,182 @@ class UnboundedBlockingRule(Rule):
         return Visitor()
 
 
+# ---------------------------------------------------------------------- #
+# RL009 — shared-memory segment lifecycle discipline
+# ---------------------------------------------------------------------- #
+class SharedMemoryLifecycleRule(Rule):
+    """RL009: every ``SharedMemory(...)`` site follows the owner/worker split.
+
+    The sharded serving stack leans on one etiquette: the *owner* process
+    (``create=True``) both closes its mapping and unlinks the name; an
+    *attaching* process only ever closes — a worker-side ``unlink`` deletes
+    the segment under every other process.  The rule checks each direct
+    constructor call:
+
+    * ``create=True`` sites: the enclosing scope must handle both ``close``
+      and ``unlink`` (failure paths included);
+    * attach sites: the enclosing scope must handle ``close`` and must
+      never call ``.unlink(...)``.
+
+    Two structural escapes transfer the obligation instead: a call used as
+    a ``with`` context manager (the statement closes it), and a call
+    returned directly (``return SharedMemory(...)`` — ownership, and with
+    it the lifecycle obligation, passes to the caller).
+    """
+
+    rule_id = "RL009"
+    severity = "error"
+    description = (
+        "SharedMemory lifecycle violation (owner must close+unlink, "
+        "attachers close-only)"
+    )
+    path_scopes = ()  # everywhere — tests and benchmarks leak segments too
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        def is_shared_memory_call(node: ast.Call) -> bool:
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id == "SharedMemory"
+            return isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+
+        def is_owner_call(node: ast.Call) -> bool:
+            for kw in node.keywords:
+                if kw.arg == "create":
+                    return not (
+                        isinstance(kw.value, ast.Constant) and kw.value.value is False
+                    )
+            return False
+
+        class Scope:
+            """One function (or the module) and its SharedMemory activity."""
+
+            def __init__(self, node: ast.AST) -> None:
+                self.node = node
+                self.calls: list[tuple[ast.Call, bool]] = []  # (call, owner?)
+                self.mentions_close = False
+                self.mentions_unlink = False
+                self.calls_unlink = False
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self._scopes: list[Scope] = []
+
+            def visit_Module(self, node: ast.Module) -> None:
+                self._in_scope(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._in_scope(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._in_scope(node)
+
+            def _in_scope(self, node: ast.AST) -> None:
+                scope = Scope(node)
+                self._scopes.append(scope)
+                self.generic_visit(node)
+                self._scopes.pop()
+                self._finish(scope)
+
+            def visit_With(self, node: ast.With) -> None:
+                # A with-managed constructor is closed by the statement;
+                # only the unlink half of the owner obligation remains.
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call) and is_shared_memory_call(expr):
+                        scope = self._scopes[-1] if self._scopes else None
+                        if scope is not None and is_owner_call(expr):
+                            scope.mentions_close = True
+                            scope.calls.append((expr, True))
+                self.generic_visit(node)
+
+            def visit_Return(self, node: ast.Return) -> None:
+                # return SharedMemory(...) — ownership (and the lifecycle
+                # obligation) transfers to the caller; nothing to check here.
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if is_shared_memory_call(node) and self._scopes:
+                    scope = self._scopes[-1]
+                    already = any(call is node for call, _ in scope.calls)
+                    if not already and not self._is_transferred(node):
+                        scope.calls.append((node, is_owner_call(node)))
+                self.generic_visit(node)
+
+            def _is_transferred(self, node: ast.Call) -> bool:
+                """Directly returned or with-managed calls carry no local
+                obligation (checked against the enclosing scope's body)."""
+                scope_node = self._scopes[-1].node
+                for stmt in ast.walk(scope_node):
+                    if isinstance(stmt, ast.Return) and stmt.value is node:
+                        return True
+                    if isinstance(stmt, ast.With) and any(
+                        item.context_expr is node for item in stmt.items
+                    ):
+                        return True
+                return False
+
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                if self._scopes:
+                    scope = self._scopes[-1]
+                    lowered = node.attr.lower()
+                    if "close" in lowered:
+                        scope.mentions_close = True
+                    if "unlink" in lowered:
+                        scope.mentions_unlink = True
+                self.generic_visit(node)
+
+            def visit_Name(self, node: ast.Name) -> None:
+                if self._scopes:
+                    scope = self._scopes[-1]
+                    lowered = node.id.lower()
+                    if "close" in lowered:
+                        scope.mentions_close = True
+                    if "unlink" in lowered:
+                        scope.mentions_unlink = True
+                self.generic_visit(node)
+
+            def _finish(self, scope: Scope) -> None:
+                unlink_called = any(
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "unlink"
+                    for child in ast.walk(scope.node)
+                )
+                for call, owner in scope.calls:
+                    if owner:
+                        if not scope.mentions_close or not scope.mentions_unlink:
+                            context.report(
+                                rule,
+                                call,
+                                "SharedMemory(create=True) owner site must close "
+                                "its mapping and unlink the name (failure paths "
+                                "included), or hand the handle off via "
+                                "'return'/'with'",
+                            )
+                    else:
+                        if unlink_called:
+                            context.report(
+                                rule,
+                                call,
+                                "attaching SharedMemory site also calls .unlink(); "
+                                "only the creating owner may unlink — a worker-"
+                                "side unlink deletes the segment under every "
+                                "other process",
+                            )
+                        elif not scope.mentions_close:
+                            context.report(
+                                rule,
+                                call,
+                                "attaching SharedMemory site never closes its "
+                                "mapping; attach sites are close-only (or hand "
+                                "the handle off via 'return'/'with')",
+                            )
+
+        return Visitor()
+
+
 #: The default rule battery, in id order.
 ALL_RULES: tuple[Rule, ...] = (
     VersionStampRule(),
@@ -702,4 +878,5 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     MutableDefaultRule(),
     UnboundedBlockingRule(),
+    SharedMemoryLifecycleRule(),
 )
