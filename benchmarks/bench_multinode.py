@@ -1,0 +1,296 @@
+"""Benchmark: loopback-TCP shard serving vs queues, and failover blackout.
+
+Two numbers for the fault-tolerant multi-node transport:
+
+* ``tcp_vs_queue_throughput_ratio`` — the identical mixed ``route_many``
+  workload through the same 2-shard deployment over ``transport="tcp"``
+  (loopback) vs ``transport="queue"``, as ``queue_seconds / tcp_seconds``.
+  Both sides come from the same run and machine, so the ratio is robust to
+  CI hardware variance; loopback TCP pays framing + syscalls per message,
+  so the ratio sits below 1 and ``check_bench_regression.py`` holds a
+  conservative floor under it.
+* ``failover_blackout_seconds`` — with ``replicas=2`` over TCP, the primary
+  of shard 0 is crashed mid-batch and that batch's wall time is compared
+  to the undisturbed batch: the excess is the blackout the heartbeat /
+  failover / respawn machinery leaves.  Gated **absolutely** in-bench via
+  ``--max-blackout-s`` (the contract is "failover costs at most N seconds",
+  not "no slower than last time").
+
+The cost-identity gate is unconditional on every batch, including the one
+served mid-failover: any divergence from the single-process reference fails
+the run on any machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multinode.py
+    PYTHONPATH=src python benchmarks/bench_multinode.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_multinode.py --max-blackout-s 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.baselines.cost_centric import FastestBaseline, ShortestBaseline
+from repro.network import grid_city_network
+from repro.routing import CostFeature
+from repro.service import RouteRequest, RoutingService, ShardedRoutingService
+from repro.service.sharding.overlay import path_cost
+
+#: (engine name, cost feature) halves of the mixed workload.
+WORKLOAD = (
+    ("Shortest", CostFeature.DISTANCE),
+    ("Fastest", CostFeature.TRAVEL_TIME),
+)
+
+FULL_GRIDS = [(30, 30)]
+# Transport overhead per message is network-size independent; smoke keeps a
+# small grid so the TCP deployments boot and drain quickly on CI runners.
+SMOKE_GRIDS = [(12, 12)]
+
+SHARD_COUNT = 2
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _requests(network, count: int, seed: int) -> list[RouteRequest]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    requests = []
+    while len(requests) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            requests.append(RouteRequest(source=a, destination=b))
+    return requests
+
+
+def _single_process_service(network) -> RoutingService:
+    service = RoutingService(enable_cache=False)
+    service.register("Shortest", ShortestBaseline(network).as_engine(), default=True)
+    service.register("Fastest", FastestBaseline(network).as_engine())
+    return service
+
+
+def _run_workload(service, requests) -> list:
+    responses = []
+    half = len(requests) // 2
+    for (engine, _), chunk in zip(WORKLOAD, (requests[:half], requests[half:])):
+        responses.extend(service.route_many(chunk, engine=engine))
+    return responses
+
+
+def _time_workload(service, requests, repeats: int) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _run_workload(service, requests)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _identity_mismatches(network, responses, reference) -> int:
+    mismatches = 0
+    half = len(responses) // 2
+    for index, (got, want) in enumerate(zip(responses, reference)):
+        feature = WORKLOAD[0][1] if index < half else WORKLOAD[1][1]
+        got_cost = (
+            path_cost(network, tuple(got.path), feature) if got.path else math.inf
+        )
+        want_cost = (
+            path_cost(network, tuple(want.path), feature) if want.path else math.inf
+        )
+        same_inf = math.isinf(got_cost) and math.isinf(want_cost)
+        if not same_inf and not math.isclose(got_cost, want_cost, rel_tol=1e-9):
+            mismatches += 1
+    return mismatches
+
+
+def _transport_seconds(
+    network, requests, reference, *, transport: str, repeats: int
+) -> tuple[float, int]:
+    """Best-of workload seconds plus identity mismatches for one transport."""
+    with ShardedRoutingService(
+        network, shard_count=SHARD_COUNT, cache_size=0, transport=transport
+    ) as service:
+        responses = _run_workload(service, requests)  # warm lazy worker state
+        mismatches = _identity_mismatches(network, responses, reference)
+        seconds = _time_workload(service, requests, repeats)
+    return seconds, mismatches
+
+
+def _failover_blackout(
+    network, requests, reference, *, repeats: int
+) -> dict:
+    """Crash shard 0's primary mid-batch; report the wall-time excess."""
+    with ShardedRoutingService(
+        network,
+        shard_count=SHARD_COUNT,
+        cache_size=0,
+        transport="tcp",
+        replicas=2,
+    ) as service:
+        responses = _run_workload(service, requests)
+        warm_mismatches = _identity_mismatches(network, responses, reference)
+        baseline_seconds = _time_workload(service, requests, repeats)
+
+        # One shot, not best-of: the injected crash fires exactly once, on
+        # the next RouteWork shard 0's primary serves.
+        service.inject_crash(0, phase="work")
+        start = time.perf_counter()
+        crashed_responses = _run_workload(service, requests)
+        failover_seconds = time.perf_counter() - start
+        failover_mismatches = _identity_mismatches(
+            network, crashed_responses, reference
+        )
+        stats = service.stats()
+    return {
+        "replicas": 2,
+        "baseline_batch_seconds": round(baseline_seconds, 6),
+        "failover_batch_seconds": round(failover_seconds, 6),
+        "failover_blackout_seconds": round(
+            max(0.0, failover_seconds - baseline_seconds), 6
+        ),
+        "failovers": stats.failovers,
+        "worker_restarts": stats.worker_restarts,
+        "identity_mismatches": warm_mismatches + failover_mismatches,
+    }
+
+
+def bench_grid(rows: int, cols: int, *, query_count: int, repeats: int, seed: int) -> dict:
+    network = grid_city_network(rows=rows, cols=cols, seed=seed)
+    network.compiled()
+    requests = _requests(network, query_count, seed + 1)
+
+    single = _single_process_service(network)
+    reference = _run_workload(single, requests)
+
+    queue_seconds, queue_mismatches = _transport_seconds(
+        network, requests, reference, transport="queue", repeats=repeats
+    )
+    tcp_seconds, tcp_mismatches = _transport_seconds(
+        network, requests, reference, transport="tcp", repeats=repeats
+    )
+    grid_report: dict = {
+        "rows": rows,
+        "cols": cols,
+        "vertices": network.vertex_count,
+        "edges": network.edge_count,
+        "queries": len(requests),
+        "queue_seconds": round(queue_seconds, 6),
+        "tcp_seconds": round(tcp_seconds, 6),
+        "tcp_vs_queue_throughput_ratio": round(queue_seconds / tcp_seconds, 3),
+        "identity_mismatches": queue_mismatches + tcp_mismatches,
+    }
+    print(
+        f"  transports: queue {len(requests) / queue_seconds:.0f} req/s, "
+        f"tcp {len(requests) / tcp_seconds:.0f} req/s "
+        f"(ratio {grid_report['tcp_vs_queue_throughput_ratio']:.2f})"
+    )
+
+    failover = _failover_blackout(network, requests, reference, repeats=repeats)
+    failover_mismatches = failover.pop("identity_mismatches")
+    grid_report.update(failover)
+    grid_report["identity_mismatches"] += failover_mismatches
+    print(
+        f"  failover: blackout {grid_report['failover_blackout_seconds']:.3f}s "
+        f"({grid_report['failovers']} failover(s), "
+        f"{grid_report['worker_restarts']} restart(s), "
+        f"{grid_report['identity_mismatches']} identity mismatches)"
+    )
+    return grid_report
+
+
+def merge_report(output: FilePath, multinode_report: dict) -> dict:
+    """Merge the multinode section into the (possibly existing) routing JSON."""
+    if output.exists():
+        report = json.loads(output.read_text())
+    else:
+        report = {"benchmark": "bench_multinode"}
+    report["multinode"] = multinode_report
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="trimmed workload (CI)")
+    parser.add_argument("--queries", type=int, default=None, help="OD pairs per grid")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing rounds")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--max-blackout-s",
+        type=float,
+        default=5.0,
+        help="fail when the kill-primary failover batch runs this many "
+        "seconds longer than the undisturbed batch; 0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    queries = args.queries or (32 if args.smoke else 128)
+
+    multinode_report: dict = {
+        "mode": "smoke" if args.smoke else "full",
+        "cores": available_cores(),
+        "shard_count": SHARD_COUNT,
+        "max_blackout_s": args.max_blackout_s,
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(
+            f"benchmarking multi-node transport on {rows}x{cols} grid "
+            f"({queries} queries)...",
+            flush=True,
+        )
+        multinode_report["grids"].append(
+            bench_grid(
+                rows, cols, query_count=queries, repeats=args.repeats, seed=args.seed
+            )
+        )
+
+    output = FilePath(args.output)
+    report = merge_report(output, multinode_report)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    worst_blackout = max(
+        grid["failover_blackout_seconds"] for grid in multinode_report["grids"]
+    )
+    print(
+        f"merged multinode section into {output} "
+        f"(worst failover blackout {worst_blackout:.3f}s)"
+    )
+
+    total_mismatches = sum(
+        grid["identity_mismatches"] for grid in multinode_report["grids"]
+    )
+    if total_mismatches:
+        print(
+            f"FAIL: {total_mismatches} multi-node answers diverged from the "
+            "single-process reference costs (identity gate is unconditional)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.max_blackout_s and worst_blackout > args.max_blackout_s:
+        print(
+            f"FAIL: failover blackout {worst_blackout:.3f}s exceeds the "
+            f"{args.max_blackout_s:.1f}s gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from .resilience import (
     CircuitBreaker,
     CircuitBreakerConfig,
     DeadlineBudget,
+    HedgePolicy,
     RetryPolicy,
 )
 from .service import RoutingService
@@ -37,6 +38,8 @@ from .sharding import (
     ShardedRoutingService,
     ShardPlan,
     ShardWorkerPool,
+    SocketTransport,
+    TcpHub,
     build_shard_plan,
 )
 from .stats import ServiceStats, StatsAccumulator
@@ -53,6 +56,7 @@ __all__ = [
     "FaultCounters",
     "FaultInjector",
     "FunctionEngine",
+    "HedgePolicy",
     "L2REngine",
     "ModelPersistenceError",
     "RetryPolicy",
@@ -65,7 +69,9 @@ __all__ = [
     "ShardPlan",
     "ShardWorkerPool",
     "ShardedRoutingService",
+    "SocketTransport",
     "StatsAccumulator",
+    "TcpHub",
     "build_shard_plan",
     "load_model",
     "save_model",

@@ -10,7 +10,7 @@ run is exactly replayable: the same seed produces the same fault sequence,
 the same breaker trips, and the same shed / degraded counters — in tests
 and in CI.
 
-Two wrapper kinds:
+Three wrapper kinds:
 
 * :meth:`FaultInjector.engine` — a :class:`FaultyEngine` that, per call,
   may sleep (latency spike) and/or raise a ``TransientEngineError`` before
@@ -20,6 +20,11 @@ Two wrapper kinds:
   drop the batch (returning an empty result), delay it, or raise, modelling
   lossy / crashing ingestion in front of a
   :class:`~repro.traffic.drain.TrafficDrain`.
+* :meth:`FaultInjector.transport` — a :class:`FaultyTransport` wrapping any
+  :class:`~repro.service.sharding.protocol.Transport` with send-side drops,
+  delays, and duplicates, plus *one-way partitions* (sends silently lost,
+  or receives blacked out, independently) — the message-level chaos the
+  multi-node serving tests are built on.
 
 Instead of probabilities, an explicit ``script`` (sequence of action names,
 cycled) pins the exact failure pattern — the breaker state-transition tests
@@ -29,6 +34,7 @@ are written against scripts.
 from __future__ import annotations
 
 import itertools
+import queue as queue_module
 import threading
 import time
 from dataclasses import dataclass, field
@@ -43,11 +49,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..traffic.feed import TrafficFeed
     from ..traffic.updates import TrafficUpdate, TrafficUpdateResult
     from .engine import RoutingEngine
+    from .sharding.protocol import Transport
 
 #: Engine actions a script may name.
 ENGINE_ACTIONS = ("ok", "error", "slow")
 #: Feed actions a script may name.
 FEED_ACTIONS = ("ok", "error", "drop", "delay")
+#: Transport send actions a script may name.
+TRANSPORT_ACTIONS = ("ok", "drop", "delay", "duplicate")
 
 
 @dataclass
@@ -59,6 +68,12 @@ class FaultCounters:
     injected_spikes: int = 0
     dropped_batches: int = 0
     delayed_batches: int = 0
+    dropped_messages: int = 0
+    delayed_messages: int = 0
+    duplicated_messages: int = 0
+    partitioned_messages: int = 0
+    """Messages silently lost to an active one-way partition (not part of
+    the seeded schedule — partitions are explicit test choreography)."""
     actions: list[str] = field(default_factory=list)
     """Action taken per call, in order — the replayable schedule itself."""
 
@@ -119,6 +134,28 @@ class FaultInjector:
             error_rate=error_rate,
             drop_rate=drop_rate,
             delay_rate=delay_rate,
+            delay_s=delay_s,
+            script=script,
+        )
+
+    def transport(
+        self,
+        transport: "Transport",
+        *,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> "FaultyTransport":
+        """Wrap a protocol transport with a seeded (or scripted) schedule of
+        message-level faults."""
+        return FaultyTransport(
+            transport,
+            rng=self._child_rng(),
+            drop_rate=drop_rate,
+            delay_rate=delay_rate,
+            duplicate_rate=duplicate_rate,
             delay_s=delay_s,
             script=script,
         )
@@ -307,3 +344,102 @@ class FaultyFeed:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultyFeed({self.inner!r}, calls={self.counters.calls})"
+
+
+class FaultyTransport:
+    """A protocol transport whose *sends* misbehave per seeded schedule.
+
+    Satisfies the :class:`~repro.service.sharding.protocol.Transport`
+    protocol, so it drops between a :class:`~repro.service.sharding.worker.
+    ShardWorker` (or a coordinator-side endpoint) and any real transport.
+    The scheduled faults are send-side — ``drop`` loses the message,
+    ``delay`` sleeps before delivery, ``duplicate`` delivers it twice (the
+    at-least-once failure mode every versioned/idempotent message must
+    tolerate).  On top of the schedule, :meth:`partition` opens explicit
+    *one-way* partitions: an outbound partition silently swallows sends, an
+    inbound partition makes ``recv`` time out as if the peer went dark.
+    Partitions are deliberate test choreography (not random), so healing
+    them at a known point keeps chaos runs replayable.
+    """
+
+    def __init__(
+        self,
+        transport: "Transport",
+        *,
+        rng: np.random.Generator,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_s: float = 0.005,
+        script: Sequence[str] | None = None,
+    ) -> None:
+        self._scheduler = _ScheduledWrapper(rng, script, TRANSPORT_ACTIONS)
+        self.inner = transport
+        self.drop_rate = drop_rate
+        self.delay_rate = delay_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_s = delay_s
+        self._partition_outbound = False
+        self._partition_inbound = False
+
+    @property
+    def counters(self) -> FaultCounters:
+        return self._scheduler.counters
+
+    # -- partitions ------------------------------------------------------ #
+    def partition(self, *, outbound: bool = True, inbound: bool = True) -> None:
+        """Open a (possibly one-way) partition until :meth:`heal`."""
+        self._partition_outbound = self._partition_outbound or outbound
+        self._partition_inbound = self._partition_inbound or inbound
+
+    def heal(self) -> None:
+        """Close any open partition; scheduled faults keep applying."""
+        self._partition_outbound = False
+        self._partition_inbound = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_outbound or self._partition_inbound
+
+    # -- Transport protocol ---------------------------------------------- #
+    def send(self, message: object) -> None:
+        if self._partition_outbound:
+            with self._scheduler._lock:
+                self.counters.partitioned_messages += 1
+            return
+        action = self._scheduler._decide(
+            (
+                ("drop", self.drop_rate),
+                ("delay", self.delay_rate),
+                ("duplicate", self.duplicate_rate),
+            )
+        )
+        counters = self._scheduler.counters
+        lock = self._scheduler._lock
+        if action == "drop":
+            with lock:
+                counters.dropped_messages += 1
+            return
+        if action == "delay":
+            with lock:
+                counters.delayed_messages += 1
+            time.sleep(self.delay_s)
+        elif action == "duplicate":
+            with lock:
+                counters.duplicated_messages += 1
+            self.inner.send(message)
+        self.inner.send(message)
+
+    def recv(self, timeout_s: float | None = None) -> object:
+        if self._partition_inbound:
+            # The peer has gone dark: behave exactly like an idle link —
+            # wait out the poll budget, then report nothing arrived.
+            time.sleep(timeout_s if timeout_s is not None else 0.05)
+            raise queue_module.Empty()
+        return self.inner.recv(timeout_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultyTransport({self.inner!r}, calls={self.counters.calls}, "
+            f"partitioned={self.partitioned})"
+        )

@@ -7,11 +7,18 @@ The subsystem splits into independently testable layers:
 * :mod:`~repro.service.sharding.overlay` — the boundary overlay graph and
   exact cross-shard stitching;
 * :mod:`~repro.service.sharding.protocol` — the transport-agnostic message
-  dataclasses;
+  dataclasses (and the TCP wire framing they travel in);
+* :mod:`~repro.service.sharding.transport` — the TCP transport: the
+  worker-side auto-reconnecting :class:`SocketTransport` and the
+  coordinator-side :class:`TcpHub`;
+* :mod:`~repro.service.sharding.replication` — replica liveness
+  (:class:`HeartbeatMonitor`) and reconnect catch-up
+  (:class:`CostDiffJournal`);
 * :mod:`~repro.service.sharding.worker` / :mod:`~repro.service.sharding.
   pool` — the spawn-based worker loop and its process lifecycle;
 * :mod:`~repro.service.sharding.service` — the
-  :class:`ShardedRoutingService` facade keeping the ``RoutingService`` API.
+  :class:`ShardedRoutingService` facade keeping the ``RoutingService`` API,
+  plus replica failover, hedged requests, and journal replay.
 """
 
 from .overlay import BoundaryOverlay, CrossShardRouter
@@ -22,7 +29,10 @@ from .protocol import (
     CostDiff,
     Fatal,
     Hello,
+    Ping,
+    Pong,
     QueueTransport,
+    ResyncRequired,
     RouteAnswer,
     RouteResults,
     RouteWork,
@@ -30,17 +40,34 @@ from .protocol import (
     VersionAck,
     WorkerPayload,
 )
+from .replication import CostDiffJournal, HeartbeatMonitor
 from .service import ShardedRoutingService
+from .transport import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    SocketTransport,
+    TcpHub,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
 from .worker import ShardWorker, resync_network
 
 __all__ = [
     "BoundaryOverlay",
     "CostDiff",
+    "CostDiffJournal",
     "CrossShardRouter",
     "DEFAULT_ENGINES",
     "Fatal",
+    "FrameError",
     "Hello",
+    "HeartbeatMonitor",
+    "MAX_FRAME_BYTES",
+    "Ping",
+    "Pong",
     "QueueTransport",
+    "ResyncRequired",
     "RouteAnswer",
     "RouteResults",
     "RouteWork",
@@ -49,8 +76,13 @@ __all__ = [
     "ShardWorkerPool",
     "ShardedRoutingService",
     "Shutdown",
+    "SocketTransport",
+    "TcpHub",
     "VersionAck",
     "WorkerPayload",
     "build_shard_plan",
+    "encode_frame",
+    "recv_frame",
     "resync_network",
+    "send_frame",
 ]

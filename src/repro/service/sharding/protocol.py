@@ -1,12 +1,14 @@
 """Transport-agnostic message protocol between coordinator and shard workers.
 
 Every message crossing the process boundary is a small frozen dataclass, so
-the same worker loop can later sit behind any transport that moves pickled
-(or otherwise serialized) records — multiprocessing queues today, sockets in
-a multi-node deployment tomorrow.  The coordinator-to-worker direction
-carries :class:`RouteWork` batches, versioned :class:`CostDiff` broadcasts,
-and :class:`Shutdown`; the worker-to-coordinator direction carries
-:class:`Hello` (boot handshake), :class:`RouteResults`, and
+the same worker loop can sit behind any transport that moves pickled (or
+otherwise serialized) records — ``multiprocessing`` queues in-host, TCP
+sockets (:mod:`~repro.service.sharding.transport`) across nodes.  The
+coordinator-to-worker direction carries :class:`RouteWork` batches,
+versioned :class:`CostDiff` broadcasts, :class:`Ping` heartbeats,
+:class:`ResyncRequired`, and :class:`Shutdown`; the worker-to-coordinator
+direction carries :class:`Hello` (boot handshake *and* reconnect
+re-identification), :class:`RouteResults`, :class:`Pong`, and
 :class:`VersionAck` (broadcast-lag accounting).
 
 Answers travel as compact :class:`RouteAnswer` records — vertex tuples, not
@@ -14,6 +16,26 @@ Answers travel as compact :class:`RouteAnswer` records — vertex tuples, not
 already holds the originating requests and rebuilding the response there
 keeps the wire payload (and pickling cost) proportional to the paths, not to
 the request metadata.
+
+Wire framing (TCP transport)
+----------------------------
+
+Over sockets every message is one *frame*::
+
+    +----------------------------+----------------------------------+
+    | length: 4 bytes big-endian | payload: pickle.dumps(message)   |
+    +----------------------------+----------------------------------+
+
+The length counts payload bytes only (the 4-byte prefix excluded) and is
+capped at :data:`~repro.service.sharding.transport.MAX_FRAME_BYTES` so a
+corrupt or hostile peer cannot make the reader allocate unbounded memory.
+Frames are written with ``sendall`` and read with an exact-length loop;
+every socket operation runs under an explicit timeout (reprolint RL010
+enforces this), so a stalled peer surfaces as a timeout, never as a hung
+coordinator or worker.  The first frame a worker sends on every connection
+— initial dial *and* every reconnect — is a :class:`Hello` carrying its
+current ``cost_version``; the coordinator uses it to route the connection
+and to decide between a journal replay and a full segment resync.
 """
 
 from __future__ import annotations
@@ -38,13 +60,19 @@ DEFAULT_ENGINES: tuple[tuple[str, CostFeature], ...] = (
 
 @dataclass(frozen=True)
 class Hello:
-    """Worker boot handshake: the shard is attached, synced, and serving."""
+    """Worker boot handshake — and reconnect re-identification.
+
+    Sent once at boot over every transport, and again as the first frame of
+    every re-dialed TCP connection.  ``cost_version`` tells the coordinator
+    how far behind this worker is: a stale version triggers either a
+    :class:`CostDiff` journal replay or a :class:`ResyncRequired` order.
+    """
 
     worker_id: int
     shard_id: int
     pid: int
     cost_version: int
-    """The segment cost version the worker booted against."""
+    """The segment cost version the worker booted (or reconnected) against."""
 
 
 @dataclass(frozen=True)
@@ -99,17 +127,52 @@ class CostDiff:
 
     ``changes`` maps each touched edge key to its new per-feature values
     (absolute, not deltas — applying the same diff twice is idempotent,
-    which is what makes worker restarts and queue replays safe).  A worker
-    whose current version is not ``base_version`` missed a broadcast and
-    resyncs from the shared segment instead of applying the diff.
+    which is what makes worker restarts, queue replays, and journal replays
+    safe).  A worker whose current version is not ``base_version`` missed a
+    broadcast and resyncs from the shared segment instead of applying the
+    diff.
     """
 
     version: int
     base_version: int
     changes: tuple[tuple[tuple["VertexId", "VertexId"], tuple[tuple[str, float], ...]], ...]
+    crash_workers: tuple[int, ...] = ()
+    """Chaos-test hook: the named workers hard-exit (``os._exit``) on
+    receipt, *before* applying or acknowledging — the crash-between-
+    broadcast-and-ack scenario the ack barrier must survive."""
 
     def as_updates(self) -> dict[tuple["VertexId", "VertexId"], dict[str, float]]:
         return {key: dict(values) for key, values in self.changes}
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Coordinator heartbeat probe; every live worker answers with
+    :class:`Pong`.  ``sequence`` matches probes to answers so a late pong
+    from a slow worker cannot satisfy a newer liveness deadline."""
+
+    sequence: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """A worker's heartbeat answer (liveness + broadcast-lag signal)."""
+
+    worker_id: int
+    sequence: int
+    cost_version: int
+    """The worker's current cost version — lets the coordinator spot a
+    version-divergent worker even between traffic broadcasts."""
+
+
+@dataclass(frozen=True)
+class ResyncRequired:
+    """Coordinator order: the journal cannot bridge this worker's version
+    gap — adopt the shared segment wholesale and acknowledge its version."""
+
+    version: int
+    """The cost version the coordinator expects the resync to reach (the
+    segment may already be newer; the worker acks whatever it adopted)."""
 
 
 @dataclass(frozen=True)
@@ -142,6 +205,10 @@ class WorkerPayload:
     engines: tuple[tuple[str, CostFeature], ...] = DEFAULT_ENGINES
     default_engine: str = "Shortest"
     cache_size: int = 512
+    ignore_shutdown: bool = False
+    """Chaos-test hook: the worker drops :class:`Shutdown` messages on the
+    floor, modelling a wedged process the pool must ``terminate()`` within
+    its close deadline."""
 
 
 class Transport(Protocol):

@@ -1,0 +1,205 @@
+"""Replica liveness and catch-up machinery for the fault-tolerant coordinator.
+
+Two independent pieces the :class:`~repro.service.sharding.service.
+ShardedRoutingService` composes:
+
+* :class:`HeartbeatMonitor` — Ping/Pong liveness accounting.  The
+  coordinator stamps every inbound message (pongs, route results, acks —
+  any traffic proves life) and records when it last probed each worker; a
+  worker is *suspect* once a probe has gone unanswered past the timeout.
+  Process-handle liveness (``pool.alive``) catches same-host crashes
+  instantly; the heartbeat path is what catches the failures a process
+  handle cannot see — a wedged loop, a severed TCP link, a partitioned
+  node.  Clock-injectable so the chaos suite drives expiry
+  deterministically.
+* :class:`CostDiffJournal` — a bounded write-ahead journal of the versioned
+  :class:`~repro.service.sharding.protocol.CostDiff` broadcasts.  A worker
+  that reconnects (or respawns) behind the current cost version replays the
+  contiguous chain of diffs from its last version instead of rescanning the
+  whole shared segment; when the bounded journal has already evicted part
+  of that chain, the coordinator falls back to ordering a full resync.
+  Replays are safe to repeat: diffs carry absolute post-update values and
+  workers ignore versions at or below their own.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .protocol import CostDiff
+
+Clock = Callable[[], float]
+
+
+class HeartbeatMonitor:
+    """Per-worker liveness from message timestamps and probe bookkeeping.
+
+    The monitor never sends anything itself — the coordinator owns the
+    transport.  It answers one question: *has this worker proven life since
+    I last probed it?*  :meth:`suspects` lists workers whose newest probe
+    is older than ``timeout_s`` and unanswered by any later message.
+    """
+
+    def __init__(self, worker_ids: Iterable[int], *, clock: Clock = time.monotonic) -> None:
+        self._clock = clock
+        now = clock()
+        self._last_seen: dict[int, float] = {w: now for w in worker_ids}
+        self._last_ping_at: dict[int, float] = {}
+        self._sequence = 0
+        self._pings_sent = 0
+        self._timeouts = 0
+
+    @property
+    def pings_sent(self) -> int:
+        return self._pings_sent
+
+    @property
+    def timeouts(self) -> int:
+        """Times a worker crossed the unanswered-probe deadline (each
+        crossing counts once; recovery re-arms the counter)."""
+        return self._timeouts
+
+    def next_sequence(self) -> int:
+        """Reserve the sequence number for one outgoing probe round."""
+        self._sequence += 1
+        return self._sequence
+
+    def note_ping(self, worker_id: int) -> None:
+        """One probe went out to ``worker_id`` just now."""
+        self._pings_sent += 1
+        # Only arm a new deadline when no probe is already outstanding:
+        # re-probing a silent worker must not keep pushing its deadline out.
+        last_seen = self._last_seen.get(worker_id, 0.0)
+        pending = self._last_ping_at.get(worker_id)
+        if pending is None or pending < last_seen:
+            self._last_ping_at[worker_id] = self._clock()
+
+    def note_message(self, worker_id: int) -> None:
+        """Any inbound message from the worker proves it alive."""
+        if worker_id in self._last_seen or worker_id in self._last_ping_at:
+            self._last_seen[worker_id] = self._clock()
+
+    def add_worker(self, worker_id: int) -> None:
+        self._last_seen.setdefault(worker_id, self._clock())
+
+    def last_seen(self, worker_id: int) -> float:
+        return self._last_seen.get(worker_id, 0.0)
+
+    def is_suspect(self, worker_id: int, timeout_s: float) -> bool:
+        """An unanswered probe older than ``timeout_s`` marks the worker."""
+        pending = self._last_ping_at.get(worker_id)
+        if pending is None or pending < self._last_seen.get(worker_id, 0.0):
+            return False
+        return self._clock() - pending >= timeout_s
+
+    def suspects(self, timeout_s: float) -> list[int]:
+        """Workers past their probe deadline (counts each fresh crossing)."""
+        out = []
+        for worker_id in sorted(self._last_seen):
+            if self.is_suspect(worker_id, timeout_s):
+                out.append(worker_id)
+                # Re-arm: one timeout is counted per unanswered probe, and
+                # the probe timestamp moves forward so the next suspects()
+                # call reports the worker again only after a fresh deadline.
+                self._timeouts += 1
+                self._last_ping_at[worker_id] = self._clock()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeartbeatMonitor(workers={sorted(self._last_seen)}, "
+            f"pings={self._pings_sent}, timeouts={self._timeouts})"
+        )
+
+
+class CostDiffJournal:
+    """Bounded, contiguous write-ahead journal of ``CostDiff`` broadcasts.
+
+    Diffs append in version order (each new diff's ``base_version`` must be
+    the previous diff's ``version``; a gap — e.g. after coordinator-side
+    truncation of the feed — clears the journal, because a broken chain can
+    never be replayed).  :meth:`chain` answers the replay question: the
+    list of diffs bridging ``from_version`` up to the journal head, or
+    ``None`` when the bounded history no longer reaches back that far.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("journal capacity must be >= 0")
+        self.capacity = capacity
+        # max(1, ...) keeps the deque constructible at capacity 0; append()
+        # simply never stores in that configuration.
+        self._diffs: deque["CostDiff"] = deque(maxlen=max(1, capacity))
+        self._replays = 0
+        self._resyncs = 0
+
+    def __len__(self) -> int:
+        return len(self._diffs)
+
+    @property
+    def replays(self) -> int:
+        """Catch-ups served from the journal (delta replay, no segment scan)."""
+        return self._replays
+
+    @property
+    def resyncs(self) -> int:
+        """Catch-ups the journal could not serve (truncated chain -> full
+        segment resync ordered instead)."""
+        return self._resyncs
+
+    @property
+    def head_version(self) -> int | None:
+        return self._diffs[-1].version if self._diffs else None
+
+    @property
+    def tail_base_version(self) -> int | None:
+        """The oldest version the journal can still replay *from*."""
+        return self._diffs[0].base_version if self._diffs else None
+
+    def append(self, diff: "CostDiff") -> None:
+        if self.capacity == 0:
+            return
+        if self._diffs and diff.base_version != self._diffs[-1].version:
+            # A discontinuity poisons every older entry: drop them all
+            # rather than ever replaying across the gap.
+            self._diffs.clear()
+        self._diffs.append(diff)
+
+    def chain(self, from_version: int) -> list["CostDiff"] | None:
+        """The contiguous diffs taking ``from_version`` to the head.
+
+        ``[]`` when the worker is already current (or ahead); ``None`` when
+        the journal's bounded history no longer covers the gap.  Callers
+        count the outcome via :meth:`record_replay` / :meth:`record_resync`
+        once they acted on it.
+        """
+        head = self.head_version
+        if head is None:
+            return None  # an empty journal can bridge nothing
+        if from_version >= head:
+            return []
+        tail = self.tail_base_version
+        if tail is None or from_version < tail:
+            return None
+        selected = [diff for diff in self._diffs if diff.base_version >= from_version]
+        if not selected or selected[0].base_version != from_version:
+            # The worker sits between journal boundaries (it should never —
+            # versions only take broadcast values — but replaying across a
+            # mismatched base would corrupt it, so order a resync instead).
+            return None
+        return selected
+
+    def record_replay(self) -> None:
+        self._replays += 1
+
+    def record_resync(self) -> None:
+        self._resyncs += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostDiffJournal(depth={len(self)}, head={self.head_version}, "
+            f"replays={self._replays}, resyncs={self._resyncs})"
+        )

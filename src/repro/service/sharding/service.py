@@ -3,14 +3,26 @@ multi-process worker pool.
 
 The coordinator owns the master :class:`~repro.network.road_network.
 RoadNetwork`, exports its compiled snapshot into one shared-memory segment,
-partitions the vertices into shards, and spawns one worker process per
-shard.  Queries are dispatched to the worker owning the *source* vertex
-(cross-shard destinations are the worker's problem — it stitches through the
-boundary overlay); live traffic is applied to the master network through a
+partitions the vertices into shards, and spawns ``replicas`` worker
+processes per shard (over ``multiprocessing`` queues or TCP sockets —
+``transport="tcp"``).  Queries are dispatched to the *primary* replica of
+the worker set owning the *source* vertex (cross-shard destinations are the
+worker's problem — it stitches through the boundary overlay); when the
+primary dies or loses its link, the batch fails over to a healthy replica,
+and optionally a *hedge* copy goes to a second replica after a p95-derived
+delay.  Live traffic is applied to the master network through a
 :class:`~repro.traffic.TrafficFeed`, patched into the shared segment, and
-broadcast to every worker as a versioned :class:`CostDiff` so they self-evict
-stale caches and acknowledge the new version (the ack round-trip is the
-``broadcast_lag_s`` statistic).
+broadcast to every worker as a versioned :class:`CostDiff` so they
+self-evict stale caches and acknowledge the new version (the ack round-trip
+is the ``broadcast_lag_s`` statistic).  Each broadcast also lands in a
+bounded :class:`~repro.service.sharding.replication.CostDiffJournal`: a
+worker reconnecting behind the current version replays the missed diffs
+instead of rescanning the shared segment, falling back to a full
+:class:`ResyncRequired` order when the journal has been truncated.
+Liveness beyond process handles comes from Ping/Pong heartbeats tracked by
+a :class:`~repro.service.sharding.replication.HeartbeatMonitor` — a worker
+whose probe goes unanswered has its link severed, which routes it through
+the same reconnect/failover machinery as a real network fault.
 
 Lifecycle: the coordinator is the segment *owner* — :meth:`close` shuts the
 pool down, then closes and unlinks the segment.  Use the service as a
@@ -32,6 +44,7 @@ from ...routing.path import Path
 from ...traffic.feed import TrafficFeed
 from ..api import RouteRequest, RouteResponse
 from ..cache import CacheStats
+from ..resilience import HedgePolicy
 from ..stats import ServiceStats, StatsAccumulator
 from .plan import ShardPlan, build_shard_plan
 from .pool import ShardWorkerPool
@@ -40,17 +53,36 @@ from .protocol import (
     CostDiff,
     Fatal,
     Hello,
+    Ping,
+    Pong,
+    ResyncRequired,
     RouteResults,
     RouteWork,
     VersionAck,
     WorkerPayload,
 )
+from .replication import CostDiffJournal, HeartbeatMonitor
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...network.road_network import RoadNetwork, VertexId
     from ...traffic.updates import TrafficUpdate, TrafficUpdateResult
 
 _COST_ATTRIBUTES = tuple(FEATURE_EDGE_ATTRIBUTES.values())
+
+
+class _PendingTask:
+    """One in-flight :class:`RouteWork` batch and its dispatch state."""
+
+    __slots__ = ("shard_id", "worker_id", "work", "submitted_at", "hedge_worker")
+
+    def __init__(
+        self, shard_id: int, worker_id: int, work: RouteWork, submitted_at: float
+    ) -> None:
+        self.shard_id = shard_id
+        self.worker_id = worker_id
+        self.work = work
+        self.submitted_at = submitted_at
+        self.hedge_worker: int | None = None
 
 
 class ShardedRoutingService:
@@ -73,26 +105,47 @@ class ShardedRoutingService:
         boot_timeout_s: float = 120.0,
         request_timeout_s: float = 60.0,
         traffic_timeout_s: float = 30.0,
+        transport: str = "queue",
+        replicas: int = 1,
+        hedge: bool = False,
+        hedge_delay_s: float | None = None,
+        heartbeat_interval_s: float = 2.0,
+        heartbeat_timeout_s: float = 10.0,
+        journal_capacity: int = 64,
     ) -> None:
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
         self._network = network
         self._engine_features = dict(DEFAULT_ENGINES)
         self._default_engine = DEFAULT_ENGINES[0][0]
         self._request_timeout_s = request_timeout_s
         self._traffic_timeout_s = traffic_timeout_s
+        self._transport = transport
+        self._replicas = replicas
+        self._hedge_enabled = hedge
+        self._hedge_delay_s = hedge_delay_s
+        self._hedge_policy = HedgePolicy()
+        self._heartbeat_interval_s = heartbeat_interval_s
+        self._heartbeat_timeout_s = heartbeat_timeout_s
         self._lock = threading.RLock()
         self._stats = StatsAccumulator()
         self._feed = TrafficFeed(network)
         self._plan: ShardPlan = build_shard_plan(network, shard_count, method=method)
+        self._journal = CostDiffJournal(journal_capacity)
 
         self._pool: ShardWorkerPool | None = None
         self._segment: shm.SharedGraphSegment | None = shm.export_graph(
             network.compiled(), cost_version=network.cost_version
         )
+        worker_count = self._plan.shard_count * replicas
         try:
+            # Worker w serves shard w % shard_count, so with replicas == 1
+            # worker ids and shard ids coincide (the historical layout) and
+            # replica k of shard s is worker s + k * shard_count.
             payloads = [
                 WorkerPayload(
-                    worker_id=shard_id,
-                    shard_id=shard_id,
+                    worker_id=worker_id,
+                    shard_id=worker_id % self._plan.shard_count,
                     plan=self._plan,
                     network=network,
                     spec=self._segment.spec,
@@ -100,9 +153,11 @@ class ShardedRoutingService:
                     default_engine=self._default_engine,
                     cache_size=cache_size,
                 )
-                for shard_id in range(self._plan.shard_count)
+                for worker_id in range(worker_count)
             ]
-            self._pool = ShardWorkerPool(payloads, boot_timeout_s=boot_timeout_s)
+            self._pool = ShardWorkerPool(
+                payloads, boot_timeout_s=boot_timeout_s, transport=transport
+            )
             self._pool.start()
         except BaseException:
             if self._pool is not None:
@@ -112,6 +167,8 @@ class ShardedRoutingService:
             self._segment = None
             raise
 
+        self._monitor = HeartbeatMonitor(range(worker_count))
+        self._last_heartbeat = time.monotonic()
         self._task_counter = 0
         self._results: dict[int, RouteResults] = {}
         self._acks: dict[int, int] = {}
@@ -119,7 +176,12 @@ class ShardedRoutingService:
         self._cross_shard = 0
         self._in_shard = 0
         self._broadcast_lag_s = 0.0
+        self._failovers = 0
+        self._hedged = 0
+        self._hedge_wins = 0
+        self._reconnected: set[int] = set()
         self._crash_worker: int | None = None
+        self._crash_diff_shards: tuple[int, ...] = ()
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -140,6 +202,47 @@ class ShardedRoutingService:
     @property
     def default_engine(self) -> str:
         return self._default_engine
+
+    @property
+    def transport(self) -> str:
+        return self._transport
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    # ------------------------------------------------------------------ #
+    # Replica sets
+    # ------------------------------------------------------------------ #
+    def replicas_of(self, shard_id: int) -> list[int]:
+        """The worker ids serving ``shard_id``, lowest (default primary)
+        first."""
+        return [
+            shard_id + k * self._plan.shard_count for k in range(self._replicas)
+        ]
+
+    def _primary(self, shard_id: int) -> int:
+        """The lowest-index *healthy* replica (falling back to the lowest
+        alive, then the lowest outright — someone must take the blame for a
+        timeout even when the whole set is down)."""
+        assert self._pool is not None
+        candidates = self.replicas_of(shard_id)
+        for worker_id in candidates:
+            if self._pool.healthy(worker_id):
+                return worker_id
+        for worker_id in candidates:
+            if self._pool.alive()[worker_id]:
+                return worker_id
+        return candidates[0]
+
+    def _standby(self, shard_id: int, not_worker: int) -> int | None:
+        """A healthy replica other than ``not_worker`` (failover/hedge
+        target), or ``None`` when the set has no spare."""
+        assert self._pool is not None
+        for worker_id in self.replicas_of(shard_id):
+            if worker_id != not_worker and self._pool.healthy(worker_id):
+                return worker_id
+        return None
 
     # ------------------------------------------------------------------ #
     # Serving
@@ -206,7 +309,7 @@ class ShardedRoutingService:
                 continue
             by_shard.setdefault(shard_id, []).append(position)
 
-        pending: dict[int, tuple[int, RouteWork]] = {}
+        pending: dict[int, _PendingTask] = {}
         for shard_id, positions in by_shard.items():
             self._task_counter += 1
             crash_at = None
@@ -220,8 +323,17 @@ class ShardedRoutingService:
                 positions=tuple(positions),
                 crash_at=crash_at,
             )
-            self._pool.submit(shard_id, work)
-            pending[work.task_id] = (shard_id, work)
+            worker_id = self._primary(shard_id)
+            if not self._pool.submit(worker_id, work):
+                # Link down at dispatch (TCP): fail straight over to a
+                # standby; a still-undelivered batch heals in the wait loop.
+                standby = self._standby(shard_id, worker_id)
+                if standby is not None and self._pool.submit(standby, work):
+                    worker_id = standby
+                    self._failovers += 1
+            pending[work.task_id] = _PendingTask(
+                shard_id, worker_id, work, time.monotonic()
+            )
             self._shard_requests[shard_id] = (
                 self._shard_requests.get(shard_id, 0) + len(positions)
             )
@@ -233,19 +345,23 @@ class ShardedRoutingService:
                 result = self._results.pop(task_id, None)
                 if result is None:
                     continue
-                del pending[task_id]
+                task = pending.pop(task_id)
+                self._hedge_policy.record(time.monotonic() - task.submitted_at)
+                if task.hedge_worker is not None and result.worker_id == task.hedge_worker:
+                    self._hedge_wins += 1
                 self._fold_results(batch, result, responses)
             if pending:
-                self._revive_and_resubmit(pending)
+                self._heal_and_resubmit(pending)
+                self._maybe_hedge(pending)
 
-        for shard_id, work in pending.values():
-            for request, position in zip(work.requests, work.positions):
+        for task in pending.values():
+            for request, position in zip(task.work.requests, task.work.positions):
                 responses[position] = RouteResponse(
                     request=request,
                     path=None,
                     engine=name,
-                    error=f"ShardingError: shard {shard_id} worker did not answer "
-                    f"within {self._request_timeout_s:.0f}s",
+                    error=f"ShardingError: shard {task.shard_id} worker did not "
+                    f"answer within {self._request_timeout_s:.0f}s",
                 )
 
         final: list[RouteResponse] = []
@@ -278,39 +394,143 @@ class ShardedRoutingService:
                 error=answer.error,
             )
 
-    def _revive_and_resubmit(self, pending: dict[int, tuple[int, RouteWork]]) -> None:
-        """Restart dead workers and resubmit their unanswered batches."""
+    def _heal_and_resubmit(self, pending: dict[int, _PendingTask]) -> None:
+        """Fail pending batches over to healthy replicas, resubmit to
+        reconnected links, and restart dead workers — in that order, so a
+        replica set absorbs a primary's death without waiting out a respawn.
+        """
         assert self._pool is not None
-        if all(self._pool.alive()):
+        alive = self._pool.alive()
+        reconnected, self._reconnected = self._reconnected, set()
+        for task in pending.values():
+            if task.worker_id in reconnected:
+                # The link died and came back: whatever was in flight may be
+                # gone, so resend (duplicate answers are last-write-wins).
+                clean = replace(task.work, crash_at=None)
+                task.work = clean
+                self._pool.submit(task.worker_id, clean)
+                continue
+            if self._pool.healthy(task.worker_id):
+                continue
+            standby = self._standby(task.shard_id, task.worker_id)
+            if standby is None:
+                continue  # no spare: the restart path below (or a reconnect)
+            clean = replace(task.work, crash_at=None)
+            task.work = clean
+            if self._pool.submit(standby, clean):
+                task.worker_id = standby
+                self._failovers += 1
+        if all(alive):
             return
         restarted = set(self._pool.restart_dead())
-        if not restarted:
+        for task in pending.values():
+            if task.worker_id in restarted:
+                clean = replace(task.work, crash_at=None)
+                task.work = clean
+                self._pool.submit(task.worker_id, clean)
+
+    def _maybe_hedge(self, pending: dict[int, _PendingTask]) -> None:
+        """Duplicate slow batches to a standby replica (same ``task_id``,
+        so whichever copy answers first wins and the loser is a no-op)."""
+        if not self._hedge_enabled or self._replicas < 2:
             return
-        for task_id, (shard_id, work) in list(pending.items()):
-            if shard_id in restarted:
-                clean = replace(work, crash_at=None)
-                pending[task_id] = (shard_id, clean)
-                self._pool.submit(shard_id, clean)
+        assert self._pool is not None
+        delay = (
+            self._hedge_delay_s
+            if self._hedge_delay_s is not None
+            else self._hedge_policy.delay_s()
+        )
+        now = time.monotonic()
+        for task in pending.values():
+            if task.hedge_worker is not None or now - task.submitted_at < delay:
+                continue
+            standby = self._standby(task.shard_id, task.worker_id)
+            if standby is None:
+                continue
+            clean = replace(task.work, crash_at=None)
+            if self._pool.submit(standby, clean):
+                task.hedge_worker = standby
+                self._hedged += 1
 
     def _pump(self, timeout_s: float) -> None:
         """Drain one coordinator-bound message into the routing tables."""
         assert self._pool is not None
+        self._maybe_heartbeat()
         try:
             message = self._pool.recv(timeout_s=timeout_s)
         except queue.Empty:
             return
+        worker_id = getattr(message, "worker_id", None)
+        if isinstance(worker_id, int):
+            self._monitor.note_message(worker_id)
         if isinstance(message, RouteResults):
             # Duplicates (a worker that died *after* sending, then got its
-            # batch resubmitted) are harmless: last write wins and both
-            # carry the same answers.
+            # batch resubmitted — or a hedge's second answer) are harmless:
+            # last write wins and both carry the same answers.
             self._results[message.task_id] = message
         elif isinstance(message, VersionAck):
             current = self._acks.get(message.worker_id, 0)
             self._acks[message.worker_id] = max(current, message.version)
-        elif isinstance(message, (Hello, Fatal)):
-            # Late handshakes from restarts / crash reports: liveness is
-            # tracked through the pool, nothing to do here.
+        elif isinstance(message, Hello):
+            self._on_hello(message)
+        elif isinstance(message, (Pong, Fatal)):
+            # Pongs already fed the monitor above; crash reports are
+            # handled through process liveness.
             pass
+
+    def _on_hello(self, hello: Hello) -> None:
+        """A reconnect re-identification (boot Hellos are consumed by the
+        pool's handshake): mark the worker for pending-work resubmission and
+        bring its cost state forward — journal replay when the bounded
+        history still covers its version gap, full resync otherwise."""
+        assert self._pool is not None
+        self._reconnected.add(hello.worker_id)
+        current = self._network.cost_version
+        if hello.cost_version >= current:
+            return
+        chain = self._journal.chain(hello.cost_version)
+        if chain:
+            if all(self._pool.submit(hello.worker_id, diff) for diff in chain):
+                self._journal.record_replay()
+            # A send that failed means the link died again mid-replay; the
+            # next Hello restarts the catch-up from the worker's new version.
+        elif self._pool.submit(hello.worker_id, ResyncRequired(version=current)):
+            # chain is None (journal truncated) or [] with a stale worker
+            # (empty journal): the segment is the only source wide enough.
+            self._journal.record_resync()
+
+    # ------------------------------------------------------------------ #
+    # Heartbeats
+    # ------------------------------------------------------------------ #
+    def _maybe_heartbeat(self) -> None:
+        if self._heartbeat_interval_s is None or self._heartbeat_interval_s <= 0:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self._heartbeat_interval_s:
+            return
+        self._last_heartbeat = now
+        self._heartbeat_round()
+
+    def heartbeat(self) -> list[int]:
+        """Probe every worker now; returns the ids that crossed the
+        liveness deadline (their links are severed so the reconnect /
+        failover machinery owns recovery)."""
+        with self._lock:
+            self._ensure_open()
+            return self._heartbeat_round()
+
+    def _heartbeat_round(self) -> list[int]:
+        assert self._pool is not None
+        probe = Ping(sequence=self._monitor.next_sequence())
+        for worker_id in range(self._pool.size):
+            if self._pool.submit(worker_id, probe):
+                self._monitor.note_ping(worker_id)
+        suspects = self._monitor.suspects(self._heartbeat_timeout_s)
+        for worker_id in suspects:
+            # A wedged worker or half-open link: sever it so recovery flows
+            # through the reconnect path instead of trusting a zombie.
+            self._pool.drop_connection(worker_id)
+        return suspects
 
     # ------------------------------------------------------------------ #
     # Live traffic
@@ -359,13 +579,20 @@ class ShardedRoutingService:
                 )
                 for key in sorted(result.touched_edges)
             )
-            self._pool.broadcast(
-                CostDiff(
-                    version=result.cost_version,
-                    base_version=base_version,
-                    changes=changes,
-                )
+            crash_workers = tuple(
+                self._primary(shard_id) for shard_id in self._crash_diff_shards
             )
+            self._crash_diff_shards = ()
+            diff = CostDiff(
+                version=result.cost_version,
+                base_version=base_version,
+                changes=changes,
+                crash_workers=crash_workers,
+            )
+            # The journal keeps the *clean* diff: a replay must catch a
+            # reconnecting worker up, not re-fire a chaos crash hook.
+            self._journal.append(replace(diff, crash_workers=()))
+            self._pool.broadcast(diff)
             if wait:
                 self._await_acks(
                     result.cost_version,
@@ -408,6 +635,16 @@ class ShardedRoutingService:
                 in_shard_requests=self._in_shard,
                 broadcast_lag_s=self._broadcast_lag_s,
                 worker_restarts=self._pool.restarts if self._pool is not None else 0,
+                transport=self._transport,
+                replicas=self._replicas,
+                failovers=self._failovers,
+                hedged_requests=self._hedged,
+                hedge_wins=self._hedge_wins,
+                heartbeats_sent=self._monitor.pings_sent,
+                heartbeat_timeouts=self._monitor.timeouts,
+                journal_replays=self._journal.replays,
+                journal_resyncs=self._journal.resyncs,
+                journal_depth=len(self._journal),
             )
 
     def reset_stats(self) -> None:
@@ -417,11 +654,51 @@ class ShardedRoutingService:
             self._cross_shard = 0
             self._in_shard = 0
 
-    def inject_crash(self, shard_id: int) -> None:
-        """Chaos hook: the next batch for ``shard_id`` hard-kills its worker
-        (test-only; the pool restart path must serve identical results)."""
+    def inject_crash(self, shard_id: int, phase: str = "work") -> None:
+        """Chaos hook: hard-kill the shard's primary worker at a chosen
+        point (test-only; recovery must serve identical results).
+
+        ``phase="work"`` crashes it on its next :class:`RouteWork` batch;
+        ``phase="diff"`` crashes it on the next :class:`CostDiff` broadcast
+        *between receipt and ack* — the window the traffic barrier must
+        survive.
+        """
+        if phase not in ("work", "diff"):
+            raise ConfigurationError(
+                f"unknown crash phase {phase!r} (expected 'work' or 'diff')"
+            )
         with self._lock:
-            self._crash_worker = shard_id
+            if phase == "work":
+                self._crash_worker = shard_id
+            else:
+                self._crash_diff_shards = (*self._crash_diff_shards, shard_id)
+
+    def drop_connection(self, worker_id: int) -> bool:
+        """Chaos hook (TCP transport): sever one worker's link — a network
+        fault, not a crash; the worker redials and re-identifies on its
+        own.  Returns whether a live link existed."""
+        with self._lock:
+            self._ensure_open()
+            assert self._pool is not None
+            return self._pool.drop_connection(worker_id)
+
+    def partition_worker(self, worker_id: int) -> bool:
+        """Chaos hook (TCP transport): black-hole one worker — link severed
+        and every re-dial refused — until :meth:`heal_worker`.  The worker
+        keeps redialing with backoff; once healed, its reconnect Hello
+        triggers a journal replay (or full resync) of whatever broadcasts
+        it missed."""
+        with self._lock:
+            self._ensure_open()
+            assert self._pool is not None
+            return self._pool.partition_worker(worker_id)
+
+    def heal_worker(self, worker_id: int) -> None:
+        """Close a :meth:`partition_worker` partition."""
+        with self._lock:
+            self._ensure_open()
+            assert self._pool is not None
+            self._pool.heal_worker(worker_id)
 
     def _ensure_open(self) -> None:
         if self._closed:

@@ -39,7 +39,10 @@ from .protocol import (
     CostDiff,
     Fatal,
     Hello,
+    Ping,
+    Pong,
     QueueTransport,
+    ResyncRequired,
     RouteAnswer,
     RouteResults,
     RouteWork,
@@ -153,11 +156,32 @@ class ShardWorker:
         if isinstance(message, RouteWork):
             self.transport.send(self.serve(message))
         elif isinstance(message, CostDiff):
+            if self.payload.worker_id in message.crash_workers:
+                # Chaos hook: die between broadcast receipt and ack — the
+                # exact window the coordinator's ack barrier must survive.
+                os._exit(23)
             self.apply_diff(message)
             self.transport.send(
                 VersionAck(worker_id=self.payload.worker_id, version=self.version)
             )
+        elif isinstance(message, Ping):
+            self.transport.send(
+                Pong(
+                    worker_id=self.payload.worker_id,
+                    sequence=message.sequence,
+                    cost_version=self.version,
+                )
+            )
+        elif isinstance(message, ResyncRequired):
+            self.resync()
+            self.transport.send(
+                VersionAck(worker_id=self.payload.worker_id, version=self.version)
+            )
         elif isinstance(message, Shutdown):
+            if self.payload.ignore_shutdown:
+                # Chaos hook: model a wedged worker that never honours the
+                # orderly stop — the pool's close deadline must terminate it.
+                return
             self._running = False
 
     # ------------------------------------------------------------------ #
@@ -364,3 +388,37 @@ def _worker_entry(payload: WorkerPayload, inbox: object, outbox: object) -> None
         worker.run()
     finally:
         worker.close()
+
+
+def _tcp_worker_entry(payload: WorkerPayload, address: tuple[str, int]) -> None:
+    """Spawn target for the TCP transport: dial the coordinator's hub.
+
+    Identical lifecycle to :func:`_worker_entry`, plus reconnect
+    re-identification: the transport's ``identify`` hook sends a fresh
+    :class:`Hello` carrying the worker's *live* cost version as the first
+    frame of every re-dialed connection, which is what lets the coordinator
+    choose between a :class:`CostDiff` journal replay and a full resync.
+    """
+    from .transport import SocketTransport
+
+    transport = SocketTransport(address)
+    worker = ShardWorker(payload, transport)
+    transport.identify = lambda: Hello(
+        worker_id=payload.worker_id,
+        shard_id=payload.shard_id,
+        pid=os.getpid(),
+        cost_version=worker.version,
+    )
+    try:
+        worker.boot()
+    except BaseException as exc:  # noqa: BLE001 - reported, then re-raised
+        try:
+            transport.send(Fatal(worker_id=payload.worker_id, error=f"{type(exc).__name__}: {exc}"))
+        except (OSError, EOFError):
+            pass  # the hub is gone too; exiting loudly is all that is left
+        raise
+    try:
+        worker.run()
+    finally:
+        worker.close()
+        transport.close()

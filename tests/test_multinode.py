@@ -1,0 +1,715 @@
+"""Fault-tolerant multi-node transport (:mod:`repro.service.sharding.transport`).
+
+Four layers:
+
+* **wire** — the length-prefixed pickle frame codec and its caps;
+* **endpoints** — :class:`SocketTransport` reconnect behaviour and the
+  :class:`TcpHub` registry (displacement, drops, partitions);
+* **replication** — :class:`HeartbeatMonitor` with an injected clock,
+  :class:`CostDiffJournal` chain/truncation semantics, and the seeded
+  :class:`FaultyTransport` chaos wrapper;
+* **deployment** — kill-the-primary failover over replicas, journal replay
+  (and truncation fallback) through healed partitions, hedged requests, the
+  crash-between-broadcast-and-ack barrier, and shutdown stragglers — with
+  100% cost identity against full-network Dijkstra throughout.
+
+The deployment tests boot real worker processes over loopback TCP, so they
+keep grids small and share deployments per scenario.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import queue
+import random
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.network import grid_city_network
+from repro.network.compiled import shm
+from repro.routing import CostFeature, cost_function, dijkstra
+from repro.service import FaultInjector, RouteRequest, ShardedRoutingService
+from repro.service.faults import FaultyTransport
+from repro.service.resilience import HedgePolicy
+from repro.service.sharding import (
+    MAX_FRAME_BYTES,
+    CostDiff,
+    CostDiffJournal,
+    FrameError,
+    Hello,
+    HeartbeatMonitor,
+    QueueTransport,
+    ShardWorkerPool,
+    SocketTransport,
+    TcpHub,
+    WorkerPayload,
+    build_shard_plan,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.service.sharding.overlay import path_cost
+from repro.traffic.updates import TrafficUpdate
+
+
+def _reference_cost(network, source, destination, feature) -> float:
+    try:
+        path = dijkstra(network, source, destination, cost_function(feature))
+    except Exception:
+        return math.inf
+    return path_cost(network, tuple(path), feature)
+
+
+def _response_cost(network, response, feature) -> float:
+    if response.path is None:
+        return math.inf
+    return path_cost(network, tuple(response.path.vertices), feature)
+
+
+def _requests(network, count, seed=7):
+    rng = random.Random(seed)
+    vertices = sorted(network.vertex_ids())
+    return [
+        RouteRequest(source=rng.choice(vertices), destination=rng.choice(vertices))
+        for _ in range(count)
+    ]
+
+
+def _assert_identity(network, service, requests, engine="Shortest"):
+    feature = (
+        CostFeature.DISTANCE if engine == "Shortest" else CostFeature.TRAVEL_TIME
+    )
+    responses = service.route_many(requests, engine=engine)
+    assert all(r.error is None for r in responses), [
+        r.error for r in responses if r.error
+    ]
+    for request, response in zip(requests, responses):
+        got = _response_cost(network, response, feature)
+        want = _reference_cost(network, request.source, request.destination, feature)
+        assert math.isclose(got, want, rel_tol=1e-9)
+    return responses
+
+
+# -------------------------------------------------------------------- #
+# Wire framing
+# -------------------------------------------------------------------- #
+class TestFrameCodec:
+    def test_round_trip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            message = Hello(worker_id=3, shard_id=1, pid=123, cost_version=7)
+            send_frame(left, message, timeout_s=2.0)
+            assert recv_frame(right, timeout_s=2.0) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_layout_is_length_prefixed_pickle(self):
+        frame = encode_frame("payload")
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert pickle.loads(frame[4:]) == "payload"
+
+    def test_oversized_message_refused_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_length_prefix_refused_at_decode(self):
+        left, right = socket.socketpair()
+        try:
+            left.settimeout(2.0)
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FrameError):
+                recv_frame(right, timeout_s=2.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_mid_frame_raises_eof(self):
+        left, right = socket.socketpair()
+        try:
+            left.settimeout(2.0)
+            left.sendall(struct.pack(">I", 64) + b"partial")
+            left.close()
+            with pytest.raises(EOFError):
+                recv_frame(right, timeout_s=2.0)
+        finally:
+            right.close()
+
+    def test_no_frame_within_timeout_raises_socket_timeout(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(socket.timeout):
+                recv_frame(right, timeout_s=0.05)
+        finally:
+            left.close()
+            right.close()
+
+
+# -------------------------------------------------------------------- #
+# Endpoints
+# -------------------------------------------------------------------- #
+def _wait_until(predicate, timeout_s=10.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestSocketEndpoints:
+    def test_hub_registers_on_first_frame_and_round_trips(self):
+        with TcpHub() as hub:
+            transport = SocketTransport(hub.address)
+            try:
+                transport.send(Hello(worker_id=5, shard_id=0, pid=1, cost_version=0))
+                hello = hub.recv(timeout_s=5.0)
+                assert hello.worker_id == 5
+                assert _wait_until(lambda: hub.connected(5))
+                assert hub.send(5, "downstream")
+                assert transport.recv(timeout_s=5.0) == "downstream"
+            finally:
+                transport.close()
+
+    def test_recv_timeout_raises_queue_empty_like_the_queue_transport(self):
+        with TcpHub() as hub:
+            transport = SocketTransport(hub.address)
+            try:
+                transport.send(Hello(worker_id=0, shard_id=0, pid=1, cost_version=0))
+                hub.recv(timeout_s=5.0)  # drain the identify frame
+                with pytest.raises(queue.Empty):
+                    transport.recv(timeout_s=0.05)
+                with pytest.raises(queue.Empty):
+                    hub.recv(timeout_s=0.0)
+            finally:
+                transport.close()
+
+    def test_dropped_connection_reconnects_and_reidentifies(self):
+        with TcpHub() as hub:
+            transport = SocketTransport(hub.address)
+            transport.identify = lambda: Hello(
+                worker_id=9, shard_id=0, pid=1, cost_version=4
+            )
+            try:
+                transport.send(Hello(worker_id=9, shard_id=0, pid=1, cost_version=0))
+                assert hub.recv(timeout_s=5.0).cost_version == 0
+                assert _wait_until(lambda: hub.connected(9))
+                assert hub.drop_connection(9)
+                assert hub.drops == 1
+                # The next poll notices the dead link and redials; the first
+                # frame of the new connection is the identify Hello.
+                for _ in range(200):
+                    try:
+                        transport.recv(timeout_s=0.05)
+                    except queue.Empty:
+                        pass
+                    if hub.connected(9):
+                        break
+                assert hub.connected(9)
+                assert transport.connects >= 2
+                rehello = hub.recv(timeout_s=5.0)
+                assert isinstance(rehello, Hello) and rehello.cost_version == 4
+            finally:
+                transport.close()
+
+    def test_newer_connection_displaces_older(self):
+        with TcpHub() as hub:
+            first = SocketTransport(hub.address)
+            second = SocketTransport(hub.address)
+            try:
+                first.send(Hello(worker_id=1, shard_id=0, pid=1, cost_version=0))
+                hub.recv(timeout_s=5.0)
+                second.send(Hello(worker_id=1, shard_id=0, pid=2, cost_version=1))
+                assert hub.recv(timeout_s=5.0).pid == 2
+                assert _wait_until(lambda: hub.connected(1))
+                assert hub.connected_workers() == [1]
+                assert hub.send(1, "to-the-newer")
+                assert second.recv(timeout_s=5.0) == "to-the-newer"
+            finally:
+                first.close()
+                second.close()
+
+    def test_send_to_unknown_worker_is_false_not_an_exception(self):
+        with TcpHub() as hub:
+            assert not hub.send(42, "nobody-home")
+            assert hub.broadcast("nobody-home") == 0
+
+    def test_partitioned_worker_stays_disconnected_until_healed(self):
+        with TcpHub() as hub:
+            transport = SocketTransport(hub.address)
+            transport.identify = lambda: Hello(
+                worker_id=2, shard_id=0, pid=1, cost_version=0
+            )
+            try:
+                transport.send(Hello(worker_id=2, shard_id=0, pid=1, cost_version=0))
+                hub.recv(timeout_s=5.0)
+                assert _wait_until(lambda: hub.connected(2))
+                assert hub.partition_worker(2)
+                # Repeated polls keep redialing, but every dial is refused
+                # at the handshake while the partition is open.
+                for _ in range(20):
+                    with pytest.raises(queue.Empty):
+                        transport.recv(timeout_s=0.02)
+                    assert not hub.connected(2)
+                hub.heal_worker(2)
+                assert _wait_until(
+                    lambda: self._poll_once(transport) or hub.connected(2)
+                )
+                assert hub.connected(2)
+            finally:
+                transport.close()
+
+    @staticmethod
+    def _poll_once(transport) -> bool:
+        try:
+            transport.recv(timeout_s=0.02)
+        except queue.Empty:
+            pass
+        return False
+
+    def test_reconnect_budget_exhaustion_surfaces_as_eof(self):
+        hub = TcpHub()
+        address = hub.address
+        hub.close()
+        from repro.service.resilience import RetryPolicy
+
+        transport = SocketTransport(
+            address, retry=RetryPolicy(max_retries=1, base_delay_s=0.001)
+        )
+        with pytest.raises(EOFError):
+            transport.recv(timeout_s=0.05)
+
+
+# -------------------------------------------------------------------- #
+# Replication primitives
+# -------------------------------------------------------------------- #
+class TestHeartbeatMonitor:
+    def test_unanswered_probe_crosses_deadline_once(self):
+        clock = [0.0]
+        monitor = HeartbeatMonitor([0, 1], clock=lambda: clock[0])
+        monitor.note_ping(0)
+        monitor.note_ping(1)
+        clock[0] = 1.0
+        monitor.note_message(1)  # any traffic proves life
+        clock[0] = 6.0
+        assert monitor.is_suspect(0, timeout_s=5.0)
+        assert not monitor.is_suspect(1, timeout_s=5.0)
+        assert monitor.suspects(timeout_s=5.0) == [0]
+        assert monitor.timeouts == 1
+        # The crossing re-arms: not reported again until a fresh deadline.
+        assert monitor.suspects(timeout_s=5.0) == []
+        clock[0] = 12.0
+        assert monitor.suspects(timeout_s=5.0) == [0]
+        assert monitor.timeouts == 2
+
+    def test_reprobing_a_silent_worker_does_not_extend_its_deadline(self):
+        clock = [0.0]
+        monitor = HeartbeatMonitor([0], clock=lambda: clock[0])
+        monitor.note_ping(0)
+        clock[0] = 4.0
+        monitor.note_ping(0)  # outstanding probe: deadline must not move
+        clock[0] = 5.0
+        assert monitor.is_suspect(0, timeout_s=5.0)
+
+    def test_recovery_after_message(self):
+        clock = [0.0]
+        monitor = HeartbeatMonitor([0], clock=lambda: clock[0])
+        monitor.note_ping(0)
+        clock[0] = 2.0
+        monitor.note_message(0)
+        clock[0] = 100.0
+        assert not monitor.is_suspect(0, timeout_s=5.0)
+        assert monitor.pings_sent == 1 and monitor.timeouts == 0
+
+
+def _diff(version, base_version):
+    return CostDiff(version=version, base_version=base_version, changes=())
+
+
+class TestCostDiffJournal:
+    def test_chain_bridges_contiguous_versions(self):
+        journal = CostDiffJournal(capacity=8)
+        for v in range(1, 5):
+            journal.append(_diff(v, v - 1))
+        assert journal.head_version == 4
+        assert [d.version for d in journal.chain(0)] == [1, 2, 3, 4]
+        assert [d.version for d in journal.chain(2)] == [3, 4]
+        assert journal.chain(4) == []  # already current
+        assert journal.chain(9) == []  # ahead (stale coordinator restart)
+
+    def test_truncated_history_returns_none(self):
+        journal = CostDiffJournal(capacity=2)
+        for v in range(1, 6):
+            journal.append(_diff(v, v - 1))
+        assert len(journal) == 2
+        assert journal.tail_base_version == 3
+        assert journal.chain(0) is None
+        assert [d.version for d in journal.chain(3)] == [4, 5]
+
+    def test_discontinuity_clears_the_journal(self):
+        journal = CostDiffJournal(capacity=8)
+        journal.append(_diff(1, 0))
+        journal.append(_diff(2, 1))
+        journal.append(_diff(7, 5))  # gap: everything older is poisoned
+        assert len(journal) == 1
+        assert journal.chain(0) is None
+        assert [d.version for d in journal.chain(5)] == [7]
+
+    def test_capacity_zero_never_replays(self):
+        journal = CostDiffJournal(capacity=0)
+        journal.append(_diff(1, 0))
+        assert len(journal) == 0 and journal.chain(0) is None
+
+    def test_counters(self):
+        journal = CostDiffJournal()
+        journal.record_replay()
+        journal.record_resync()
+        journal.record_resync()
+        assert journal.replays == 1 and journal.resyncs == 2
+
+
+# -------------------------------------------------------------------- #
+# Transport chaos wrapper
+# -------------------------------------------------------------------- #
+class _Loopback:
+    """A minimal in-memory Transport: send() feeds its own recv()."""
+
+    def __init__(self):
+        self.inbox = queue.Queue()
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+        self.inbox.put(message)
+
+    def recv(self, timeout_s=None):
+        return self.inbox.get(timeout=timeout_s if timeout_s is not None else 0.05)
+
+
+class TestFaultyTransport:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            wrapped = FaultInjector(seed).transport(
+                _Loopback(), drop_rate=0.3, delay_rate=0.2, duplicate_rate=0.2,
+                delay_s=0.0,
+            )
+            for i in range(60):
+                wrapped.send(i)
+            return list(wrapped.counters.actions)
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+        actions = run(11)
+        assert {"drop", "duplicate"} <= set(actions)
+
+    def test_drop_loses_and_duplicate_doubles(self):
+        inner = _Loopback()
+        wrapped = FaultInjector(0).transport(
+            inner, script=["drop", "ok", "duplicate"]
+        )
+        wrapped.send("a")
+        wrapped.send("b")
+        wrapped.send("c")
+        assert inner.sent == ["b", "c", "c"]
+        counters = wrapped.counters
+        assert counters.dropped_messages == 1
+        assert counters.duplicated_messages == 1
+
+    def test_one_way_partition_outbound_only(self):
+        inner = _Loopback()
+        wrapped = FaultInjector(0).transport(inner)
+        inner.inbox.put("inbound-ok")
+        wrapped.partition(outbound=True, inbound=False)
+        wrapped.send("lost")
+        assert inner.sent == []
+        assert wrapped.recv(timeout_s=0.2) == "inbound-ok"  # other way open
+        assert wrapped.counters.partitioned_messages == 1
+        wrapped.heal()
+        wrapped.send("after-heal")
+        assert inner.sent == ["after-heal"]
+
+    def test_one_way_partition_inbound_only(self):
+        inner = _Loopback()
+        wrapped = FaultInjector(0).transport(inner)
+        inner.inbox.put("unreachable")
+        wrapped.partition(outbound=False, inbound=True)
+        wrapped.send("outbound-ok")
+        assert inner.sent == ["outbound-ok"]
+        with pytest.raises(queue.Empty):
+            wrapped.recv(timeout_s=0.02)
+        wrapped.heal()
+        assert wrapped.recv(timeout_s=0.2) == "unreachable"
+
+    def test_partition_chaos_schedule_is_cross_run_deterministic(self):
+        """The exact sequence a chaos run takes through partition + seeded
+        faults replays bit-identically (chaos-smoke reruns this test in a
+        separate process and diffs the schedules)."""
+        def run():
+            inner = _Loopback()
+            wrapped = FaultInjector(99).transport(
+                inner, drop_rate=0.25, duplicate_rate=0.25, delay_s=0.0
+            )
+            for i in range(10):
+                wrapped.send(("pre", i))
+            wrapped.partition(inbound=False)
+            for i in range(5):
+                wrapped.send(("dark", i))
+            wrapped.heal()
+            for i in range(10):
+                wrapped.send(("post", i))
+            return list(wrapped.counters.actions), list(inner.sent)
+
+        actions, delivered = run()
+        assert (actions, delivered) == run()
+        # Partitioned sends never consumed schedule randomness, so the
+        # post-heal schedule is independent of how long the partition held.
+        assert len(actions) == 20
+
+
+class TestHedgePolicy:
+    def test_initial_delay_until_enough_samples(self):
+        policy = HedgePolicy(initial_delay_s=0.25, min_samples=4)
+        assert policy.delay_s() == 0.25
+        for _ in range(4):
+            policy.record(0.04)
+        assert math.isclose(policy.delay_s(), 0.06, rel_tol=1e-9)  # p95 * 1.5
+
+    def test_delay_clamped_to_band(self):
+        policy = HedgePolicy(min_delay_s=0.02, max_delay_s=0.5, min_samples=1)
+        policy.record(0.0001)
+        assert policy.delay_s() == 0.02
+        policy.record(10.0)
+        assert policy.delay_s() == 0.5
+
+
+# -------------------------------------------------------------------- #
+# Deployments
+# -------------------------------------------------------------------- #
+class TestFaultTolerantDeployment:
+    def test_kill_primary_failover_serves_all_requests_identically(self):
+        """Kill the primary replica mid-batch: every request is still
+        answered, cost-identical, with zero drops — the standby absorbs the
+        batch while the pool respawns the corpse."""
+        network = grid_city_network(5, 5, seed=3)
+        requests = _requests(network, 16)
+        with ShardedRoutingService(
+            network, shard_count=2, transport="tcp", replicas=2
+        ) as service:
+            assert service.replicas_of(0) == [0, 2]
+            assert service.replicas_of(1) == [1, 3]
+            _assert_identity(network, service, requests)
+
+            service.inject_crash(1, phase="work")
+            _assert_identity(network, service, requests)
+
+            stats = service.stats()
+            assert stats.replicas == 2 and stats.transport == "tcp"
+            assert stats.failovers >= 1
+            # The crash batch may finish entirely via failover before the
+            # coordinator observes the corpse; the respawn happens inside a
+            # later serving loop once the process handle reads dead.
+            def _respawned() -> bool:
+                if service.stats().worker_restarts >= 1:
+                    return True
+                service.route_many(requests[:2])
+                return False
+
+            assert _wait_until(_respawned)
+            # And the deployment still serves identically afterwards.
+            _assert_identity(network, service, requests, engine="Fastest")
+
+    def test_journal_replay_catches_up_a_healed_partition(self):
+        """A partitioned worker misses a broadcast; on heal it replays the
+        CostDiff chain from the journal — observed via the journal_replays
+        counter, with journal_resyncs untouched — and identity holds."""
+        network = grid_city_network(5, 5, seed=3)
+        rng = random.Random(5)
+        edges = [(e.source, e.target) for e in network.edges()]
+        requests = _requests(network, 12)
+        with ShardedRoutingService(
+            network, shard_count=2, transport="tcp", journal_capacity=16
+        ) as service:
+            assert service.partition_worker(1)
+            batch = [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.5, 2.5)
+                )
+                for _ in range(6)
+            ]
+            service.apply_traffic(batch, wait=False)
+            service.heal_worker(1)
+            # The next acked barrier forces the catch-up: the healed
+            # worker's reconnect Hello carries its stale version and the
+            # journal bridges the gap.
+            more = [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.5, 2.5)
+                )
+                for _ in range(6)
+            ]
+            service.apply_traffic(more, wait=True)
+            stats = service.stats()
+            assert stats.journal_replays >= 1
+            assert stats.journal_resyncs == 0
+            assert stats.worker_restarts == 0  # a network fault, not a crash
+            _assert_identity(network, service, requests, engine="Fastest")
+
+    def test_truncated_journal_falls_back_to_full_resync(self):
+        """With a one-entry journal, a worker that missed several broadcasts
+        cannot be bridged: the coordinator orders ResyncRequired instead."""
+        network = grid_city_network(5, 5, seed=3)
+        rng = random.Random(6)
+        edges = [(e.source, e.target) for e in network.edges()]
+        requests = _requests(network, 12)
+        with ShardedRoutingService(
+            network, shard_count=2, transport="tcp", journal_capacity=1
+        ) as service:
+            assert service.partition_worker(1)
+            for _ in range(3):
+                batch = [
+                    TrafficUpdate.scale_by(
+                        *rng.choice(edges), travel_time_s=rng.uniform(1.5, 2.5)
+                    )
+                    for _ in range(4)
+                ]
+                service.apply_traffic(batch, wait=False)
+            service.heal_worker(1)
+            final = [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.5, 2.5)
+                )
+                for _ in range(4)
+            ]
+            service.apply_traffic(final, wait=True)
+            stats = service.stats()
+            assert stats.journal_resyncs >= 1
+            assert stats.journal_depth == 1
+            _assert_identity(network, service, requests, engine="Fastest")
+
+    def test_hedged_requests_duplicate_to_a_standby(self):
+        network = grid_city_network(4, 4, seed=3)
+        requests = _requests(network, 12)
+        with ShardedRoutingService(
+            network,
+            shard_count=2,
+            transport="tcp",
+            replicas=2,
+            hedge=True,
+            hedge_delay_s=0.0,  # hedge immediately: every wait loop fires
+        ) as service:
+            _assert_identity(network, service, requests)
+            stats = service.stats()
+            assert stats.hedged_requests >= 1
+            # Winners are timing-dependent; the counter only ever counts
+            # answers that really came from the hedge target.
+            assert 0 <= stats.hedge_wins <= stats.hedged_requests
+
+    def test_heartbeat_round_probes_every_worker(self):
+        network = grid_city_network(4, 4, seed=3)
+        with ShardedRoutingService(
+            network, shard_count=2, transport="tcp", heartbeat_timeout_s=30.0
+        ) as service:
+            assert service.heartbeat() == []  # all healthy
+            stats = service.stats()
+            assert stats.heartbeats_sent == 2
+            assert stats.heartbeat_timeouts == 0
+
+
+class TestAckBarrierUnderCrash:
+    @pytest.mark.parametrize("transport", ["queue", "tcp"])
+    def test_worker_crashing_between_broadcast_and_ack(self, transport):
+        """The regression the barrier must survive: a worker dies *after*
+        the CostDiff broadcast but *before* acking.  apply_traffic(wait=True)
+        must complete (respawn + boot-resync counts as the ack), well inside
+        the traffic timeout, and identity must hold right after."""
+        network = grid_city_network(5, 5, seed=3)
+        rng = random.Random(9)
+        edges = [(e.source, e.target) for e in network.edges()]
+        requests = _requests(network, 12)
+        with ShardedRoutingService(
+            network, shard_count=2, transport=transport, traffic_timeout_s=60.0
+        ) as service:
+            service.inject_crash(0, phase="diff")
+            batch = [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.5, 2.5)
+                )
+                for _ in range(6)
+            ]
+            started = time.monotonic()
+            result = service.apply_traffic(batch, wait=True)
+            elapsed = time.monotonic() - started
+            assert result.applied
+            assert elapsed < 60.0  # completed, did not ride the timeout out
+            stats = service.stats()
+            assert stats.worker_restarts >= 1
+            _assert_identity(network, service, requests, engine="Fastest")
+
+
+class TestShutdownStragglers:
+    @pytest.mark.parametrize("transport", ["queue", "tcp"])
+    def test_worker_ignoring_shutdown_is_terminated_within_deadline(
+        self, transport
+    ):
+        """A wedged worker that drops Shutdown on the floor must be
+        terminate()d by the pool's close deadline — reported unclean, never
+        a deadlock."""
+        network = grid_city_network(4, 4, seed=3)
+        plan = build_shard_plan(network, 2)
+        segment = shm.export_graph(
+            network.compiled(), cost_version=network.cost_version
+        )
+        try:
+            payloads = [
+                WorkerPayload(
+                    worker_id=worker_id,
+                    shard_id=worker_id,
+                    plan=plan,
+                    network=network,
+                    spec=segment.spec,
+                    ignore_shutdown=(worker_id == 1),
+                )
+                for worker_id in range(2)
+            ]
+            pool = ShardWorkerPool(payloads, transport=transport)
+            pool.start()
+            started = time.monotonic()
+            clean = pool.close(timeout_s=2.0)
+            elapsed = time.monotonic() - started
+            assert clean is False  # the straggler had to be terminated
+            assert elapsed < 30.0
+            assert not any(pool.alive())
+        finally:
+            segment.close()
+            segment.unlink()
+
+    @pytest.mark.parametrize("transport", ["queue", "tcp"])
+    def test_orderly_workers_close_clean(self, transport):
+        network = grid_city_network(4, 4, seed=3)
+        plan = build_shard_plan(network, 2)
+        segment = shm.export_graph(
+            network.compiled(), cost_version=network.cost_version
+        )
+        try:
+            payloads = [
+                WorkerPayload(
+                    worker_id=worker_id,
+                    shard_id=worker_id,
+                    plan=plan,
+                    network=network,
+                    spec=segment.spec,
+                )
+                for worker_id in range(2)
+            ]
+            pool = ShardWorkerPool(payloads, transport=transport)
+            pool.start()
+            assert pool.close(timeout_s=15.0) is True
+        finally:
+            segment.close()
+            segment.unlink()

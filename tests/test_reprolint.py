@@ -1,6 +1,6 @@
 """The reprolint static analyzer (:mod:`tools.reprolint`).
 
-Each rule RL001–RL009 gets a positive fixture (the violation fires), a
+Each rule RL001–RL010 gets a positive fixture (the violation fires), a
 negative fixture (the compliant idiom stays silent), and a suppression
 fixture (``# reprolint: disable=...`` moves the finding to ``suppressed``).
 Fixtures go through :func:`~tools.reprolint.lint_source` with a fake
@@ -492,6 +492,104 @@ class TestRL009SharedMemoryLifecycle:
 
 
 # -------------------------------------------------------------------- #
+# RL010 — socket operations in the serving layer carry explicit timeouts
+# -------------------------------------------------------------------- #
+RL010_BAD = """\
+def read_frame(sock):
+    header = sock.recv(4)
+    return header
+"""
+
+RL010_GOOD = """\
+def read_frame(sock, timeout_s):
+    sock.settimeout(timeout_s)
+    header = sock.recv(4)
+    return header
+"""
+
+
+class TestRL010SocketTimeout:
+    def test_recv_without_settimeout_is_flagged(self):
+        result = _lint(RL010_BAD, SERVICE_PATH)
+        assert _codes(result) == ["RL010"]
+        (finding,) = result.findings
+        assert finding.severity == "error"
+        assert "settimeout" in finding.message
+
+    def test_recv_with_settimeout_in_same_function_is_clean(self):
+        assert _lint(RL010_GOOD, SERVICE_PATH).ok
+
+    def test_accept_without_settimeout_is_flagged(self):
+        source = "def loop(listener):\n    conn, addr = listener.accept()\n"
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL010"]
+
+    def test_settimeout_in_another_function_does_not_arm(self):
+        source = (
+            "def arm(sock):\n    sock.settimeout(5.0)\n"
+            "def read(sock):\n    return sock.recv(4)\n"
+        )
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL010"]
+
+    def test_settimeout_none_is_flagged(self):
+        # settimeout(None) draws its own finding, and it does not count as
+        # arming the socket — the recv is still unbounded, so both fire.
+        source = (
+            "def read(sock):\n"
+            "    sock.settimeout(None)\n"
+            "    return sock.recv(4)\n"
+        )
+        result = _lint(source, SERVICE_PATH)
+        assert _codes(result) == ["RL010", "RL010"]
+        assert any("unbounded" in f.message for f in result.findings)
+
+    def test_non_socket_receiver_is_clean(self):
+        source = "def pull(transport):\n    return transport.recv(timeout_s=1.0)\n"
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_select_without_timeout_is_flagged(self):
+        source = (
+            "import select\n"
+            "def poll(rlist):\n    return select.select(rlist, [], [])\n"
+        )
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL010"]
+
+    def test_select_with_timeout_is_clean(self):
+        source = (
+            "import select\n"
+            "def poll(rlist):\n    return select.select(rlist, [], [], 0.5)\n"
+        )
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_create_connection_without_timeout_is_flagged(self):
+        source = (
+            "import socket\n"
+            "def dial(address):\n    return socket.create_connection(address)\n"
+        )
+        assert _codes(_lint(source, SERVICE_PATH)) == ["RL010"]
+
+    def test_create_connection_with_timeout_is_clean(self):
+        source = (
+            "import socket\n"
+            "def dial(address):\n"
+            "    return socket.create_connection(address, timeout=5.0)\n"
+        )
+        assert _lint(source, SERVICE_PATH).ok
+
+    def test_out_of_scope_path_is_clean(self):
+        assert _lint(RL010_BAD, UNSCOPED_PATH).ok
+
+    def test_suppression_comment_is_honored(self):
+        source = RL010_BAD.replace(
+            "    header = sock.recv(4)",
+            "    # reprolint: disable-next-line=RL010 — armed by the caller.\n"
+            "    header = sock.recv(4)",
+        )
+        result = _lint(source, SERVICE_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL010"]
+
+
+# -------------------------------------------------------------------- #
 # Engine: suppressions, errors, reporters, gating
 # -------------------------------------------------------------------- #
 class TestSuppressions:
@@ -536,14 +634,14 @@ class TestEngine:
         assert payload["ok"] is False
         assert payload["files"] == 1
         assert [entry["rule"] for entry in payload["findings"]] == ["RL001"]
-        assert len(payload["rules"]) == len(ALL_RULES) == 9
+        assert len(payload["rules"]) == len(ALL_RULES) == 10
         assert {rule.rule_id for rule in ALL_RULES} == {
-            f"RL00{i}" for i in range(1, 10)
+            f"RL{i:03d}" for i in range(1, 11)
         }
 
     def test_render_text_summary_line(self):
         text = render_text(_lint("x = 1\n", "src/ok.py"), ALL_RULES)
-        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 9 rule(s)")
+        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 10 rule(s)")
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "service"

@@ -302,7 +302,8 @@ def _costs(network, responses, feature):
 
 
 class TestShardedService:
-    def test_end_to_end_identity_traffic_and_crash_recovery(self):
+    @pytest.mark.parametrize("transport", ["queue", "tcp"])
+    def test_end_to_end_identity_traffic_and_crash_recovery(self, transport):
         network = grid_city_network(6, 6, seed=3)
         rng = random.Random(7)
         vertices = sorted(network.vertex_ids())
@@ -310,7 +311,9 @@ class TestShardedService:
             RouteRequest(source=rng.choice(vertices), destination=rng.choice(vertices))
             for _ in range(24)
         ]
-        with ShardedRoutingService(network, shard_count=2) as service:
+        with ShardedRoutingService(
+            network, shard_count=2, transport=transport
+        ) as service:
             segment_name = service.segment_name
             assert segment_name is not None and _segment_exists(segment_name)
 
@@ -370,6 +373,7 @@ class TestShardedService:
 
             stats = service.stats()
             assert stats.shards == 2
+            assert stats.transport == transport
             assert stats.worker_restarts >= 1
             assert stats.cross_shard_requests + stats.in_shard_requests > 0
             assert sum(stats.shard_requests.values()) > 0

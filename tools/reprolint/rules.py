@@ -868,6 +868,141 @@ class SharedMemoryLifecycleRule(Rule):
         return Visitor()
 
 
+# ---------------------------------------------------------------------- #
+# RL010 — socket I/O in the serving layer runs on armed sockets only
+# ---------------------------------------------------------------------- #
+class SocketTimeoutRule(Rule):
+    """RL010: socket operations in service/traffic carry explicit timeouts.
+
+    The multi-node transport's liveness machinery — heartbeats, failover,
+    journal replay — assumes no coordinator or worker thread can wedge on a
+    dead peer.  That only holds if every blocking socket operation runs on
+    a socket armed with a finite deadline.  Concretely, in ``service/`` and
+    ``traffic/``:
+
+    * a function calling ``recv``/``recv_into``/``recvfrom``/``accept``/
+      ``connect``/``sendall`` on a socket-shaped receiver (its name mentions
+      ``sock``, ``conn``, or ``listener``) must also call ``settimeout(...)``
+      somewhere in that same function;
+    * ``settimeout(None)`` — unbounded blocking mode — is banned outright;
+    * ``select.select`` must pass its timeout argument;
+    * ``socket.create_connection`` must pass ``timeout=``.
+
+    The per-function granularity is deliberate: arming at construction and
+    blocking three modules away hides the deadline from the reader at
+    exactly the call that can hang, and refactors silently lose it.
+    """
+
+    rule_id = "RL010"
+    severity = "error"
+    description = (
+        "socket operation without an explicit timeout in the serving layer"
+    )
+    path_scopes = ("repro/service/", "repro/traffic/")
+
+    _SOCKET_METHODS = frozenset(
+        {"recv", "recv_into", "recvfrom", "accept", "connect", "sendall"}
+    )
+    _RECEIVER_HINTS = ("sock", "conn", "listener")
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        def is_none_constant(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Constant) and expr.value is None
+
+        def keyword_names(node: ast.Call) -> set[str]:
+            return {kw.arg for kw in node.keywords if kw.arg is not None}
+
+        def socket_shaped(expr: ast.expr) -> bool:
+            names = [name.lower() for name in _attr_chain_names(expr)]
+            return any(hint in name for name in names for hint in rule._RECEIVER_HINTS)
+
+        def arms_timeout(call: ast.Call) -> bool:
+            func = call.func
+            return (
+                isinstance(func, ast.Attribute)
+                and func.attr == "settimeout"
+                and bool(call.args)
+                and not is_none_constant(call.args[0])
+            )
+
+        def scope_calls(scope: ast.AST) -> list[ast.Call]:
+            """Every call in this scope, not descending into nested defs."""
+            calls: list[ast.Call] = []
+            stack = list(ast.iter_child_nodes(scope))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested functions are their own scope
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+                stack.extend(ast.iter_child_nodes(node))
+            return calls
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Module(self, node: ast.Module) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def _scan(self, scope: ast.AST) -> None:
+                calls = scope_calls(scope)
+                armed = any(arms_timeout(call) for call in calls)
+                for call in calls:
+                    func = call.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    method = func.attr
+                    if method == "settimeout":
+                        if call.args and is_none_constant(call.args[0]):
+                            context.report(
+                                rule,
+                                call,
+                                "settimeout(None) puts the socket in unbounded "
+                                "blocking mode; arm a finite timeout instead",
+                            )
+                    elif (
+                        method == "select"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "select"
+                    ):
+                        if len(call.args) < 4 and "timeout" not in keyword_names(call):
+                            context.report(
+                                rule,
+                                call,
+                                "select.select() without a timeout argument can "
+                                "block forever; pass a finite timeout",
+                            )
+                    elif method == "create_connection":
+                        if len(call.args) < 2 and "timeout" not in keyword_names(call):
+                            context.report(
+                                rule,
+                                call,
+                                "socket.create_connection() without timeout= "
+                                "waits out the OS connect timeout (minutes); "
+                                "pass an explicit timeout",
+                            )
+                    elif method in rule._SOCKET_METHODS and socket_shaped(func.value):
+                        if not armed:
+                            context.report(
+                                rule,
+                                call,
+                                f"socket .{method}() in a function that never "
+                                "arms a timeout; call settimeout(...) on the "
+                                "socket before blocking I/O",
+                            )
+
+        return Visitor()
+
+
 #: The default rule battery, in id order.
 ALL_RULES: tuple[Rule, ...] = (
     VersionStampRule(),
@@ -879,4 +1014,5 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     UnboundedBlockingRule(),
     SharedMemoryLifecycleRule(),
+    SocketTimeoutRule(),
 )
