@@ -1,0 +1,358 @@
+"""Benchmark: fault-free overhead and recovery speed of the durability layer.
+
+Write-ahead journaling must be close to free on the fault-free serving
+path — that is the contract that lets it stay on in production.  This
+benchmark drives the **same mixed serving workload** (a round = a handful
+of routed requests plus one effective traffic batch, the shape of a live
+serving loop) through two identical stacks over identical networks:
+
+* **plain** — no durability at all (the pre-PR configuration);
+* **journaled** — a :class:`~repro.service.DurabilityManager` attached to
+  the traffic feed, ``fsync="interval"`` (the production serving policy:
+  bounded loss window, no per-batch fsync stall).
+
+Each round is timed back to back through both stacks and the gate compares
+the **median paired ratio** — stable on noisy CI machines where a ratio of
+two wall-clock sums is not.  The run fails when the journaled stack is
+more than ``--max-overhead`` (default 10%) slower.  Two diagnostic numbers
+are measured but *not* gated, because they isolate the raw per-append cost
+rather than the serving contract: the traffic-apply-only overhead (every
+microsecond of pickle+write against an ~100µs apply) and ``fsync="always"``
+apply latency (every batch pays a real fsync — hardware truth, not a code
+property).
+
+Recovery is timed too: snapshot mid-sequence, journal the rest, then
+restore + replay onto a fresh network and verify bit-identity against the
+live run's final state.  The merged JSON section reports
+``journaled_vs_plain_throughput_ratio`` (higher is better, ~1.0 expected)
+so ``check_bench_regression.py`` tracks it like every other ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+    PYTHONPATH=src python benchmarks/bench_durability.py --smoke        # CI
+    PYTHONPATH=src python benchmarks/bench_durability.py --max-overhead 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path as FilePath
+
+from repro.network import grid_city_network
+from repro.routing import fastest_path
+from repro.service import DurabilityManager, FunctionEngine, RouteRequest, RoutingService
+from repro.service.durability import final_state, states_identical
+from repro.traffic import TrafficFeed
+from repro.traffic.updates import TrafficUpdate
+
+FULL_GRIDS = [(30, 30), (60, 60)]
+SMOKE_GRIDS = [(20, 20)]
+
+
+def _batches(network, count: int, size: int, seed: int):
+    """Effective batches: every update scales, so every batch changes costs."""
+    rng = random.Random(seed)
+    edges = [(e.source, e.target) for e in network.edges()]
+    return [
+        [
+            TrafficUpdate.scale_by(
+                *rng.choice(edges), travel_time_s=rng.uniform(1.05, 2.0)
+            )
+            for _ in range(size)
+        ]
+        for _ in range(count)
+    ]
+
+
+def _requests(network, count: int, seed: int) -> list[RouteRequest]:
+    rng = random.Random(seed)
+    ids = sorted(network.vertex_ids())
+    requests = []
+    while len(requests) < count:
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b:
+            requests.append(RouteRequest(source=a, destination=b))
+    return requests
+
+
+class _Stack:
+    """One serving stack: network + feed + route service (+ durability)."""
+
+    def __init__(self, make_network, manager: DurabilityManager | None) -> None:
+        self.network = make_network()
+        self.feed = TrafficFeed(self.network)
+        if manager is not None:
+            self.feed.attach_journal(manager)
+        self.service = RoutingService(enable_cache=False)
+        network = self.network
+        self.service.register(
+            "fastest",
+            FunctionEngine(
+                network, lambda s, d: fastest_path(network, s, d), name="fastest"
+            ),
+            default=True,
+        )
+
+    def round_timed(self, requests, batch) -> float:
+        """One serving round: route every request, then apply the batch."""
+        start = time.perf_counter()
+        for request in requests:
+            response = self.service.route(request)
+            if not response.ok:
+                raise AssertionError(f"fault-free route failed: {response.error}")
+        if not self.feed.apply(batch).applied:
+            raise AssertionError("benchmark batch was not effective")
+        return time.perf_counter() - start
+
+    def apply_timed(self, batch) -> float:
+        start = time.perf_counter()
+        if not self.feed.apply(batch).applied:
+            raise AssertionError("benchmark batch was not effective")
+        return time.perf_counter() - start
+
+
+def _paired(
+    make_network,
+    batches,
+    wal_dir: FilePath,
+    *,
+    requests,
+    fsync: str,
+    repeats: int,
+) -> tuple[float, float, float]:
+    """Median paired journaled/plain round ratio over ``repeats`` rounds.
+
+    Fresh stacks (and a fresh WAL directory) per repeat so both sides see
+    identical cost states at identical batch indices; the within-pair order
+    alternates per repeat to cancel any systematic first-mover cost.  With
+    ``requests=[]`` a round degenerates to the apply-only diagnostic.
+    """
+    plain_total = journaled_total = 0.0
+    ratios = []
+    for round_index in range(repeats):
+        plain = _Stack(make_network, None)
+        round_dir = wal_dir / f"round-{fsync}-{bool(requests)}-{round_index}"
+        with DurabilityManager(round_dir, fsync=fsync) as manager:
+            journaled = _Stack(make_network, manager)
+            plain_first = round_index % 2 == 0
+            for batch in batches:
+                if requests:
+                    if plain_first:
+                        plain_s = plain.round_timed(requests, batch)
+                        journaled_s = journaled.round_timed(requests, batch)
+                    else:
+                        journaled_s = journaled.round_timed(requests, batch)
+                        plain_s = plain.round_timed(requests, batch)
+                else:
+                    if plain_first:
+                        plain_s = plain.apply_timed(batch)
+                        journaled_s = journaled.apply_timed(batch)
+                    else:
+                        journaled_s = journaled.apply_timed(batch)
+                        plain_s = plain.apply_timed(batch)
+                plain_total += plain_s
+                journaled_total += journaled_s
+                ratios.append(journaled_s / plain_s)
+    return (
+        plain_total / repeats,
+        journaled_total / repeats,
+        statistics.median(ratios),
+    )
+
+
+def _recovery_timed(make_network, batches, wal_dir: FilePath) -> dict:
+    """Journal everything (snapshot mid-way), then time restore + replay."""
+    network = make_network()
+    feed = TrafficFeed(network)
+    with DurabilityManager(wal_dir, fsync="interval") as manager:
+        feed.attach_journal(manager)
+        for index, batch in enumerate(batches):
+            feed.apply(batch)
+            if index == len(batches) // 2:
+                manager.snapshot(network)
+    reference = final_state(network)
+
+    recovered = make_network()
+    start = time.perf_counter()
+    with DurabilityManager(wal_dir, fsync="interval") as manager:
+        report = manager.recover(recovered, TrafficFeed(recovered))
+    elapsed = time.perf_counter() - start
+    if not states_identical(final_state(recovered), reference):
+        raise AssertionError("recovered state diverged from the live run")
+    return {
+        "batches": len(batches),
+        "snapshot_version": report.snapshot_version,
+        "replayed": report.replayed,
+        "skipped": report.skipped,
+        "recovery_seconds": round(elapsed, 6),
+        "verified": report.verified,
+        "identical": True,
+    }
+
+
+def bench_grid(
+    rows: int,
+    cols: int,
+    *,
+    batch_count: int,
+    batch_size: int,
+    routes_per_round: int,
+    repeats: int,
+    seed: int,
+) -> dict:
+    def make_network():
+        return grid_city_network(rows=rows, cols=cols, seed=seed)
+
+    probe = make_network()
+    probe.compiled()
+    batches = _batches(probe, batch_count, batch_size, seed + 1)
+    requests = _requests(probe, routes_per_round, seed + 2)
+
+    with tempfile.TemporaryDirectory(prefix="bench_durability_") as scratch:
+        scratch_path = FilePath(scratch)
+        plain_s, journaled_s, median_ratio = _paired(
+            make_network,
+            batches,
+            scratch_path,
+            requests=requests,
+            fsync="interval",
+            repeats=repeats,
+        )
+        # Ungated diagnostics: the raw apply-only overhead (journal cost vs
+        # ~100µs apply) and one always-mode round (a real fsync per batch).
+        _, _, apply_ratio = _paired(
+            make_network,
+            batches,
+            scratch_path,
+            requests=[],
+            fsync="interval",
+            repeats=max(2, repeats // 2),
+        )
+        _, always_s, _ = _paired(
+            make_network,
+            batches,
+            scratch_path,
+            requests=[],
+            fsync="always",
+            repeats=1,
+        )
+        recovery = _recovery_timed(make_network, batches, scratch_path / "recovery")
+
+    overhead = median_ratio - 1.0
+    return {
+        "rows": rows,
+        "cols": cols,
+        "vertices": probe.vertex_count,
+        "edges": probe.edge_count,
+        "batches": len(batches),
+        "batch_size": batch_size,
+        "routes_per_round": routes_per_round,
+        "plain_seconds": round(plain_s, 6),
+        "journaled_seconds": round(journaled_s, 6),
+        "always_fsync_apply_seconds": round(always_s, 6),
+        "journaled_overhead": round(overhead, 4),
+        "apply_only_overhead": round(apply_ratio - 1.0, 4),
+        "journaled_vs_plain_throughput_ratio": round(1.0 / median_ratio, 3),
+        "recovery": recovery,
+    }
+
+
+def merge_report(output: FilePath, durability_report: dict) -> dict:
+    """Merge the durability section into the (possibly existing) routing JSON."""
+    if output.exists():
+        report = json.loads(output.read_text())
+    else:
+        report = {"benchmark": "bench_durability"}
+    report["durability"] = durability_report
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="one small grid (CI)")
+    parser.add_argument("--batches", type=int, default=30, help="traffic batches per round")
+    parser.add_argument("--batch-size", type=int, default=16, help="updates per batch")
+    parser.add_argument(
+        "--routes", type=int, default=10, help="routed requests per serving round"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=8, help="paired timing rounds (interleaved)"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_routing.json")
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.10,
+        help="fail when interval-fsync journaling makes a mixed serving round "
+        "more than this fraction slower (0.10 = 10%%); 0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    durability_report = {
+        "mode": "smoke" if args.smoke else "full",
+        "max_overhead": args.max_overhead,
+        "fsync_policy": "interval",
+        "grids": [],
+    }
+    for rows, cols in grids:
+        print(
+            f"benchmarking journaled serving rounds on {rows}x{cols} grid...",
+            flush=True,
+        )
+        grid_report = bench_grid(
+            rows,
+            cols,
+            batch_count=args.batches,
+            batch_size=args.batch_size,
+            routes_per_round=args.routes,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        durability_report["grids"].append(grid_report)
+        print(
+            f"  {grid_report['batches']} rounds x {grid_report['routes_per_round']} "
+            f"routes: plain {grid_report['plain_seconds'] * 1e3:.2f}ms  journaled "
+            f"{grid_report['journaled_seconds'] * 1e3:.2f}ms  overhead "
+            f"{grid_report['journaled_overhead'] * 100:+.1f}%  (apply-only "
+            f"{grid_report['apply_only_overhead'] * 100:+.1f}%)  recovery "
+            f"{grid_report['recovery']['recovery_seconds'] * 1e3:.2f}ms"
+        )
+
+    largest = durability_report["grids"][-1]
+    durability_report["largest_grid_journaled_overhead"] = largest[
+        "journaled_overhead"
+    ]
+
+    output = FilePath(args.output)
+    report = merge_report(output, durability_report)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"merged durability section into {output} (largest-grid journaled "
+        f"overhead: {largest['journaled_overhead'] * 100:+.1f}%)"
+    )
+
+    if args.max_overhead:
+        worst = max(
+            grid["journaled_overhead"] for grid in durability_report["grids"]
+        )
+        if worst > args.max_overhead:
+            print(
+                f"FAIL: journaled serving overhead {worst * 100:.1f}% exceeds "
+                f"the {args.max_overhead * 100:.0f}% gate",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,14 @@ def collect_ratios(report: dict) -> dict[str, float]:
         ratio = grid.get("faultfree_throughput_ratio")
         if ratio:
             ratios[f"resilience/{label}/faultfree_throughput"] = float(ratio)
+    for grid in report.get("durability", {}).get("grids", []):
+        label = f"{grid['rows']}x{grid['cols']}"
+        # plain/journaled throughput on the mixed serving workload: ~1.0
+        # when write-ahead journaling is near-free, shrinking as its
+        # overhead grows — higher-is-better like every other ratio here.
+        ratio = grid.get("journaled_vs_plain_throughput_ratio")
+        if ratio:
+            ratios[f"durability/{label}/journaled_throughput"] = float(ratio)
     for grid in report.get("sharded", {}).get("grids", []):
         label = f"{grid['rows']}x{grid['cols']}"
         # Sharded-vs-single-process throughput per worker count, plus the

@@ -5,11 +5,18 @@ that checks — while real traffic flows — the version-stamp invariants
 reprolint's RL001/RL002 check statically.
 """
 
-from .sanitizer import CoherenceFinding, CoherenceSanitizer, CoherenceViolation, sanitize
+from .sanitizer import (
+    CoherenceFinding,
+    CoherenceSanitizer,
+    CoherenceViolation,
+    check_cost_coherence,
+    sanitize,
+)
 
 __all__ = [
     "CoherenceFinding",
     "CoherenceSanitizer",
     "CoherenceViolation",
+    "check_cost_coherence",
     "sanitize",
 ]

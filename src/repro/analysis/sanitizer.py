@@ -44,10 +44,13 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..network.compiled import dispatch as _dispatch
 from ..network.compiled.graph import TOPOLOGY_STAMP, CostStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.road_network import RoadNetwork
 
 
 class CoherenceViolation(AssertionError):
@@ -187,3 +190,68 @@ def sanitize(strict: bool = False) -> Iterator[CoherenceSanitizer]:
         with _INSTALL_LOCK:
             CostStore._cached = original_cached
             _dispatch.try_ch = original_try_ch
+
+
+def check_cost_coherence(
+    network: "RoadNetwork", strict: bool = True
+) -> CoherenceSanitizer:
+    """One-shot coherence audit of a network's cost state (post-recovery).
+
+    Used by :meth:`~repro.service.durability.manager.DurabilityManager.
+    recover` as the final gate before a restored network serves traffic.
+    Two families of checks run:
+
+    * **Value integrity** — every cost array has the compiled topology's
+      edge count and only finite, strictly positive entries (a corrupt
+      snapshot or a bad replay would surface here first).
+    * **Cache coherence** — under :func:`sanitize`, the stamped cache choke
+      point is exercised twice per attribute (miss-then-hit), proving every
+      artifact the restored store hands out is stamped with the *live*
+      version — i.e. recovery didn't leave a pre-restore cache entry behind.
+
+    Returns the sanitizer (``.ok`` / ``.findings``); with ``strict=True``
+    (the default) the first violation raises instead.
+    """
+    import numpy as np
+
+    from ..network.compiled.graph import EDGE_COST_ATTRIBUTES
+
+    compiled = network.compiled()
+    edge_count = compiled.topology.edge_count
+    store = compiled.costs
+    live_arrays = store.export_arrays()
+    for attr in EDGE_COST_ATTRIBUTES:
+        array = np.asarray(live_arrays[attr])
+        if array.shape != (edge_count,):
+            raise CoherenceViolation(
+                CoherenceFinding(
+                    kind="incoherent-cost-array",
+                    detail=f"{attr} has shape {array.shape}, expected ({edge_count},)",
+                    stamp=None,
+                    live_version=network.cost_version,
+                )
+            )
+        if not np.all(np.isfinite(array)) or not np.all(array > 0.0):
+            raise CoherenceViolation(
+                CoherenceFinding(
+                    kind="incoherent-cost-array",
+                    detail=f"{attr} contains non-finite or non-positive values",
+                    stamp=None,
+                    live_version=network.cost_version,
+                )
+            )
+    with sanitize(strict=strict) as sanitizer:
+        for attr in EDGE_COST_ATTRIBUTES:
+            terms = ((attr, 1.0),)
+            first = store.linear_array(terms)
+            second = store.linear_array(terms)
+            if first is not second or not np.array_equal(first, live_arrays[attr]):
+                sanitizer.record(
+                    CoherenceFinding(
+                        kind="incoherent-cost-cache",
+                        detail=f"linear_array({attr!r}) is not serving the live array",
+                        stamp=None,
+                        live_version=network.cost_version,
+                    )
+                )
+    return sanitizer

@@ -213,6 +213,59 @@ class CostStore:
                 self.edges = edges
             self._version += 1
 
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """A consistent ``{attribute: array}`` snapshot of every cost array.
+
+        The returned arrays are the store's own immutable (read-only) arrays
+        captured under the memo lock, so a concurrent :meth:`apply_updates`
+        can never hand back a half-patched batch — the durability layer's
+        :class:`~repro.service.durability.snapshot.SnapshotStore` persists
+        exactly this view together with :attr:`version`.
+        """
+        with self._memo_lock:
+            return dict(self._arrays)
+
+    def restore(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        new_edges: Mapping[int, "Edge"],
+        version: int,
+    ) -> None:
+        """Adopt a persisted cost state wholesale (crash recovery).
+
+        ``arrays`` carries one full-length array per compiled cost attribute
+        (they are copied and frozen); ``new_edges`` the replacement
+        :class:`Edge` objects for every slot whose costs differ from the
+        current ones; ``version`` the cost version the arrays were captured
+        under.  Unlike :meth:`apply_updates` the version is *set*, not
+        bumped — recovery must land on exactly the version the snapshot was
+        taken at — and every derived cache is cleared outright: entries
+        stamped under the pre-restore counter could otherwise alias the
+        restored version when recovery rewinds it.
+        """
+        if int(version) < 0:
+            raise ValueError(f"cost version must be >= 0, got {version!r}")
+        with self._memo_lock:
+            for attr in EDGE_COST_ATTRIBUTES:
+                source = np.asarray(arrays[attr], dtype=np.float64)
+                if source.shape != (len(self.edges),):
+                    raise ValueError(
+                        f"restored array for {attr!r} has shape {source.shape}; "
+                        f"this topology compiles {len(self.edges)} edges"
+                    )
+                adopted = source.copy()
+                adopted.flags.writeable = False
+                self._arrays[attr] = adopted
+            if new_edges:
+                edges = self.edges.copy()
+                for slot, edge in new_edges.items():
+                    edges[slot] = edge
+                self.edges = edges
+            self._version = int(version)
+            self._weight_lists.clear()
+            self._r_weight_lists.clear()
+            self._memo.clear()
+
     # ------------------------------------------------------------------ #
     # Version-stamped caches
     # ------------------------------------------------------------------ #

@@ -337,6 +337,94 @@ class RoadNetwork:
                 compiled.apply_cost_updates(slot_changes, slot_edges)
         return frozenset(resolved)
 
+    def restore_cost_state(
+        self,
+        arrays: Mapping[str, "object"],
+        cost_version: int,
+    ) -> frozenset[tuple[VertexId, VertexId]]:
+        """Adopt persisted per-slot cost arrays wholesale (crash recovery).
+
+        ``arrays`` maps each compiled cost attribute to a full-length array
+        in CSR slot order — exactly what
+        :meth:`~repro.network.compiled.graph.CostStore.export_arrays`
+        captured and the durability layer's snapshot store persisted; the
+        network's :attr:`cost_version` is *set* to ``cost_version`` (not
+        bumped), so replaying the write-ahead log from the restored state
+        reproduces the original version sequence bit for bit.  Edge objects,
+        adjacency dicts, and the compiled
+        :class:`~repro.network.compiled.graph.CostStore` all land on the
+        restored values in one transaction; every value must be finite and
+        strictly positive (same contract as :meth:`update_edge_costs`).
+        Returns the keys of the edges whose costs actually changed.
+        """
+        import numpy as np
+
+        from .compiled.graph import EDGE_COST_ATTRIBUTES
+
+        if cost_version < 0:
+            raise NetworkError(f"cost_version must be >= 0, got {cost_version}")
+        with self._compiled_lock:
+            compiled = self._compiled
+        if compiled is None:
+            compiled = self.compiled()
+        topology = compiled.topology
+        clean: dict[str, "np.ndarray"] = {}
+        for attr in EDGE_COST_ATTRIBUTES:
+            if attr not in arrays:
+                raise NetworkError(f"restored cost state is missing {attr!r}")
+            values = np.asarray(arrays[attr], dtype=np.float64)
+            if values.shape != (topology.edge_count,):
+                raise NetworkError(
+                    f"restored array for {attr!r} has shape {values.shape}; "
+                    f"this network compiles {topology.edge_count} edges"
+                )
+            if not bool(np.all(np.isfinite(values)) and np.all(values > 0.0)):
+                raise NetworkError(
+                    f"restored array for {attr!r} carries non-finite or "
+                    "non-positive costs; refusing to adopt it"
+                )
+            clean[attr] = values
+
+        with self._compiled_lock:
+            if self._compiled is not compiled:
+                raise NetworkError(
+                    "network was mutated while restoring its cost state"
+                )
+            edges = self._edges
+            adjacency = self._adjacency
+            reverse = self._reverse
+            slot_edges: dict[int, Edge] = {}
+            changed: set[tuple[VertexId, VertexId]] = set()
+            for key, slot in topology.slot_of.items():
+                old = edges[key]
+                distance = float(clean["distance_m"][slot])
+                travel = float(clean["travel_time_s"][slot])
+                fuel = float(clean["fuel_ml"][slot])
+                if (
+                    distance == old.distance_m
+                    and travel == old.travel_time_s
+                    and fuel == old.fuel_ml
+                ):
+                    continue
+                edge = Edge(
+                    old.source,
+                    old.target,
+                    distance,
+                    travel,
+                    fuel,
+                    old.road_type,
+                    old.speed_kmh,
+                )
+                edges[key] = edge
+                adjacency[key[0]][key[1]] = edge
+                reverse[key[1]][key[0]] = edge
+                slot_edges[slot] = edge
+                changed.add(key)
+            self._version += 1
+            self._cost_version = int(cost_version)
+            compiled.costs.restore(clean, slot_edges, int(cost_version))
+        return frozenset(changed)
+
     # ------------------------------------------------------------------ #
     # Compiled view
     # ------------------------------------------------------------------ #

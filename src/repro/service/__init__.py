@@ -11,10 +11,25 @@
 * :mod:`repro.service.persistence` — save / load fitted L2R models
 * :mod:`repro.service.sharding` — sharded multi-process serving over a
   shared-memory compiled graph (:class:`ShardedRoutingService`)
+* :mod:`repro.service.durability` — crash-consistent disk WAL + snapshots
+  and the recovery path (:class:`DurabilityManager`)
 """
 
 from .api import RouteRequest, RouteResponse
 from .cache import CacheStats, RouteCache
+from .durability import (
+    KILL_POINTS,
+    DiskJournal,
+    DurabilityManager,
+    JournalError,
+    JournalRecord,
+    KillSwitch,
+    RecoveryError,
+    RecoveryReport,
+    SimulatedCrash,
+    SnapshotError,
+    SnapshotStore,
+)
 from .engine import (
     AlgorithmEngine,
     BaseEngine,
@@ -53,13 +68,24 @@ __all__ = [
     "CircuitBreakerConfig",
     "ContractionEngine",
     "DeadlineBudget",
+    "DiskJournal",
+    "DurabilityManager",
     "FaultCounters",
     "FaultInjector",
     "FunctionEngine",
     "HedgePolicy",
+    "JournalError",
+    "JournalRecord",
+    "KILL_POINTS",
+    "KillSwitch",
     "L2REngine",
     "ModelPersistenceError",
+    "RecoveryError",
+    "RecoveryReport",
     "RetryPolicy",
+    "SimulatedCrash",
+    "SnapshotError",
+    "SnapshotStore",
     "RouteCache",
     "RouteRequest",
     "RouteResponse",

@@ -1,0 +1,453 @@
+"""A segmented, CRC-framed, append-only write-ahead log on disk.
+
+The :class:`DiskJournal` is the persistence layer beneath the serving
+stack's live-traffic path: every :class:`~repro.traffic.updates.
+TrafficUpdate` batch is logged *before* it is applied (write-ahead), and
+every sharded :class:`~repro.service.sharding.protocol.CostDiff` broadcast
+may be mirrored behind the bounded in-memory
+:class:`~repro.service.sharding.replication.CostDiffJournal` as its
+persistent tail.  Records are opaque :class:`JournalRecord` envelopes —
+the journal neither interprets nor orders them beyond append order.
+
+On-disk format (one ``wal-<index>.seg`` file per segment, strictly
+increasing indices)::
+
+    ┌────────────┬────────────┬──────────────────────┐
+    │ length  u32│ crc32   u32│ payload (pickle)     │  repeated
+    └────────────┴────────────┴──────────────────────┘
+
+Each frame is length-prefixed and CRC-checked, so a torn tail — the frame a
+crash cut short mid-write — is *detected*, truncated away on the next open,
+and never replayed; a CRC mismatch or unpicklable payload anywhere marks the
+rest of the log unreplayable (a broken chain must not be bridged) and the
+suffix is discarded.  Segments rotate at ``segment_max_bytes`` so snapshots
+can retire covered history by deleting whole files
+(:meth:`DiskJournal.prune_through`).
+
+Durability is governed by the ``fsync`` policy:
+
+* ``"always"`` — fsync after every append: an acknowledged batch survives
+  power loss (the bar the crash-chaos suite holds recovery to);
+* ``"interval"`` — fsync every ``fsync_interval`` appends (and on rotation
+  and close): bounded loss window, near-in-memory append latency;
+* ``"never"`` — leave flushing to the OS: fastest, survives process
+  crashes but not power loss.
+
+Segment files are opened **unbuffered** (the default opener passes
+``buffering=0``), so with a plain opener every byte handed to ``write`` is
+visible to a same-process recovery scan immediately; the buffered-data-
+loss failure mode of a real power cut is modeled by the
+:meth:`~repro.service.faults.FaultInjector.disk` file wrapper, which
+buffers internally and drops its buffer at a ``crash-before-fsync`` fault.
+The ``kill`` hook threads :mod:`~repro.service.durability.killpoints`
+through every dangerous instant for deterministic crash testing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ...exceptions import ReproError
+from .killpoints import KillHook
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...traffic.updates import TrafficUpdate
+    from ..sharding.protocol import CostDiff
+
+#: Accepted fsync policies, strictest first.
+FSYNC_POLICIES: tuple[str, ...] = ("always", "interval", "never")
+
+_HEADER = struct.Struct(">II")
+#: Upper bound on one record's payload; a corrupt length field must not
+#: trigger a multi-gigabyte allocation during the recovery scan.
+_MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Record kinds the serving stack writes (the journal itself is agnostic).
+RECORD_TRAFFIC = "traffic"
+RECORD_COSTDIFF = "costdiff"
+
+
+class JournalError(ReproError):
+    """The write-ahead log could not be opened, written, or rotated."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable log entry: a kind tag, a version anchor, and a payload.
+
+    ``base_version`` is the network cost version the payload applies *on
+    top of* — replay applies a record only when the recovering network sits
+    exactly at its base (earlier records are already absorbed, a gap means
+    the chain is broken).  The payload is whatever the writer needs to
+    replay: a tuple of :class:`TrafficUpdate` for write-ahead traffic
+    batches, a :class:`CostDiff` for mirrored broadcasts.
+    """
+
+    kind: str
+    base_version: int
+    payload: object
+
+    @classmethod
+    def traffic(
+        cls, base_version: int, updates: Iterable["TrafficUpdate"]
+    ) -> "JournalRecord":
+        """A write-ahead record of one not-yet-applied traffic batch."""
+        return cls(
+            kind=RECORD_TRAFFIC, base_version=int(base_version), payload=tuple(updates)
+        )
+
+    @classmethod
+    def costdiff(cls, diff: "CostDiff") -> "JournalRecord":
+        """A mirror record of one already-applied versioned broadcast."""
+        return cls(kind=RECORD_COSTDIFF, base_version=int(diff.base_version), payload=diff)
+
+
+@dataclass
+class JournalScan:
+    """What a full read-back of the journal found on disk."""
+
+    records: list[JournalRecord] = field(default_factory=list)
+    truncated: bool = False
+    """``True`` when any segment stopped early (torn tail or corruption) —
+    the returned records are the longest replayable prefix, never a
+    superset."""
+    dropped_bytes: int = 0
+    """Bytes past the last valid frame across all segments."""
+
+
+def _encode_frame(record: JournalRecord) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > _MAX_RECORD_BYTES:
+        raise JournalError(
+            f"journal record of {len(payload)} bytes exceeds the "
+            f"{_MAX_RECORD_BYTES}-byte frame cap"
+        )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _scan_frames(buffer: bytes) -> tuple[list[JournalRecord], int, bool]:
+    """Decode the longest valid frame prefix of one segment's bytes.
+
+    Returns ``(records, valid_end, clean)`` where ``valid_end`` is the byte
+    offset just past the last intact frame and ``clean`` reports whether the
+    whole buffer decoded.  Any defect — short header, short payload, CRC
+    mismatch, oversized length, unpicklable payload — ends the scan; the
+    caller decides whether that is a repairable torn tail (last segment) or
+    a poisoned chain (anything earlier).
+    """
+    records: list[JournalRecord] = []
+    offset = 0
+    total = len(buffer)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(buffer, offset)
+        if length > _MAX_RECORD_BYTES:
+            break
+        end = offset + _HEADER.size + length
+        if end > total:
+            break
+        payload = buffer[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any unpickling defect poisons the frame
+            break
+        if not isinstance(record, JournalRecord):
+            break
+        records.append(record)
+        offset = end
+    return records, offset, offset == total
+
+
+def _default_opener(path: str, mode: str):
+    """Unbuffered binary file handles (see module docstring)."""
+    # Ownership moves to the DiskJournal, which stores the handle on a
+    # `self.` attribute and closes it in close()/rotation.
+    # reprolint: disable-next-line=RL011
+    return open(path, mode, buffering=0)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make directory entries (created/renamed/deleted files) durable."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(directory, flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DiskJournal:
+    """Segmented append-only WAL with CRC framing and torn-tail repair.
+
+    Opening a journal scans every segment: the final segment's torn tail
+    (if any) is truncated in place, a mid-chain defect quarantines the
+    entire suffix (later segments are deleted — a broken chain must never
+    be bridged), and appends resume exactly after the last intact record.
+    All methods are thread-safe; appends are serialized by one lock, which
+    is what makes ``(base_version, append order)`` a replayable total
+    order.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "always",
+        fsync_interval: int = 32,
+        segment_max_bytes: int = 1 << 20,
+        opener: Callable[[str, str], object] | None = None,
+        kill: KillHook | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise JournalError(
+                f"unknown fsync policy {fsync!r}; choose one of {FSYNC_POLICIES}"
+            )
+        if fsync_interval < 1:
+            raise JournalError(f"fsync_interval must be >= 1, got {fsync_interval}")
+        if segment_max_bytes < 1:
+            raise JournalError(f"segment_max_bytes must be >= 1, got {segment_max_bytes}")
+        self.directory = Path(directory)
+        self.fsync_policy = fsync
+        self.fsync_interval = int(fsync_interval)
+        self.segment_max_bytes = int(segment_max_bytes)
+        self._opener = opener or _default_opener
+        self._kill = kill
+        self._lock = threading.Lock()
+        self._active = None
+        self._active_index = 0
+        self._active_size = 0
+        self._appends_since_sync = 0
+        self._spans: dict[int, tuple[int, int]] = {}
+        self._closed = False
+        self.records_appended = 0
+        self.syncs = 0
+        self.rotations = 0
+        self.torn_records_dropped = 0
+        self.discarded_segments = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._open_and_repair()
+
+    # ------------------------------------------------------------------ #
+    # Open / repair
+    # ------------------------------------------------------------------ #
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"wal-{index:08d}.seg"
+
+    def segment_paths(self) -> list[Path]:
+        """Existing segment files, oldest first."""
+        return sorted(self.directory.glob("wal-*.seg"))
+
+    @staticmethod
+    def _segment_index(path: Path) -> int:
+        return int(path.stem.split("-", 1)[1])
+
+    def _open_and_repair(self) -> None:
+        segments = self.segment_paths()
+        broken_at: int | None = None
+        for position, path in enumerate(segments):
+            index = self._segment_index(path)
+            data = path.read_bytes()
+            records, valid_end, clean = _scan_frames(data)
+            if records:
+                bases = [record.base_version for record in records]
+                self._spans[index] = (min(bases), max(bases))
+            if not clean:
+                # Repair: drop the defective suffix of this segment...
+                os.truncate(path, valid_end)
+                self.torn_records_dropped += 1
+                if position < len(segments) - 1:
+                    broken_at = position
+                break
+        if broken_at is not None:
+            # ... and quarantine everything after a mid-chain defect: those
+            # records sit past a gap and must never be replayed.
+            for path in segments[broken_at + 1 :]:
+                self._spans.pop(self._segment_index(path), None)
+                path.unlink()
+                self.discarded_segments += 1
+            _fsync_dir(self.directory)
+            segments = segments[: broken_at + 1]
+        if segments:
+            tail = segments[-1]
+            self._active_index = self._segment_index(tail)
+            self._active_size = tail.stat().st_size
+        else:
+            self._active_index = 1
+            self._active_size = 0
+            self._segment_path(1).touch()
+            _fsync_dir(self.directory)
+        self._active = self._opener(str(self._segment_path(self._active_index)), "ab")
+
+    # ------------------------------------------------------------------ #
+    # Appends
+    # ------------------------------------------------------------------ #
+    def _hit(self, point: str) -> None:
+        if self._kill is not None:
+            self._kill(point)
+
+    def _sync_active(self) -> None:
+        assert self._active is not None
+        self._active.flush()
+        os.fsync(self._active.fileno())
+        self._appends_since_sync = 0
+        self.syncs += 1
+
+    def append(self, record: JournalRecord) -> int:
+        """Durably append one record; returns the record's append index.
+
+        The fsync policy decides when the bytes are forced to disk; the
+        frame itself is written in two pieces (header, then payload) so the
+        ``journal.append.mid-write`` kill point models a frame the crash
+        cut in half — exactly the torn tail :meth:`read_records` must
+        detect and drop.
+        """
+        frame = _encode_frame(record)
+        with self._lock:
+            self._ensure_open()
+            assert self._active is not None
+            self._hit("journal.append.pre-write")
+            if self._kill is None:
+                # One syscall on the hot path; the two-piece write below
+                # exists only to give the mid-write kill point a real torn
+                # frame to leave behind.
+                self._active.write(frame)
+            else:
+                self._active.write(frame[: _HEADER.size])
+                self._hit("journal.append.mid-write")
+                self._active.write(frame[_HEADER.size :])
+            self._active_size += len(frame)
+            self._appends_since_sync += 1
+            self.records_appended += 1
+            base = int(record.base_version)
+            span = self._spans.get(self._active_index)
+            self._spans[self._active_index] = (
+                (base, base) if span is None else (min(span[0], base), max(span[1], base))
+            )
+            self._hit("journal.append.pre-fsync")
+            if self.fsync_policy == "always" or (
+                self.fsync_policy == "interval"
+                and self._appends_since_sync >= self.fsync_interval
+            ):
+                self._sync_active()
+            self._hit("journal.append.post-fsync")
+            if self._active_size >= self.segment_max_bytes:
+                self._rotate()
+            return self.records_appended
+
+    def _rotate(self) -> None:
+        """Seal the active segment and start the next one (durably)."""
+        assert self._active is not None
+        self._hit("journal.rotate.pre-create")
+        if self.fsync_policy == "never":
+            self._active.flush()
+        else:
+            self._sync_active()
+        self._active.close()
+        self._active_index += 1
+        path = self._segment_path(self._active_index)
+        self._active = self._opener(str(path), "ab")
+        self._active_size = 0
+        self.rotations += 1
+        self._hit("journal.rotate.post-create")
+        _fsync_dir(self.directory)
+
+    def sync(self) -> None:
+        """Force everything appended so far to disk, whatever the policy."""
+        with self._lock:
+            self._ensure_open()
+            self._sync_active()
+
+    # ------------------------------------------------------------------ #
+    # Read-back / retention
+    # ------------------------------------------------------------------ #
+    def read_records(self) -> JournalScan:
+        """Every replayable record on disk, oldest first.
+
+        The scan validates each frame; it stops at the first defect per
+        segment and — when the defect is not in the final segment — refuses
+        every later segment, mirroring the open-time repair.  The live
+        append handle is flushed first so a writer can read its own log.
+        """
+        scan = JournalScan()
+        with self._lock:
+            if self._active is not None and not self._closed:
+                self._active.flush()
+            segments = self.segment_paths()
+            for position, path in enumerate(segments):
+                data = path.read_bytes()
+                records, valid_end, clean = _scan_frames(data)
+                scan.records.extend(records)
+                if not clean:
+                    scan.truncated = True
+                    scan.dropped_bytes += len(data) - valid_end
+                    for later in segments[position + 1 :]:
+                        scan.dropped_bytes += later.stat().st_size
+                    break
+        return scan
+
+    def prune_through(self, version: int) -> int:
+        """Delete sealed segments fully covered by a snapshot at ``version``.
+
+        A segment is deletable when every record in it has
+        ``base_version < version`` (its effects are inside the snapshot) and
+        every *earlier* segment is deletable too — retention never punches
+        holes in the replayable chain.  Returns the number of segments
+        removed; the active segment is never touched.
+        """
+        removed = 0
+        with self._lock:
+            self._ensure_open()
+            for path in self.segment_paths():
+                index = self._segment_index(path)
+                if index == self._active_index:
+                    break
+                span = self._spans.get(index)
+                if span is not None and span[1] >= version:
+                    break
+                self._spans.pop(index, None)
+                path.unlink()
+                removed += 1
+            if removed:
+                _fsync_dir(self.directory)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise JournalError("this DiskJournal is closed")
+
+    def close(self) -> None:
+        """Flush (and, unless ``fsync='never'``, fsync) and close; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._active is not None:
+                if self.fsync_policy == "never":
+                    self._active.flush()
+                else:
+                    self._sync_active()
+                self._active.close()
+                self._active = None
+
+    def __enter__(self) -> "DiskJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskJournal(dir={str(self.directory)!r}, segments={len(self.segment_paths())}, "
+            f"appended={self.records_appended}, fsync={self.fsync_policy!r})"
+        )

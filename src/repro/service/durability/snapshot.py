@@ -1,0 +1,238 @@
+"""Atomic, CRC-stamped snapshots of the live cost state.
+
+A snapshot is the compaction point of the durability layer: it captures the
+:class:`~repro.network.compiled.graph.CostStore` arrays together with the
+``cost_version`` they correspond to and a topology stamp (vertex/edge
+counts plus a CRC of the CSR ``offsets``/``targets``), so recovery can
+refuse a snapshot taken against a different graph.  Once a snapshot at
+version *v* is durable, every WAL segment whose records all have
+``base_version < v`` is dead history and may be deleted.
+
+Publication is the classic atomic dance, in this exact order:
+
+1. write the whole image to ``<name>.tmp`` in the snapshot directory,
+2. flush + ``os.fsync`` the temp file (bytes durable under a temp name),
+3. ``os.replace`` onto the final ``snapshot-<version>.snap`` name,
+4. ``os.fsync`` the directory (the rename itself durable).
+
+A crash between any two steps leaves either the previous snapshot intact or
+the new one fully published — never a half-written file under the final
+name.  Readers additionally verify a header CRC over the payload, so even a
+snapshot damaged *after* publication (bit rot, truncation) is skipped in
+favor of an older valid one rather than trusted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ...exceptions import ReproError
+from .killpoints import KillHook
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...network.compiled.graph import CompiledTopology
+
+_MAGIC = b"RSNAP1\n"
+_CRC = struct.Struct(">I")
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be written, or no valid snapshot exists."""
+
+
+def topology_stamp(topology: "CompiledTopology") -> dict:
+    """A compact identity stamp for the graph a snapshot belongs to.
+
+    Recovery compares stamps before adopting arrays: cost arrays are
+    positional (slot-indexed), so replaying them onto a graph whose CSR
+    layout differs would silently scramble every edge cost.
+    """
+    offsets = np.asarray(topology.offsets, dtype=np.int64)
+    targets = np.asarray(topology.targets, dtype=np.int64)
+    return {
+        "vertices": int(topology.vertex_count),
+        "edges": int(topology.edge_count),
+        "crc": zlib.crc32(targets.tobytes(), zlib.crc32(offsets.tobytes())),
+    }
+
+
+@dataclass(frozen=True)
+class SnapshotState:
+    """One decoded, validated snapshot."""
+
+    path: Path
+    cost_version: int
+    topology: dict
+    arrays: dict[str, np.ndarray]
+
+
+def _default_opener(path: str, mode: str):
+    """Unbuffered handles so fault wrappers see every byte (cf. journal)."""
+    # The caller context-manages the returned handle at the single write
+    # site (SnapshotStore.save).
+    # reprolint: disable-next-line=RL011
+    return open(path, mode, buffering=0)
+
+
+def _fsync_dir(directory: Path) -> None:
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(directory, flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class SnapshotStore:
+    """Bounded-retention store of atomic cost-state snapshots.
+
+    ``retain`` caps how many published snapshots are kept; older ones are
+    deleted after each successful save.  Stale ``*.tmp`` leftovers from a
+    crashed save are swept on open — they were never published, so deleting
+    them is always safe.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        retain: int = 2,
+        opener: Callable[[str, str], object] | None = None,
+        kill: KillHook | None = None,
+    ) -> None:
+        if retain < 1:
+            raise SnapshotError(f"retain must be >= 1, got {retain}")
+        self.directory = Path(directory)
+        self.retain = int(retain)
+        self._opener = opener or _default_opener
+        self._kill = kill
+        self.saves = 0
+        self.pruned_snapshots = 0
+        self.invalid_skipped = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for leftover in self.directory.glob("*.tmp"):
+            leftover.unlink()
+
+    def _hit(self, point: str) -> None:
+        if self._kill is not None:
+            self._kill(point)
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def _path_for(self, cost_version: int) -> Path:
+        return self.directory / f"snapshot-{cost_version:012d}.snap"
+
+    def save(
+        self,
+        cost_version: int,
+        arrays: Mapping[str, np.ndarray],
+        topology: dict,
+    ) -> Path:
+        """Atomically publish a snapshot; returns its final path.
+
+        Only after this returns may WAL segments below ``cost_version`` be
+        pruned — the caller owns that ordering (see
+        :class:`~repro.service.durability.manager.DurabilityManager`).
+        """
+        body = pickle.dumps(
+            {
+                "format": "repro-cost-snapshot",
+                "format_version": SNAPSHOT_FORMAT_VERSION,
+                "cost_version": int(cost_version),
+                "topology": dict(topology),
+                "arrays": {name: np.asarray(array) for name, array in arrays.items()},
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        blob = _MAGIC + _CRC.pack(zlib.crc32(body)) + body
+        final = self._path_for(cost_version)
+        scratch = final.with_suffix(final.suffix + ".tmp")
+        self._hit("snapshot.pre-write")
+        with self._opener(str(scratch), "wb") as handle:
+            handle.write(blob)
+            self._hit("snapshot.pre-fsync")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._hit("snapshot.pre-rename")
+        os.replace(scratch, final)
+        _fsync_dir(self.directory)
+        self._hit("snapshot.post-rename")
+        self.saves += 1
+        self._apply_retention()
+        return final
+
+    def _apply_retention(self) -> None:
+        published = self.snapshot_paths()
+        for stale in published[: -self.retain]:
+            stale.unlink()
+            self.pruned_snapshots += 1
+        if len(published) > self.retain:
+            _fsync_dir(self.directory)
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def snapshot_paths(self) -> list[Path]:
+        """Published snapshot files, oldest first (names sort by version)."""
+        return sorted(self.directory.glob("snapshot-*.snap"))
+
+    def _decode(self, path: Path) -> SnapshotState | None:
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if not blob.startswith(_MAGIC) or len(blob) < len(_MAGIC) + _CRC.size:
+            return None
+        (crc,) = _CRC.unpack_from(blob, len(_MAGIC))
+        body = blob[len(_MAGIC) + _CRC.size :]
+        if zlib.crc32(body) != crc:
+            return None
+        try:
+            state = pickle.loads(body)
+        except Exception:  # noqa: BLE001 - damaged payload == invalid snapshot
+            return None
+        if (
+            not isinstance(state, dict)
+            or state.get("format") != "repro-cost-snapshot"
+            or state.get("format_version") != SNAPSHOT_FORMAT_VERSION
+        ):
+            return None
+        return SnapshotState(
+            path=path,
+            cost_version=int(state["cost_version"]),
+            topology=dict(state["topology"]),
+            arrays={name: np.asarray(a) for name, a in state["arrays"].items()},
+        )
+
+    def latest(self, *, topology: dict | None = None) -> SnapshotState | None:
+        """Newest snapshot that validates (and, if given, matches ``topology``).
+
+        Damaged or mismatched snapshots are skipped, not errors: recovery
+        falls back to the next-oldest valid image plus a longer WAL replay.
+        """
+        for path in reversed(self.snapshot_paths()):
+            state = self._decode(path)
+            if state is None:
+                self.invalid_skipped += 1
+                continue
+            if topology is not None and state.topology != topology:
+                self.invalid_skipped += 1
+                continue
+            return state
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotStore(dir={str(self.directory)!r}, "
+            f"snapshots={len(self.snapshot_paths())}, retain={self.retain})"
+        )

@@ -25,6 +25,15 @@ Three wrapper kinds:
   delays, and duplicates, plus *one-way partitions* (sends silently lost,
   or receives blacked out, independently) — the message-level chaos the
   multi-node serving tests are built on.
+* :meth:`FaultInjector.disk` — a :class:`FaultyDisk` that wraps file-like
+  objects (or stands in as the ``opener`` hook of a
+  :class:`~repro.service.durability.journal.DiskJournal` /
+  :class:`~repro.service.durability.snapshot.SnapshotStore`) with seeded
+  short writes, ``EIO`` / ``ENOSPC`` errors, and crash-before/after-fsync
+  schedules.  Its :class:`FaultyFile` buffers writes in memory and only
+  pushes them to the real file on flush — modeling the OS page cache, so a
+  ``crash-before-fsync`` genuinely *loses* unflushed bytes the way a power
+  cut would, which an in-process crash simulation otherwise cannot do.
 
 Instead of probabilities, an explicit ``script`` (sequence of action names,
 cycled) pins the exact failure pattern — the breaker state-transition tests
@@ -57,6 +66,10 @@ ENGINE_ACTIONS = ("ok", "error", "slow")
 FEED_ACTIONS = ("ok", "error", "drop", "delay")
 #: Transport send actions a script may name.
 TRANSPORT_ACTIONS = ("ok", "drop", "delay", "duplicate")
+#: Disk write actions a script may name.
+DISK_WRITE_ACTIONS = ("ok", "short", "eio", "enospc")
+#: Disk flush actions a script may name.
+DISK_FLUSH_ACTIONS = ("ok", "crash-before-fsync", "crash-after-fsync")
 
 
 @dataclass
@@ -74,6 +87,14 @@ class FaultCounters:
     partitioned_messages: int = 0
     """Messages silently lost to an active one-way partition (not part of
     the seeded schedule — partitions are explicit test choreography)."""
+    short_writes: int = 0
+    disk_errors: int = 0
+    """Injected ``EIO`` / ``ENOSPC`` write failures."""
+    disk_crashes: int = 0
+    """Injected crash-before/after-fsync events (power-cut simulation)."""
+    lost_bytes: int = 0
+    """Bytes dropped from the simulated page cache by crash-before-fsync
+    (plus the unwritten suffix of short writes)."""
     actions: list[str] = field(default_factory=list)
     """Action taken per call, in order — the replayable schedule itself."""
 
@@ -158,6 +179,39 @@ class FaultInjector:
             duplicate_rate=duplicate_rate,
             delay_s=delay_s,
             script=script,
+        )
+
+    def disk(
+        self,
+        *,
+        short_rate: float = 0.0,
+        eio_rate: float = 0.0,
+        enospc_rate: float = 0.0,
+        crash_before_fsync_rate: float = 0.0,
+        crash_after_fsync_rate: float = 0.0,
+        write_script: Sequence[str] | None = None,
+        flush_script: Sequence[str] | None = None,
+    ) -> "FaultyDisk":
+        """A seeded (or scripted) disk-fault layer for file-like objects.
+
+        The returned :class:`FaultyDisk` is callable with ``(path, mode)``
+        so it can be handed directly to the ``opener=`` hook of
+        :class:`~repro.service.durability.journal.DiskJournal` /
+        :class:`~repro.service.durability.snapshot.SnapshotStore`, or wrap
+        an already-open handle via :meth:`FaultyDisk.wrap`.  Write faults
+        and flush faults draw from independent child generators so the
+        write schedule never perturbs the crash schedule.
+        """
+        return FaultyDisk(
+            write_rng=self._child_rng(),
+            flush_rng=self._child_rng(),
+            short_rate=short_rate,
+            eio_rate=eio_rate,
+            enospc_rate=enospc_rate,
+            crash_before_fsync_rate=crash_before_fsync_rate,
+            crash_after_fsync_rate=crash_after_fsync_rate,
+            write_script=write_script,
+            flush_script=flush_script,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -443,3 +497,183 @@ class FaultyTransport:
             f"FaultyTransport({self.inner!r}, calls={self.counters.calls}, "
             f"partitioned={self.partitioned})"
         )
+
+
+class FaultyDisk:
+    """Factory for :class:`FaultyFile` wrappers sharing one fault schedule.
+
+    Callable as an ``opener(path, mode)`` (opens the real file unbuffered
+    underneath) and usable as :meth:`wrap` around any binary file-like
+    object.  All files opened through one ``FaultyDisk`` consume the same
+    two schedules — one per-``write`` (short / ``EIO`` / ``ENOSPC``), one
+    per-``flush`` (crash before / after fsync) — so a multi-file component
+    like the segmented journal sees one coherent, replayable fault
+    sequence.
+    """
+
+    def __init__(
+        self,
+        *,
+        write_rng: np.random.Generator,
+        flush_rng: np.random.Generator,
+        short_rate: float = 0.0,
+        eio_rate: float = 0.0,
+        enospc_rate: float = 0.0,
+        crash_before_fsync_rate: float = 0.0,
+        crash_after_fsync_rate: float = 0.0,
+        write_script: Sequence[str] | None = None,
+        flush_script: Sequence[str] | None = None,
+    ) -> None:
+        self._writes = _ScheduledWrapper(write_rng, write_script, DISK_WRITE_ACTIONS)
+        self._flushes = _ScheduledWrapper(flush_rng, flush_script, DISK_FLUSH_ACTIONS)
+        self.short_rate = short_rate
+        self.eio_rate = eio_rate
+        self.enospc_rate = enospc_rate
+        self.crash_before_fsync_rate = crash_before_fsync_rate
+        self.crash_after_fsync_rate = crash_after_fsync_rate
+
+    @property
+    def write_counters(self) -> FaultCounters:
+        return self._writes.counters
+
+    @property
+    def flush_counters(self) -> FaultCounters:
+        return self._flushes.counters
+
+    def __call__(self, path: str, mode: str) -> "FaultyFile":
+        # Opener hook: ownership moves to the caller, which closes the
+        # wrapping FaultyFile.
+        # reprolint: disable-next-line=RL011
+        return self.wrap(open(path, mode, buffering=0))
+
+    def wrap(self, inner) -> "FaultyFile":
+        """Wrap an already-open binary file-like object."""
+        return FaultyFile(inner, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultyDisk(writes={self.write_counters.calls}, "
+            f"flushes={self.flush_counters.calls})"
+        )
+
+
+class FaultyFile:
+    """A binary file wrapper with a simulated page cache and fault schedule.
+
+    ``write`` appends to an in-memory buffer (the "page cache"); ``flush``
+    pushes the buffer to the real file.  Faults:
+
+    * ``short`` — a seeded prefix of the data reaches the buffer, then
+      ``OSError(EIO)`` is raised (a partial write the caller sees fail);
+    * ``eio`` / ``enospc`` — nothing is written, ``OSError`` raised;
+    * ``crash-before-fsync`` — the buffer is *discarded* and
+      :class:`~repro.service.durability.killpoints.SimulatedCrash` raised:
+      power died before the data left the page cache;
+    * ``crash-after-fsync`` — the buffer is pushed, flushed, and fsynced,
+      *then* the crash is raised: the data is durable but the writer never
+      learned so.
+
+    ``fileno`` forwards to the real file, so an ``os.fsync(f.fileno())``
+    after a clean ``flush`` behaves exactly like production code expects.
+    """
+
+    def __init__(self, inner, disk: FaultyDisk) -> None:
+        self.inner = inner
+        self._disk = disk
+        self._buffer = bytearray()
+        self._closed = False
+
+    # -- write path ------------------------------------------------------ #
+    def write(self, data) -> int:
+        import errno as _errno
+
+        data = bytes(data)
+        disk = self._disk
+        action = disk._writes._decide(
+            (
+                ("short", disk.short_rate),
+                ("eio", disk.eio_rate),
+                ("enospc", disk.enospc_rate),
+            )
+        )
+        counters = disk._writes.counters
+        lock = disk._writes._lock
+        if action == "short":
+            # The prefix length is a seeded draw from the *write* stream so
+            # replays tear the frame at the same byte every time.
+            with lock:
+                counters.short_writes += 1
+                cut = int(disk._writes._rng.integers(0, len(data))) if data else 0
+                counters.lost_bytes += len(data) - cut
+            self._buffer.extend(data[:cut])
+            raise OSError(_errno.EIO, f"simulated short write ({cut}/{len(data)} bytes)")
+        if action == "eio":
+            with lock:
+                counters.disk_errors += 1
+            raise OSError(_errno.EIO, "simulated I/O error")
+        if action == "enospc":
+            with lock:
+                counters.disk_errors += 1
+            raise OSError(_errno.ENOSPC, "simulated: no space left on device")
+        self._buffer.extend(data)
+        return len(data)
+
+    def _push(self) -> None:
+        if self._buffer:
+            self.inner.write(bytes(self._buffer))
+            self._buffer.clear()
+        self.inner.flush()
+
+    def flush(self) -> None:
+        from .durability.killpoints import SimulatedCrash
+
+        disk = self._disk
+        action = disk._flushes._decide(
+            (
+                ("crash-before-fsync", disk.crash_before_fsync_rate),
+                ("crash-after-fsync", disk.crash_after_fsync_rate),
+            )
+        )
+        counters = disk._flushes.counters
+        lock = disk._flushes._lock
+        if action == "crash-before-fsync":
+            with lock:
+                counters.disk_crashes += 1
+                counters.lost_bytes += len(self._buffer)
+            self._buffer.clear()
+            raise SimulatedCrash("disk.crash-before-fsync")
+        if action == "crash-after-fsync":
+            self._push()
+            import os as _os
+
+            _os.fsync(self.inner.fileno())
+            with lock:
+                counters.disk_crashes += 1
+            raise SimulatedCrash("disk.crash-after-fsync")
+        self._push()
+
+    # -- passthrough ----------------------------------------------------- #
+    def fileno(self) -> int:
+        return self.inner.fileno()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._push()
+        finally:
+            self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyFile({self.inner!r}, buffered={len(self._buffer)})"

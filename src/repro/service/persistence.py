@@ -33,6 +33,16 @@ class ModelPersistenceError(ReproError):
     """A model file could not be written, read, or understood."""
 
 
+def _fsync_parent_dir(path: FilePath) -> None:
+    """Make the rename that published ``path`` durable (directory fsync)."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(path.parent, flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_model(pipeline: "LearnToRoute", path: str | FilePath) -> FilePath:
     """Persist a fitted pipeline to ``path``; returns the written path."""
     from .. import __version__
@@ -65,7 +75,14 @@ def save_model(pipeline: "LearnToRoute", path: str | FilePath) -> FilePath:
         with os.fdopen(handle_fd, "wb") as raw:
             with gzip.GzipFile(fileobj=raw, mode="wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            # fsync *before* the rename: os.replace is atomic in the
+            # namespace but says nothing about the data — without this, a
+            # power loss after the rename can still surface a truncated
+            # "committed" model under the destination name.
+            raw.flush()
+            os.fsync(raw.fileno())
         os.replace(scratch, destination)
+        _fsync_parent_dir(destination)
     except (OSError, pickle.PicklingError, TypeError, AttributeError) as exc:
         # TypeError/AttributeError are how pickle reports unpicklable state.
         raise ModelPersistenceError(f"could not write model to {destination}: {exc}") from exc

@@ -46,6 +46,8 @@ from .stats import ServiceStats, StatsAccumulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..traffic.drain import TrafficDrain
+    from ..traffic.feed import TrafficFeed
+    from .durability import DurabilityManager, RecoveryReport
 
 
 class RoutingService:
@@ -902,6 +904,26 @@ class RoutingService:
             )
         self._stats.record_traffic(len(touched), evicted, cost_version or 0)
         return evicted
+
+    def recover(
+        self, durability: "DurabilityManager", feed: "TrafficFeed"
+    ) -> "RecoveryReport":
+        """Restore the feed's network from disk after a crash, then resume.
+
+        Runs the full durability recovery (newest snapshot + WAL replay +
+        coherence verification) against ``feed``'s network, drops the route
+        cache outright — every cached answer predates the restart — and
+        bumps the traffic generation so in-flight requests racing the
+        recovery cannot re-insert pre-crash routes.  The feed is reused for
+        replay so resolution semantics match production exactly; reattach
+        the durability manager (``feed.attach_journal``) after this returns
+        if it was not already attached.
+        """
+        report = durability.recover(feed.network, feed)
+        self._traffic_generation += 1
+        self.clear_cache()
+        self._stats.record_traffic(0, 0, report.recovered_version)
+        return report
 
     # ------------------------------------------------------------------ #
     # Monitoring

@@ -66,6 +66,7 @@ from .replication import CostDiffJournal, HeartbeatMonitor
 if TYPE_CHECKING:  # pragma: no cover
     from ...network.road_network import RoadNetwork, VertexId
     from ...traffic.updates import TrafficUpdate, TrafficUpdateResult
+    from ..durability import DurabilityManager, RecoveryReport
 
 _COST_ATTRIBUTES = tuple(FEATURE_EDGE_ATTRIBUTES.values())
 
@@ -112,6 +113,7 @@ class ShardedRoutingService:
         heartbeat_interval_s: float = 2.0,
         heartbeat_timeout_s: float = 10.0,
         journal_capacity: int = 64,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         if replicas < 1:
             raise ConfigurationError("replicas must be >= 1")
@@ -131,7 +133,14 @@ class ShardedRoutingService:
         self._stats = StatsAccumulator()
         self._feed = TrafficFeed(network)
         self._plan: ShardPlan = build_shard_plan(network, shard_count, method=method)
-        self._journal = CostDiffJournal(journal_capacity)
+        # The durability manager (caller-owned; the coordinator never closes
+        # it) slots in at both write paths: write-ahead of raw batches via
+        # the feed, and a durable mirror of every broadcast diff behind the
+        # bounded in-memory journal.
+        self._durability = durability
+        if durability is not None:
+            self._feed.attach_journal(durability)
+        self._journal = CostDiffJournal(journal_capacity, durability=durability)
 
         self._pool: ShardWorkerPool | None = None
         self._segment: shm.SharedGraphSegment | None = shm.export_graph(
@@ -620,6 +629,61 @@ class ShardedRoutingService:
             f"traffic broadcast v{version} was not acknowledged by all "
             f"workers within {timeout_s:.0f}s"
         )
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> None:
+        """Take an atomic durability snapshot of the current cost state.
+
+        Serialized with ``apply_traffic`` by the coordinator lock, so the
+        version stamp and the exported arrays always describe the same
+        instant.  Covered WAL segments are pruned afterwards.
+        """
+        with self._lock:
+            self._ensure_open()
+            if self._durability is None:
+                raise ConfigurationError(
+                    "this ShardedRoutingService was built without a "
+                    "durability manager"
+                )
+            self._durability.snapshot(self._network)
+
+    def recover(self, *, timeout_s: float | None = None) -> "RecoveryReport":
+        """Coordinator-restart recovery: restore disk state, resync workers.
+
+        Call on a freshly-constructed service whose network was just loaded
+        from the model file and whose ``durability`` manager points at the
+        pre-crash directory.  The durable state (newest snapshot + WAL
+        suffix) is replayed into the master network through the normal feed
+        machinery, the whole shared segment is re-patched at the recovered
+        version, the in-memory diff journal is cleared (pre-crash chains
+        must never bridge across a recovery), and every worker is ordered
+        to resync from the segment.  Returns the durability layer's
+        :class:`RecoveryReport` once all workers have acknowledged the
+        recovered version.
+        """
+        with self._lock:
+            self._ensure_open()
+            assert self._pool is not None and self._segment is not None
+            if self._durability is None:
+                raise ConfigurationError(
+                    "this ShardedRoutingService was built without a "
+                    "durability manager"
+                )
+            report = self._durability.recover(self._network, self._feed)
+            graph = self._network.compiled()
+            version = self._network.cost_version
+            self._segment.patch(
+                graph, list(range(graph.topology.edge_count)), version
+            )
+            self._journal.clear()
+            self._pool.broadcast(ResyncRequired(version=version))
+            self._await_acks(
+                version,
+                self._traffic_timeout_s if timeout_s is None else timeout_s,
+            )
+            return report
 
     # ------------------------------------------------------------------ #
     # Monitoring / lifecycle

@@ -24,7 +24,19 @@ from ..network.road_network import RoadNetwork
 from .updates import EdgeKey, TrafficUpdate, TrafficUpdateResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Protocol
+
     from ..service.service import RoutingService
+
+    class TrafficJournal(Protocol):
+        """Write-ahead sink (e.g. :class:`~repro.service.durability.manager.
+        DurabilityManager`): called under the feed lock *before* a batch is
+        resolved, with the pre-apply cost version it anchors to."""
+
+        def log_traffic(
+            self, updates: Sequence[TrafficUpdate], base_version: int
+        ) -> None: ...
+
 
 Subscriber = Callable[[TrafficUpdateResult], object]
 
@@ -47,6 +59,7 @@ class TrafficFeed:
         # subscribe() or push a compensating apply() without deadlocking.
         self._lock = threading.RLock()
         self._subscribers: list[Subscriber] = []
+        self._journal: "TrafficJournal | None" = None
         self._batches_applied = 0
         for service in services or ():
             self.subscribe(
@@ -63,6 +76,20 @@ class TrafficFeed:
     def batches_applied(self) -> int:
         """Number of successfully applied batches."""
         return self._batches_applied
+
+    def attach_journal(self, journal: "TrafficJournal | None") -> None:
+        """Write-ahead every future batch through ``journal`` (``None``
+        detaches).
+
+        The journal's ``log_traffic(batch, base_version)`` runs inside the
+        feed lock before the batch is resolved or applied, so a batch whose
+        log write fails is never applied — the invariant WAL recovery
+        (:meth:`~repro.service.durability.manager.DurabilityManager.recover`)
+        relies on: every applied batch is on disk, anchored to the exact
+        version it was resolved against.
+        """
+        with self._lock:
+            self._journal = journal
 
     def subscribe(self, callback: Subscriber) -> Subscriber:
         """Register a callback invoked after every applied batch.
@@ -94,6 +121,12 @@ class TrafficFeed:
         """
         batch = list(updates)
         with self._lock:
+            if self._journal is not None:
+                # Write-ahead: the raw batch hits the journal before any of
+                # it is resolved or applied.  An append failure (disk fault,
+                # crash) aborts the batch entirely — never applied, never
+                # acknowledged.
+                self._journal.log_traffic(tuple(batch), self._network.cost_version)
             network_edge = self._network.edge
             merged: dict[EdgeKey, dict[str, float]] = {}
             for update in batch:

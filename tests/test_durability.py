@@ -1,0 +1,796 @@
+"""Crash-consistent durability: WAL framing, snapshots, recovery, chaos.
+
+The contract under test: after a crash at *any* instrumented instant —
+mid-frame, pre-fsync, mid-rotation, mid-snapshot-publish — restart recovery
+plus a resume of the non-durable suffix reaches a state bit-identical to an
+uninterrupted run.  Torn or corrupted records are detected and discarded,
+never silently replayed; a defect in the middle of the chain quarantines
+everything after it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import check_cost_coherence
+from repro.network import grid_city_network
+from repro.network.compiled.graph import EDGE_COST_ATTRIBUTES
+from repro.service import (
+    KILL_POINTS,
+    DiskJournal,
+    DurabilityManager,
+    FaultInjector,
+    JournalError,
+    JournalRecord,
+    KillSwitch,
+    RecoveryError,
+    RoutingService,
+    SimulatedCrash,
+    SnapshotStore,
+    load_model,
+    save_model,
+)
+from repro.service.durability import (
+    crash_and_recover,
+    final_state,
+    reference_state,
+    run_killpoint_matrix,
+    states_identical,
+    topology_stamp,
+)
+from repro.service.durability.journal import _HEADER
+from repro.service.sharding.protocol import CostDiff
+from repro.service.sharding.replication import CostDiffJournal
+from repro.traffic import TrafficFeed
+from repro.traffic.updates import TrafficUpdate
+
+
+def _record(version: int, payload: object = None) -> JournalRecord:
+    return JournalRecord(
+        kind="traffic", base_version=version, payload=payload or ("p", version)
+    )
+
+
+def _effective_batches(network, count: int, seed: int, size: int = 3):
+    """Batches guaranteed to change at least one cost each (scale != 1)."""
+    rng = random.Random(seed)
+    edges = [(e.source, e.target) for e in network.edges()]
+    batches = []
+    for _ in range(count):
+        batches.append(
+            [
+                TrafficUpdate.scale_by(
+                    *rng.choice(edges), travel_time_s=rng.uniform(1.1, 2.5)
+                )
+                for _ in range(size)
+            ]
+        )
+    return batches
+
+
+def _make_network_factory(width=4, height=4, seed=7):
+    return lambda: grid_city_network(width, height, seed=seed)
+
+
+# -------------------------------------------------------------------- #
+# DiskJournal: framing, repair, rotation, retention
+# -------------------------------------------------------------------- #
+class TestDiskJournal:
+    def test_round_trip_preserves_records_and_order(self, tmp_path):
+        with DiskJournal(tmp_path) as journal:
+            for version in range(5):
+                journal.append(_record(version))
+            scan = journal.read_records()
+        assert [r.base_version for r in scan.records] == [0, 1, 2, 3, 4]
+        assert not scan.truncated and scan.dropped_bytes == 0
+
+    def test_records_survive_reopen(self, tmp_path):
+        with DiskJournal(tmp_path) as journal:
+            journal.append(_record(1))
+            journal.append(_record(2))
+        with DiskJournal(tmp_path) as journal:
+            assert [r.base_version for r in journal.read_records().records] == [1, 2]
+
+    def test_torn_tail_is_truncated_not_replayed(self, tmp_path):
+        with DiskJournal(tmp_path) as journal:
+            journal.append(_record(1))
+            journal.append(_record(2))
+            (segment,) = journal.segment_paths()
+        # Tear the final frame: keep its header plus half the payload.
+        data = segment.read_bytes()
+        records, _, _ = [], 0, True
+        offset = 0
+        frames = []
+        while offset < len(data):
+            length, _crc = _HEADER.unpack_from(data, offset)
+            end = offset + _HEADER.size + length
+            frames.append((offset, end))
+            offset = end
+        start, end = frames[-1]
+        segment.write_bytes(data[: start + _HEADER.size + (end - start) // 4])
+        reopened = DiskJournal(tmp_path)
+        try:
+            scan = reopened.read_records()
+            assert [r.base_version for r in scan.records] == [1]
+            assert reopened.torn_records_dropped == 1
+            # The truncation is in place: a third append lands cleanly after
+            # record 1 and the log stays replayable.
+            reopened.append(_record(2))
+            assert [
+                r.base_version for r in reopened.read_records().records
+            ] == [1, 2]
+        finally:
+            reopened.close()
+
+    def test_corrupt_record_poisons_the_suffix(self, tmp_path):
+        with DiskJournal(tmp_path) as journal:
+            for version in range(4):
+                journal.append(_record(version))
+            (segment,) = journal.segment_paths()
+        data = bytearray(segment.read_bytes())
+        # Flip one payload byte of the SECOND frame: records 2 and 3 sit past
+        # a broken link and must not be bridged.
+        length, _ = _HEADER.unpack_from(data, 0)
+        second = _HEADER.size + length
+        data[second + _HEADER.size + 1] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with DiskJournal(tmp_path) as journal:
+            scan = journal.read_records()
+        assert [r.base_version for r in scan.records] == [0]
+        assert scan.truncated is False or scan.dropped_bytes == 0  # repaired on open
+
+    def test_mid_chain_defect_quarantines_later_segments(self, tmp_path):
+        with DiskJournal(tmp_path, segment_max_bytes=1) as journal:
+            for version in range(4):
+                journal.append(_record(version))  # one record per segment
+            segments = journal.segment_paths()
+            assert len(segments) >= 4
+        # Corrupt the second segment's payload; segments 3+ must be deleted.
+        victim = segments[1]
+        data = bytearray(victim.read_bytes())
+        data[_HEADER.size + 1] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        journal = DiskJournal(tmp_path)
+        try:
+            assert journal.discarded_segments >= 2
+            scan = journal.read_records()
+            assert [r.base_version for r in scan.records] == [0]
+        finally:
+            journal.close()
+
+    def test_rotation_at_segment_cap(self, tmp_path):
+        with DiskJournal(tmp_path, segment_max_bytes=64) as journal:
+            for version in range(6):
+                journal.append(_record(version))
+            assert journal.rotations >= 1
+            assert len(journal.segment_paths()) == journal.rotations + 1
+            scan = journal.read_records()
+        assert [r.base_version for r in scan.records] == list(range(6))
+
+    def test_prune_through_deletes_only_covered_sealed_segments(self, tmp_path):
+        with DiskJournal(tmp_path, segment_max_bytes=1) as journal:
+            for version in range(5):
+                journal.append(_record(version))
+            before = len(journal.segment_paths())
+            removed = journal.prune_through(3)  # records 0..2 covered
+            assert removed == 3
+            assert len(journal.segment_paths()) == before - 3
+            scan = journal.read_records()
+            assert [r.base_version for r in scan.records] == [3, 4]
+            # The active segment is never pruned, whatever the version.
+            assert journal.prune_through(10**9) <= before - 3 - 1
+            assert journal.segment_paths()
+
+    def test_fsync_policy_validation_and_counting(self, tmp_path):
+        with pytest.raises(JournalError):
+            DiskJournal(tmp_path / "a", fsync="sometimes")
+        with pytest.raises(JournalError):
+            DiskJournal(tmp_path / "b", fsync="interval", fsync_interval=0)
+        with DiskJournal(tmp_path / "c", fsync="always") as journal:
+            journal.append(_record(1))
+            journal.append(_record(2))
+            assert journal.syncs == 2
+        with DiskJournal(
+            tmp_path / "d", fsync="interval", fsync_interval=3
+        ) as journal:
+            for version in range(7):
+                journal.append(_record(version))
+            assert journal.syncs == 2  # after the 3rd and 6th appends
+        with DiskJournal(tmp_path / "e", fsync="never") as journal:
+            journal.append(_record(1))
+            assert journal.syncs == 0
+            journal.sync()  # explicit sync works under any policy
+            assert journal.syncs == 1
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = DiskJournal(tmp_path)
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(JournalError):
+            journal.append(_record(1))
+
+    def test_oversized_record_is_rejected_before_touching_disk(self, tmp_path):
+        from repro.service.durability import journal as journal_module
+
+        with DiskJournal(tmp_path) as journal:
+            blob = b"x" * (journal_module._MAX_RECORD_BYTES + 1)
+            with pytest.raises(JournalError):
+                journal.append(_record(1, payload=blob))
+            assert journal.read_records().records == []
+
+
+# -------------------------------------------------------------------- #
+# SnapshotStore: atomic publish, validation, retention
+# -------------------------------------------------------------------- #
+def _arrays(edge_count: int, fill: float = 2.0) -> dict[str, np.ndarray]:
+    return {
+        attr: np.full(edge_count, fill, dtype=np.float64)
+        for attr in EDGE_COST_ATTRIBUTES
+    }
+
+
+STAMP = {"vertices": 3, "edges": 4, "crc": 123}
+
+
+class TestSnapshotStore:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(7, _arrays(4), STAMP)
+        state = store.latest()
+        assert state is not None and state.cost_version == 7
+        assert state.topology == STAMP
+        for attr in EDGE_COST_ATTRIBUTES:
+            assert np.array_equal(state.arrays[attr], _arrays(4)[attr])
+
+    def test_latest_prefers_newest_valid(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=5)
+        store.save(1, _arrays(4, 1.0), STAMP)
+        store.save(2, _arrays(4, 2.0), STAMP)
+        assert store.latest().cost_version == 2
+
+    def test_corrupt_snapshot_is_skipped_for_an_older_valid_one(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=5)
+        store.save(1, _arrays(4, 1.0), STAMP)
+        newest = store.save(2, _arrays(4, 2.0), STAMP)
+        blob = bytearray(newest.read_bytes())
+        blob[-1] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        state = store.latest()
+        assert state.cost_version == 1
+        assert store.invalid_skipped == 1
+
+    def test_truncated_snapshot_is_invalid(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        path = store.save(3, _arrays(4), STAMP)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.latest() is None
+
+    def test_topology_mismatch_is_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(3, _arrays(4), STAMP)
+        other = dict(STAMP, crc=999)
+        assert store.latest(topology=other) is None
+        assert store.latest(topology=STAMP) is not None
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=2)
+        for version in (1, 2, 3, 4):
+            store.save(version, _arrays(4), STAMP)
+        names = [p.name for p in store.snapshot_paths()]
+        assert names == ["snapshot-000000000003.snap", "snapshot-000000000004.snap"]
+        assert store.pruned_snapshots == 2
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        (tmp_path / "snapshot-000000000009.snap.tmp").write_bytes(b"half")
+        store = SnapshotStore(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert store.latest() is None  # the tmp was never published
+
+    def test_crash_before_rename_leaves_previous_snapshot_intact(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(1, _arrays(4, 1.0), STAMP)
+        crashing = SnapshotStore(tmp_path, kill=KillSwitch("snapshot.pre-rename", 1))
+        with pytest.raises(SimulatedCrash):
+            crashing.save(2, _arrays(4, 2.0), STAMP)
+        reopened = SnapshotStore(tmp_path)
+        assert reopened.latest().cost_version == 1
+
+    def test_topology_stamp_detects_layout_changes(self):
+        small = grid_city_network(3, 3, seed=1).compiled().topology
+        large = grid_city_network(4, 4, seed=1).compiled().topology
+        assert topology_stamp(small) == topology_stamp(small)
+        assert topology_stamp(small) != topology_stamp(large)
+
+
+# -------------------------------------------------------------------- #
+# DurabilityManager: end-to-end recovery semantics
+# -------------------------------------------------------------------- #
+class TestRecovery:
+    def test_wal_only_recovery_is_bit_identical(self, tmp_path):
+        make = _make_network_factory()
+        batches = _effective_batches(make(), 6, seed=11)
+        reference = reference_state(make, batches)
+
+        network = make()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path) as manager:
+            feed.attach_journal(manager)
+            for batch in batches:
+                feed.apply(batch)
+
+        recovered = make()
+        with DurabilityManager(tmp_path) as manager:
+            report = manager.recover(recovered, TrafficFeed(recovered))
+        assert report.replayed == 6 and report.verified and not report.gap
+        assert states_identical(final_state(recovered), reference)
+
+    def test_snapshot_plus_suffix_recovery(self, tmp_path):
+        make = _make_network_factory()
+        batches = _effective_batches(make(), 6, seed=13)
+        reference = reference_state(make, batches)
+
+        network = make()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path, segment_max_bytes=256) as manager:
+            feed.attach_journal(manager)
+            for index, batch in enumerate(batches):
+                feed.apply(batch)
+                if index == 3:
+                    manager.snapshot(network)
+
+        recovered = make()
+        with DurabilityManager(tmp_path) as manager:
+            report = manager.recover(recovered, TrafficFeed(recovered))
+        assert report.snapshot_version == make().cost_version + 4
+        assert report.replayed == 2  # only the post-snapshot suffix
+        assert states_identical(final_state(recovered), reference)
+
+    def test_snapshot_prunes_covered_wal_segments(self, tmp_path):
+        network = _make_network_factory()()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path, segment_max_bytes=1) as manager:
+            feed.attach_journal(manager)
+            for batch in _effective_batches(network, 5, seed=3):
+                feed.apply(batch)
+            before = len(manager.journal.segment_paths())
+            manager.snapshot(network)
+            assert len(manager.journal.segment_paths()) < before
+
+    def test_replay_does_not_rejournal(self, tmp_path):
+        network = _make_network_factory()()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path) as manager:
+            feed.attach_journal(manager)
+            for batch in _effective_batches(network, 3, seed=5):
+                feed.apply(batch)
+
+        recovered = _make_network_factory()()
+        with DurabilityManager(tmp_path) as manager:
+            appended_before = manager.journal.records_appended
+            manager.recover(recovered, TrafficFeed(recovered))
+            assert manager.journal.records_appended == appended_before
+
+    def test_recovery_with_no_state_is_a_clean_noop(self, tmp_path):
+        network = _make_network_factory()()
+        with DurabilityManager(tmp_path) as manager:
+            report = manager.recover(network)
+        assert report.replayed == 0 and report.snapshot_version is None
+        assert report.verified
+        assert report.recovered_version == network.cost_version
+
+    def test_recovery_skips_records_below_snapshot(self, tmp_path):
+        network = _make_network_factory()()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path) as manager:
+            feed.attach_journal(manager)
+            batches = _effective_batches(network, 4, seed=9)
+            for batch in batches[:3]:
+                feed.apply(batch)
+            manager.snapshot(network)
+            # One extra pre-snapshot record survives pruning because it
+            # shares the active segment with the post-snapshot tail.
+            feed.apply(batches[3])
+
+        recovered = _make_network_factory()()
+        with DurabilityManager(tmp_path) as manager:
+            report = manager.recover(recovered, TrafficFeed(recovered))
+        assert report.gap is False
+        assert report.replayed >= 1
+        assert recovered.cost_version == network.cost_version
+
+    def test_verification_failure_raises_recovery_error(self, tmp_path):
+        network = _make_network_factory()()
+        edge_count = network.compiled().topology.edge_count
+        store = SnapshotStore(tmp_path / "snapshots")
+        poisoned = {
+            attr: np.full(edge_count, -1.0, dtype=np.float64)
+            for attr in EDGE_COST_ATTRIBUTES
+        }
+        store.save(
+            network.cost_version + 1,
+            poisoned,
+            topology_stamp(network.compiled().topology),
+        )
+        with DurabilityManager(tmp_path) as manager:
+            with pytest.raises(RecoveryError):
+                manager.recover(network)
+
+    def test_coherence_check_passes_on_live_network(self):
+        network = _make_network_factory()()
+        sanitizer = check_cost_coherence(network)
+        assert sanitizer.ok
+
+
+# -------------------------------------------------------------------- #
+# Kill-point chaos: crash anywhere, recover bit-identically
+# -------------------------------------------------------------------- #
+class TestKillPointChaos:
+    @pytest.mark.parametrize("point", KILL_POINTS)
+    def test_crash_at_point_recovers_exactly(self, point, tmp_path):
+        make = _make_network_factory()
+        batches = _effective_batches(make(), 9, seed=17)
+        result = crash_and_recover(
+            make,
+            batches,
+            tmp_path,
+            point,
+            segment_max_bytes=512,
+            snapshot_after=4,
+        )
+        assert result.crashed, f"kill point {point} never fired"
+        assert result.identical, f"{point}: {result.detail}"
+        assert result.report is not None and result.report.verified
+
+    def test_matrix_runs_all_points(self, tmp_path):
+        make = _make_network_factory(3, 3, seed=5)
+        batches = _effective_batches(make(), 7, seed=23)
+        results = run_killpoint_matrix(make, batches, tmp_path)
+        assert {r.point for r in results} == set(KILL_POINTS)
+        assert all(r.identical for r in results), [
+            (r.point, r.detail) for r in results if not r.identical
+        ]
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        point=st.sampled_from(KILL_POINTS),
+        hits=st.integers(min_value=1, max_value=3),
+    )
+    def test_randomized_sequences_recover_exactly(
+        self, seed, point, hits, tmp_path
+    ):
+        make = _make_network_factory(3, 3, seed=2)
+        batches = _effective_batches(make(), 6, seed=seed)
+        result = crash_and_recover(
+            make,
+            batches,
+            tmp_path / f"{seed}_{point.replace('.', '_')}_{hits}",
+            point,
+            hits=hits,
+            segment_max_bytes=384,
+            snapshot_after=2,
+        )
+        # A later `hits` may land past the run's end (no crash) — then the
+        # run degenerates to fault-free and must still match exactly.
+        assert result.identical, f"{point} x{hits} seed={seed}: {result.detail}"
+
+
+# -------------------------------------------------------------------- #
+# Seeded disk faults (FaultInjector.disk)
+# -------------------------------------------------------------------- #
+class TestDiskFaults:
+    def test_write_script_actions(self, tmp_path):
+        disk = FaultInjector(seed=1).disk(
+            write_script=["ok", "eio", "enospc", "short", "ok"]
+        )
+        target = tmp_path / "f.bin"
+        handle = disk(str(target), "wb")
+        assert handle.write(b"aaaa") == 4
+        with pytest.raises(OSError) as eio:
+            handle.write(b"bbbb")
+        assert eio.value.errno == __import__("errno").EIO
+        with pytest.raises(OSError) as enospc:
+            handle.write(b"cccc")
+        assert enospc.value.errno == __import__("errno").ENOSPC
+        with pytest.raises(OSError):
+            handle.write(b"dddd")  # short: seeded prefix buffered, then EIO
+        handle.write(b"eeee")
+        handle.close()
+        counters = disk.write_counters
+        assert counters.short_writes == 1
+        assert counters.disk_errors == 2
+        assert counters.lost_bytes >= 1  # at least the short write's cut
+
+    def test_crash_before_fsync_loses_buffered_bytes(self, tmp_path):
+        disk = FaultInjector(seed=2).disk(flush_script=["crash-before-fsync"])
+        target = tmp_path / "f.bin"
+        handle = disk(str(target), "wb")
+        handle.write(b"doomed")
+        with pytest.raises(SimulatedCrash):
+            handle.flush()
+        handle.inner.close()  # simulate process death without close()
+        assert target.read_bytes() == b""
+        assert disk.flush_counters.lost_bytes == 6
+
+    def test_crash_after_fsync_keeps_the_bytes(self, tmp_path):
+        disk = FaultInjector(seed=3).disk(flush_script=["crash-after-fsync"])
+        target = tmp_path / "f.bin"
+        handle = disk(str(target), "wb")
+        handle.write(b"durable")
+        with pytest.raises(SimulatedCrash):
+            handle.flush()
+        handle.inner.close()
+        assert target.read_bytes() == b"durable"
+
+    def test_seeded_schedules_replay_identically(self, tmp_path):
+        def run(sub: str) -> tuple[bytes, int, int]:
+            disk = FaultInjector(seed=99).disk(short_rate=0.3, eio_rate=0.2)
+            target = tmp_path / sub
+            handle = disk(str(target), "wb")
+            written = errors = 0
+            for index in range(40):
+                try:
+                    handle.write(bytes([index]) * 8)
+                    written += 1
+                except OSError:
+                    errors += 1
+            handle.close()
+            return target.read_bytes(), written, errors
+
+        assert run("a.bin") == run("b.bin")
+
+    def test_journal_survives_transient_write_faults(self, tmp_path):
+        # One frame write per append: record 1 lands, record 2's write
+        # fails with EIO — the failed append must not corrupt the log.
+        disk = FaultInjector(seed=5).disk(write_script=["ok", "eio", "ok"])
+        journal = DiskJournal(tmp_path, opener=disk, fsync="never")
+        try:
+            journal.append(_record(1))
+            with pytest.raises(OSError):
+                journal.append(_record(2))
+        finally:
+            journal.close()
+        reopened = DiskJournal(tmp_path)
+        try:
+            scan = reopened.read_records()
+            assert [r.base_version for r in scan.records] == [1]
+        finally:
+            reopened.close()
+
+    def test_crash_before_fsync_drops_unacked_journal_suffix(self, tmp_path):
+        # With the faulty page cache, bytes not yet fsynced die with the
+        # crash: recovery sees only the records whose fsync completed.
+        disk = FaultInjector(seed=6).disk(
+            flush_script=["ok", "ok", "crash-before-fsync"]
+        )
+        journal = DiskJournal(tmp_path, opener=disk, fsync="always")
+        journal.append(_record(1))
+        journal.append(_record(2))
+        with pytest.raises(SimulatedCrash):
+            journal.append(_record(3))
+        # Abandon the handle (process death), reopen with a clean opener.
+        reopened = DiskJournal(tmp_path)
+        try:
+            scan = reopened.read_records()
+            assert [r.base_version for r in scan.records] == [1, 2]
+        finally:
+            reopened.close()
+
+    def test_invalid_script_action_is_rejected(self):
+        injector = FaultInjector(seed=1)
+        with pytest.raises(ValueError):
+            injector.disk(write_script=["ok", "explode"])
+        with pytest.raises(ValueError):
+            injector.disk(flush_script=["short"])  # a write action, not flush
+
+
+# -------------------------------------------------------------------- #
+# CostDiffJournal disk tail
+# -------------------------------------------------------------------- #
+def _diff(version: int) -> CostDiff:
+    return CostDiff(
+        version=version,
+        base_version=version - 1,
+        changes=(((0, 1), (("travel_time_s", float(version)),)),),
+    )
+
+
+class TestCostDiffDiskTail:
+    def test_chain_falls_back_to_disk_past_ring_capacity(self, tmp_path):
+        with DurabilityManager(tmp_path) as manager:
+            journal = CostDiffJournal(capacity=2, durability=manager)
+            for version in range(1, 7):
+                journal.append(_diff(version))
+            # Ring holds [5, 6]; versions 1-4 are only on disk.
+            chain = journal.chain(0)
+            assert chain is not None
+            assert [d.version for d in chain] == [1, 2, 3, 4, 5, 6]
+            assert journal.disk_chains == 1
+
+    def test_ring_answers_without_touching_disk(self, tmp_path):
+        with DurabilityManager(tmp_path) as manager:
+            journal = CostDiffJournal(capacity=8, durability=manager)
+            for version in range(1, 5):
+                journal.append(_diff(version))
+            chain = journal.chain(2)
+            assert [d.version for d in chain] == [3, 4]
+            assert journal.disk_chains == 0
+
+    def test_clear_drops_ring_but_disk_tail_still_serves(self, tmp_path):
+        with DurabilityManager(tmp_path) as manager:
+            journal = CostDiffJournal(capacity=8, durability=manager)
+            for version in range(1, 4):
+                journal.append(_diff(version))
+            journal.clear()
+            chain = journal.chain(0)
+            assert chain is not None
+            assert [d.version for d in chain] == [1, 2, 3]
+
+    def test_without_durability_chain_is_bounded_by_ring(self):
+        journal = CostDiffJournal(capacity=2)
+        for version in range(1, 6):
+            journal.append(_diff(version))
+        assert journal.chain(0) is None  # history evicted, no disk tail
+
+
+# -------------------------------------------------------------------- #
+# RoutingService.recover
+# -------------------------------------------------------------------- #
+class TestServiceRecovery:
+    def test_service_recover_restores_and_invalidates_cache(self, tmp_path):
+        make = _make_network_factory()
+        batches = _effective_batches(make(), 4, seed=31)
+        reference = reference_state(make, batches)
+
+        network = make()
+        feed = TrafficFeed(network)
+        with DurabilityManager(tmp_path) as manager:
+            feed.attach_journal(manager)
+            for batch in batches:
+                feed.apply(batch)
+
+        recovered = make()
+        recovered_feed = TrafficFeed(recovered)
+        service = RoutingService(cache_size=8)
+        with DurabilityManager(tmp_path) as manager:
+            report = service.recover(manager, recovered_feed)
+        assert report.verified
+        assert states_identical(final_state(recovered), reference)
+        stats = service.stats()
+        assert stats.cost_version == recovered.cost_version
+
+
+# -------------------------------------------------------------------- #
+# Sharded coordinator restart
+# -------------------------------------------------------------------- #
+class TestShardedRecovery:
+    def test_coordinator_restart_recovers_and_resyncs_workers(self, tmp_path):
+        import math
+
+        from repro.routing import fastest_path
+        from repro.service import RouteRequest, ShardedRoutingService
+        from repro.service.sharding.overlay import path_cost
+        from repro.routing import CostFeature
+
+        make = _make_network_factory(5, 5, seed=19)
+        batches = _effective_batches(make(), 5, seed=37, size=6)
+        reference = reference_state(make, batches)
+
+        # "Crashed" run: journal through the coordinator's feed, snapshot
+        # mid-way, then tear the service down without any durable handoff.
+        network = make()
+        manager = DurabilityManager(tmp_path, segment_max_bytes=2048)
+        try:
+            with ShardedRoutingService(
+                network, shard_count=2, durability=manager
+            ) as service:
+                for index, batch in enumerate(batches):
+                    result = service.apply_traffic(batch, wait=True)
+                    assert result.applied
+                    if index == 2:
+                        service.snapshot()
+        finally:
+            manager.close()
+
+        # Restart: fresh network, fresh manager over the same directory.
+        recovered = make()
+        manager = DurabilityManager(tmp_path)
+        try:
+            with ShardedRoutingService(
+                recovered, shard_count=2, durability=manager
+            ) as service:
+                report = service.recover()
+                assert report.verified
+                assert states_identical(final_state(recovered), reference)
+
+                # Workers resynced from the repatched segment: routed costs
+                # match a full-network reference at the recovered state.
+                rng = random.Random(41)
+                ids = sorted(recovered.vertex_ids())
+                requests = [
+                    RouteRequest(source=rng.choice(ids), destination=rng.choice(ids))
+                    for _ in range(8)
+                ]
+                responses = service.route_many(requests, engine="Fastest")
+                for request, response in zip(requests, responses):
+                    expected = path_cost(
+                        recovered,
+                        tuple(
+                            fastest_path(
+                                recovered, request.source, request.destination
+                            )
+                        ),
+                        CostFeature.TRAVEL_TIME,
+                    )
+                    assert response.path is not None
+                    got = path_cost(
+                        recovered, tuple(response.path), CostFeature.TRAVEL_TIME
+                    )
+                    assert math.isclose(got, expected, rel_tol=1e-9)
+        finally:
+            manager.close()
+
+    def test_recover_without_durability_manager_is_refused(self):
+        from repro.exceptions import ConfigurationError
+        from repro.service import ShardedRoutingService
+
+        network = _make_network_factory(3, 3, seed=2)()
+        with ShardedRoutingService(network, shard_count=2) as service:
+            with pytest.raises(ConfigurationError):
+                service.snapshot()
+            with pytest.raises(ConfigurationError):
+                service.recover()
+
+
+# -------------------------------------------------------------------- #
+# save_model durability regression
+# -------------------------------------------------------------------- #
+class TestModelPersistenceDurability:
+    def test_save_fsyncs_before_publishing(self, fitted_l2r, tmp_path, monkeypatch):
+        # The regression: os.replace must never run before the scratch
+        # file's bytes are fsynced.  Record call order to prove the fence.
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (events.append("replace"), real_replace(src, dst))[1],
+        )
+        target = tmp_path / "model.pkl.gz"
+        save_model(fitted_l2r, target)
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+        # And the published file round-trips.
+        load_model(target)
+
+    def test_failed_save_leaves_previous_model_intact(
+        self, fitted_l2r, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "model.pkl.gz"
+        save_model(fitted_l2r, target)
+        good = target.read_bytes()
+
+        def explode(fd):
+            raise OSError(5, "simulated fsync failure")
+
+        monkeypatch.setattr(os, "fsync", explode)
+        from repro.service import ModelPersistenceError
+
+        with pytest.raises(ModelPersistenceError):
+            save_model(fitted_l2r, target)
+        assert target.read_bytes() == good
+        assert not list(tmp_path.glob("*.tmp"))

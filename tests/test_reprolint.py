@@ -1,6 +1,6 @@
 """The reprolint static analyzer (:mod:`tools.reprolint`).
 
-Each rule RL001–RL010 gets a positive fixture (the violation fires), a
+Each rule RL001–RL011 gets a positive fixture (the violation fires), a
 negative fixture (the compliant idiom stays silent), and a suppression
 fixture (``# reprolint: disable=...`` moves the finding to ``suppressed``).
 Fixtures go through :func:`~tools.reprolint.lint_source` with a fake
@@ -590,6 +590,152 @@ class TestRL010SocketTimeout:
 
 
 # -------------------------------------------------------------------- #
+# RL011 — durable-write discipline in durability/ and persistence.py
+# -------------------------------------------------------------------- #
+DURABILITY_PATH = "src/repro/service/durability/example.py"
+PERSISTENCE_PATH = "src/repro/service/persistence.py"
+
+RL011_RENAME_BAD = """\
+import os
+
+def publish(scratch, final):
+    with open(scratch, "wb") as handle:
+        handle.write(b"payload")
+    os.replace(scratch, final)
+"""
+
+RL011_RENAME_GOOD = """\
+import os
+
+def publish(scratch, final):
+    with open(scratch, "wb") as handle:
+        handle.write(b"payload")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(scratch, final)
+"""
+
+RL011_HANDLE_BAD = """\
+def journal(path, frame):
+    handle = open(path, "ab")
+    handle.write(frame)
+    handle.flush()
+"""
+
+RL011_CHAIN_BAD = """\
+def journal(path, frame):
+    open(path, "ab").write(frame)
+"""
+
+
+class TestRL011DurabilityDiscipline:
+    def test_rename_without_fsync_is_flagged(self):
+        result = _lint(RL011_RENAME_BAD, DURABILITY_PATH)
+        assert _codes(result) == ["RL011"]
+        (finding,) = result.findings
+        assert finding.severity == "error"
+        assert "fsync" in finding.message
+
+    def test_rename_after_fsync_is_clean(self):
+        assert _lint(RL011_RENAME_GOOD, DURABILITY_PATH).ok
+
+    def test_fsync_after_rename_does_not_count(self):
+        source = (
+            "import os\n"
+            "def publish(scratch, final, dir_fd):\n"
+            "    os.replace(scratch, final)\n"
+            "    os.fsync(dir_fd)\n"
+        )
+        assert _codes(_lint(source, DURABILITY_PATH)) == ["RL011"]
+
+    def test_fsync_helper_by_name_counts(self):
+        source = (
+            "import os\n"
+            "def publish(scratch, final):\n"
+            "    _fsync_file(scratch)\n"
+            "    os.replace(scratch, final)\n"
+        )
+        assert _lint(source, DURABILITY_PATH).ok
+
+    def test_os_rename_is_held_to_the_same_bar(self):
+        source = RL011_RENAME_BAD.replace("os.replace", "os.rename")
+        assert _codes(_lint(source, DURABILITY_PATH)) == ["RL011"]
+
+    def test_unmanaged_handle_is_flagged(self):
+        result = _lint(RL011_HANDLE_BAD, DURABILITY_PATH)
+        assert _codes(result) == ["RL011"]
+        assert "context-managed" in result.findings[0].message
+
+    def test_with_managed_handle_is_clean(self):
+        source = (
+            "def journal(path, frame):\n"
+            "    with open(path, 'ab') as handle:\n"
+            "        handle.write(frame)\n"
+        )
+        assert _lint(source, DURABILITY_PATH).ok
+
+    def test_self_attribute_owned_handle_is_clean(self):
+        # The journal's long-lived active segment: opened once, stored on
+        # the instance, closed by the owner's close()/rotation.
+        source = (
+            "class Journal:\n"
+            "    def _reopen(self, path):\n"
+            "        self._active = open(path, 'ab')\n"
+        )
+        assert _lint(source, DURABILITY_PATH).ok
+
+    def test_local_variable_handle_is_not_ownership(self):
+        assert _codes(_lint(RL011_HANDLE_BAD, DURABILITY_PATH)) == ["RL011"]
+
+    def test_bare_open_write_chain_is_flagged(self):
+        result = _lint(RL011_CHAIN_BAD, DURABILITY_PATH)
+        assert _codes(result) == ["RL011"]
+        assert "chain" in result.findings[0].message
+
+    def test_gzip_and_fdopen_handles_are_covered(self):
+        source = (
+            "import gzip, os\n"
+            "def save(fd, path):\n"
+            "    raw = os.fdopen(fd, 'wb')\n"
+            "    zipped = gzip.open(path, 'wb')\n"
+        )
+        assert _codes(_lint(source, DURABILITY_PATH)) == ["RL011", "RL011"]
+
+    def test_os_open_raw_fd_is_not_a_file_handle(self):
+        # os.open returns an fd (paired with os.close), not a file object —
+        # the directory-fsync helpers rely on this shape.
+        source = (
+            "import os\n"
+            "def fsync_dir(path):\n"
+            "    fd = os.open(path, os.O_RDONLY)\n"
+            "    try:\n"
+            "        os.fsync(fd)\n"
+            "    finally:\n"
+            "        os.close(fd)\n"
+        )
+        assert _lint(source, DURABILITY_PATH).ok
+
+    def test_persistence_module_is_in_scope(self):
+        assert _codes(_lint(RL011_RENAME_BAD, PERSISTENCE_PATH)) == ["RL011"]
+
+    def test_out_of_scope_service_path_is_clean(self):
+        # The discipline is scoped to the crash-consistency layer; generic
+        # service code is not held to it.
+        assert _lint(RL011_RENAME_BAD, SERVICE_PATH).ok
+        assert _lint(RL011_RENAME_BAD, UNSCOPED_PATH).ok
+
+    def test_suppression_comment_is_honored(self):
+        source = RL011_CHAIN_BAD.replace(
+            "    open(path, \"ab\").write(frame)",
+            "    # reprolint: disable-next-line=RL011 — throwaway debug dump.\n"
+            "    open(path, \"ab\").write(frame)",
+        )
+        result = _lint(source, DURABILITY_PATH)
+        assert result.ok
+        assert [finding.rule_id for finding in result.suppressed] == ["RL011"]
+
+
+# -------------------------------------------------------------------- #
 # Engine: suppressions, errors, reporters, gating
 # -------------------------------------------------------------------- #
 class TestSuppressions:
@@ -634,14 +780,14 @@ class TestEngine:
         assert payload["ok"] is False
         assert payload["files"] == 1
         assert [entry["rule"] for entry in payload["findings"]] == ["RL001"]
-        assert len(payload["rules"]) == len(ALL_RULES) == 10
+        assert len(payload["rules"]) == len(ALL_RULES) == 11
         assert {rule.rule_id for rule in ALL_RULES} == {
-            f"RL{i:03d}" for i in range(1, 11)
+            f"RL{i:03d}" for i in range(1, 12)
         }
 
     def test_render_text_summary_line(self):
         text = render_text(_lint("x = 1\n", "src/ok.py"), ALL_RULES)
-        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 10 rule(s)")
+        assert text.endswith("0 finding(s), 0 suppressed, 1 file(s), 11 rule(s)")
 
     def test_lint_paths_walks_directories(self, tmp_path):
         package = tmp_path / "src" / "repro" / "service"

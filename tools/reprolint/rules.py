@@ -1003,6 +1003,169 @@ class SocketTimeoutRule(Rule):
         return Visitor()
 
 
+class DurabilityDisciplineRule(Rule):
+    """RL011: durable-write discipline in the crash-consistency layer.
+
+    The durability package and the model persistence module are the two
+    places whose entire contract is "a crash cannot lose acknowledged
+    data"; sloppy file handling there is silent data loss waiting for a
+    power cut.  In ``service/durability/`` and ``service/persistence.py``:
+
+    * a function calling ``os.replace(...)`` / ``os.rename(...)`` (the
+      publish step of write-then-rename) must call ``os.fsync(...)`` — or a
+      named fsync helper — *lexically earlier* in the same function: the
+      rename is atomic in the namespace but says nothing about the data;
+    * a file handle produced by ``open`` / ``os.fdopen`` / ``gzip.open`` /
+      ``gzip.GzipFile`` / ``tempfile.NamedTemporaryFile`` must either be
+      the context expression of a ``with`` statement or be assigned
+      directly to a ``self.`` attribute (a long-lived handle an owner
+      closes); anything else leaks the handle on the first exception;
+    * bare ``open(...).write(...)``-style call chains are banned outright —
+      the handle is unreachable the moment the statement ends, so it can
+      neither be flushed deterministically nor closed on error.
+
+    Factory functions that intentionally hand ownership to a caller (e.g.
+    the injectable ``opener`` hooks) suppress with a justification — see
+    the suppression etiquette in the README.
+    """
+
+    rule_id = "RL011"
+    severity = "error"
+    description = (
+        "durable-write discipline: fsync before rename-publish, "
+        "context-managed (or owner-held) file handles"
+    )
+    path_scopes = ("repro/service/durability/", "repro/service/persistence.py")
+
+    _OPENER_ATTRS = frozenset({"open", "fdopen", "GzipFile", "NamedTemporaryFile"})
+
+    def visitor(self, context: FileContext) -> ast.NodeVisitor:
+        rule = self
+
+        def is_opener(call: ast.Call) -> bool:
+            func = call.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                return True
+            if not isinstance(func, ast.Attribute) or func.attr not in rule._OPENER_ATTRS:
+                return False
+            # os.open returns a raw fd (paired with os.close/os.fdopen),
+            # not a file object — the handle rules don't apply to it.
+            return not (isinstance(func.value, ast.Name) and func.value.id == "os" and func.attr == "open")
+
+        def opener_label(call: ast.Call) -> str:
+            func = call.func
+            return func.id if isinstance(func, ast.Name) else func.attr  # type: ignore[union-attr]
+
+        def is_fsync(call: ast.Call) -> bool:
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr == "fsync":
+                return True
+            # A dedicated helper (e.g. _fsync_dir) counts: the name carries
+            # the intent and greps identically.
+            return isinstance(func, ast.Name) and "fsync" in func.id.lower()
+
+        def is_publish(call: ast.Call) -> bool:
+            func = call.func
+            return (
+                isinstance(func, ast.Attribute)
+                and func.attr in {"replace", "rename"}
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os"
+            )
+
+        def scope_nodes(scope: ast.AST) -> list[ast.AST]:
+            """Every node in this scope, not descending into nested defs."""
+            nodes: list[ast.AST] = []
+            stack = list(ast.iter_child_nodes(scope))
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested functions are their own scope
+                nodes.append(node)
+                stack.extend(ast.iter_child_nodes(node))
+            return nodes
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Module(self, node: ast.Module) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._scan(node)
+                self.generic_visit(node)
+
+            def _scan(self, scope: ast.AST) -> None:
+                nodes = scope_nodes(scope)
+                calls = [node for node in nodes if isinstance(node, ast.Call)]
+                # Handles considered owned: `with <opener>(...) ...` items
+                # and `self.<attr> = <opener>(...)` assignments.
+                managed: set[int] = set()
+                for node in nodes:
+                    if isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            managed.add(id(item.context_expr))
+                    elif isinstance(node, ast.Assign):
+                        owned = any(
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            for target in node.targets
+                        )
+                        if owned:
+                            managed.add(id(node.value))
+                fsync_lines = sorted(
+                    call.lineno for call in calls if is_fsync(call)
+                )
+                chained: set[int] = set()
+                for call in calls:
+                    func = call.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Call)
+                        and is_opener(func.value)
+                    ):
+                        chained.add(id(func.value))
+                        context.report(
+                            rule,
+                            call,
+                            f"bare {opener_label(func.value)}(...).{func.attr}(...) "
+                            "chain: the handle is unreachable after this "
+                            "statement — it can neither be fsynced nor closed "
+                            "on error; use a with block",
+                        )
+                for call in calls:
+                    if is_publish(call):
+                        if not any(line < call.lineno for line in fsync_lines):
+                            func_attr = call.func.attr  # type: ignore[union-attr]
+                            context.report(
+                                rule,
+                                call,
+                                f"os.{func_attr}() publishes data that was "
+                                "never fsynced: the rename is atomic in the "
+                                "namespace but a power loss can still surface "
+                                "a truncated file; fsync the handle first",
+                            )
+                    elif (
+                        is_opener(call)
+                        and id(call) not in managed
+                        and id(call) not in chained
+                    ):
+                        context.report(
+                            rule,
+                            call,
+                            f"file handle from {opener_label(call)}(...) is "
+                            "neither context-managed (with block) nor stored "
+                            "on a self. attribute with owner-side close(); a "
+                            "crash here leaks it un-flushed",
+                        )
+
+        return Visitor()
+
+
 #: The default rule battery, in id order.
 ALL_RULES: tuple[Rule, ...] = (
     VersionStampRule(),
@@ -1015,4 +1178,5 @@ ALL_RULES: tuple[Rule, ...] = (
     UnboundedBlockingRule(),
     SharedMemoryLifecycleRule(),
     SocketTimeoutRule(),
+    DurabilityDisciplineRule(),
 )
